@@ -1,0 +1,121 @@
+//! The naive direct baseline: one thread per output element, minimal
+//! staging, no register tiling — the performance floor any reasonable
+//! strategy must beat (and roughly what an untransformed nested-loop
+//! kernel achieves).
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+use cogent_gpu_sim::{execute_plan, simulate};
+use cogent_ir::{Contraction, ContractionAnalysis, SizeMap};
+use cogent_tensor::{DenseTensor, Element};
+
+use crate::engine::Measurement;
+
+/// The naive direct engine.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveDirect;
+
+impl NaiveDirect {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The naive plan: the output FVI gets a 32-wide thread dimension (one
+    /// warp), every other external is grid-mapped, internals are walked
+    /// one element per step (no k-tiling, no register tiles).
+    pub fn plan(&self, tc: &Contraction, sizes: &SizeMap) -> KernelPlan {
+        let tc = tc.normalized();
+        let analysis = ContractionAnalysis::new(&tc);
+        let c_fvi = tc.c().fvi().clone();
+        let mut bindings = Vec::new();
+        for idx in tc.external_indices() {
+            let extent = sizes.extent_of(idx);
+            if *idx == c_fvi {
+                bindings.push(IndexBinding::new(
+                    idx.clone(),
+                    extent,
+                    extent.min(32),
+                    MapDim::ThreadX,
+                ));
+            } else {
+                bindings.push(IndexBinding::new(idx.clone(), extent, 1, MapDim::Grid));
+            }
+        }
+        for idx in tc.batch_indices() {
+            bindings.push(IndexBinding::new(
+                idx.clone(),
+                sizes.extent_of(idx),
+                1,
+                MapDim::Grid,
+            ));
+        }
+        for idx in analysis.internals() {
+            bindings.push(IndexBinding::new(
+                idx.clone(),
+                sizes.extent_of(idx),
+                1,
+                MapDim::SerialK,
+            ));
+        }
+        KernelPlan::new(&tc, bindings).expect("naive plan is always legal")
+    }
+
+    /// Simulated end-to-end measurement.
+    pub fn measure(
+        &self,
+        tc: &Contraction,
+        sizes: &SizeMap,
+        device: &GpuDevice,
+        precision: Precision,
+    ) -> Measurement {
+        let report = simulate(&self.plan(tc, sizes), device, precision);
+        Measurement::from_time(tc, sizes, report.time.total_s)
+    }
+
+    /// Functional execution (correctness path).
+    pub fn execute<T: Element>(
+        &self,
+        tc: &Contraction,
+        sizes: &SizeMap,
+        a: &DenseTensor<T>,
+        b: &DenseTensor<T>,
+    ) -> DenseTensor<T> {
+        execute_plan(&self.plan(tc, sizes), a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    #[test]
+    fn naive_execution_matches_reference() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 5);
+        let (a, b) = random_inputs::<f64>(&tc, &sizes, 1);
+        let got = NaiveDirect::new().execute(&tc, &sizes, &a, &b);
+        let want = contract_reference(&tc, &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn naive_is_slower_than_nwchem_like() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 48);
+        let d = GpuDevice::v100();
+        let naive = NaiveDirect::new().measure(&tc, &sizes, &d, Precision::F64);
+        let nwchem = crate::NwchemLikeGenerator::new().measure(&tc, &sizes, &d, Precision::F64);
+        assert!(naive.gflops < nwchem.gflops);
+    }
+
+    #[test]
+    fn plan_has_one_warp_blocks() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 48);
+        let plan = NaiveDirect::new().plan(&tc, &sizes);
+        assert_eq!(plan.threads_per_block(), 32);
+        assert_eq!(plan.outputs_per_thread(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmarks end-to-end kernel generation (`Cogent::generate`) and the
+//! CUDA emission step alone.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cogent_core::codegen::emit_source;
+use cogent_core::Cogent;
+use cogent_gpu_model::Precision;
+use cogent_ir::{Contraction, SizeMap};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cogent_generate");
+    group.sample_size(10);
+    for (name, spec, n) in [
+        ("eq1_4d", "abcd-aebf-dfce", 48usize),
+        ("sd2_1_6d", "abcdef-gdab-efgc", 20),
+    ] {
+        let tc: Contraction = spec.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        let cogent = Cogent::new();
+        group.bench_function(name, |b| {
+            b.iter(|| cogent.generate(black_box(&tc), &sizes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 48);
+    let generated = Cogent::new().generate(&tc, &sizes).unwrap();
+    c.bench_function("emit_cuda_source", |b| {
+        b.iter(|| emit_source(black_box(&generated.plan), Precision::F64))
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_emit);
+criterion_main!(benches);

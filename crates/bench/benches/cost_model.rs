@@ -1,0 +1,35 @@
+//! Benchmarks the Algorithm 3 cost model: it must be cheap enough to rank
+//! thousands of surviving configurations in negligible time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cogent_core::cost::{paper_transaction_cost, transaction_cost};
+use cogent_core::KernelConfig;
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+
+fn setup() -> (Contraction, SizeMap, KernelConfig, GpuDevice) {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 48);
+    let cfg = KernelConfig {
+        tbx: vec![("a".into(), 16)],
+        regx: vec![("b".into(), 4)],
+        tby: vec![("d".into(), 16)],
+        regy: vec![("c".into(), 4)],
+        tbk: vec![("e".into(), 8), ("f".into(), 2)],
+    };
+    (tc, sizes, cfg, GpuDevice::v100())
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let (tc, sizes, cfg, device) = setup();
+    c.bench_function("transaction_cost_hw", |b| {
+        b.iter(|| transaction_cost(black_box(&tc), &cfg, &sizes, &device, Precision::F64))
+    });
+    c.bench_function("transaction_cost_paper", |b| {
+        b.iter(|| paper_transaction_cost(black_box(&tc), &cfg, &sizes))
+    });
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks the configuration enumeration and the full model-driven
+//! search — the "code generation time" axis on which the paper contrasts
+//! COGENT (seconds) with autotuners (hours).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cogent_core::enumerate::{enumerate_configs, EnumerationOptions};
+use cogent_core::select::{search, SearchOptions};
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+
+fn bench_enumeration(c: &mut Criterion) {
+    let cases = [
+        ("matmul", "ij-ik-kj", 1024usize),
+        ("eq1_4d", "abcd-aebf-dfce", 48),
+        ("sd2_1_6d", "abcdef-gdab-efgc", 20),
+    ];
+    let mut group = c.benchmark_group("enumerate_configs");
+    for (name, spec, n) in cases {
+        let tc: Contraction = spec.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        let opts = EnumerationOptions::default();
+        group.bench_function(name, |b| {
+            b.iter(|| enumerate_configs(black_box(&tc), black_box(&sizes), &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let cases = [
+        ("eq1_4d", "abcd-aebf-dfce", 48usize),
+        ("sd2_1_6d", "abcdef-gdab-efgc", 20),
+    ];
+    let device = GpuDevice::v100();
+    let mut group = c.benchmark_group("model_driven_search");
+    group.sample_size(20);
+    for (name, spec, n) in cases {
+        let tc: Contraction = spec.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        let opts = SearchOptions::default();
+        group.bench_function(name, |b| {
+            b.iter(|| search(black_box(&tc), &sizes, &device, Precision::F64, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_search);
+criterion_main!(benches);

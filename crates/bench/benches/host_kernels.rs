@@ -1,0 +1,55 @@
+//! Benchmarks the host-side numeric substrate: permutation, GEMM, the
+//! reference contraction and the TTGT pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cogent_ir::{Contraction, SizeMap};
+use cogent_tensor::gemm::gemm;
+use cogent_tensor::gett::GettPlan;
+use cogent_tensor::permute::permute;
+use cogent_tensor::reference::{contract_reference, random_inputs};
+use cogent_tensor::ttgt::TtgtPlan;
+use cogent_tensor::DenseTensor;
+
+fn bench_permute(c: &mut Criterion) {
+    let t = DenseTensor::<f64>::random(&[64, 32, 16, 8], 1);
+    c.bench_function("permute_4d_fvi_change", |b| {
+        b.iter(|| permute(black_box(&t), &[3, 2, 1, 0]))
+    });
+    c.bench_function("permute_4d_fvi_keep", |b| {
+        b.iter(|| permute(black_box(&t), &[0, 3, 2, 1]))
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let (m, n, k) = (128, 128, 128);
+    let a = DenseTensor::<f64>::random(&[m, k], 2);
+    let bm = DenseTensor::<f64>::random(&[k, n], 3);
+    c.bench_function("gemm_128", |b| {
+        b.iter(|| {
+            let mut out = vec![0.0f64; m * n];
+            gemm(m, n, k, a.as_slice(), bm.as_slice(), &mut out);
+            out
+        })
+    });
+}
+
+fn bench_contraction_paths(c: &mut Criterion) {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 8);
+    let (a, b) = random_inputs::<f64>(&tc, &sizes, 4);
+    let plan = TtgtPlan::new(&tc, &sizes);
+    c.bench_function("reference_contraction_8^6", |bch| {
+        bch.iter(|| contract_reference(black_box(&tc), &sizes, &a, &b))
+    });
+    c.bench_function("ttgt_host_8^6", |bch| {
+        bch.iter(|| plan.execute(black_box(&a), &b))
+    });
+    let gett = GettPlan::new(&tc, &sizes);
+    c.bench_function("gett_host_8^6", |bch| {
+        bch.iter(|| gett.execute(black_box(&a), &b))
+    });
+}
+
+criterion_group!(benches, bench_permute, bench_gemm, bench_contraction_paths);
+criterion_main!(benches);

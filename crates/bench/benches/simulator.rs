@@ -1,0 +1,58 @@
+//! Benchmarks the virtual GPU: functional plan execution and the
+//! transaction tracer (the per-candidate cost of the TC-like autotuner).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+use cogent_gpu_sim::trace::{trace_transactions, TraceOptions};
+use cogent_gpu_sim::{execute_plan, simulate};
+use cogent_ir::{Contraction, SizeMap};
+use cogent_tensor::reference::random_inputs;
+
+fn eq1_plan(n: usize) -> KernelPlan {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    KernelPlan::new(
+        &tc,
+        vec![
+            IndexBinding::new("a", n, 8.min(n), MapDim::ThreadX),
+            IndexBinding::new("b", n, 4.min(n), MapDim::RegX),
+            IndexBinding::new("c", n, 8.min(n), MapDim::ThreadY),
+            IndexBinding::new("d", n, 4.min(n), MapDim::RegY),
+            IndexBinding::new("e", n, 4.min(n), MapDim::SerialK),
+            IndexBinding::new("f", n, 2.min(n), MapDim::SerialK),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let plan = eq1_plan(12);
+    let tc = plan.contraction().clone();
+    let sizes = SizeMap::uniform(&tc, 12);
+    let (a, b) = random_inputs::<f64>(&tc, &sizes, 7);
+    c.bench_function("execute_plan_12^6", |bch| {
+        bch.iter(|| execute_plan(black_box(&plan), &a, &b))
+    });
+}
+
+fn bench_trace_and_simulate(c: &mut Criterion) {
+    let plan = eq1_plan(48);
+    let device = GpuDevice::v100();
+    c.bench_function("trace_sampled_48^6", |b| {
+        b.iter(|| {
+            trace_transactions(
+                black_box(&plan),
+                &device,
+                Precision::F64,
+                TraceOptions::default(),
+            )
+        })
+    });
+    c.bench_function("simulate_48^6", |b| {
+        b.iter(|| simulate(black_box(&plan), &device, Precision::F64))
+    });
+}
+
+criterion_group!(benches, bench_execute, bench_trace_and_simulate);
+criterion_main!(benches);

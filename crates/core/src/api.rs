@@ -1,0 +1,334 @@
+//! The COGENT front door.
+
+use std::error::Error;
+use std::fmt;
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::transform::merge_all;
+use cogent_gpu_sim::plan::StoreMode;
+use cogent_gpu_sim::{KernelPlan, SimReport};
+use cogent_ir::{Contraction, SizeMap};
+
+use crate::codegen::{emit_opencl_kernel, emit_source};
+use crate::config::KernelConfig;
+use crate::lower::refine_with_simulator;
+use crate::select::{search, SearchOptions, SearchOutcome};
+
+/// Error from [`Cogent::generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenerateError {
+    /// The size map is missing an extent for some index.
+    IncompleteSizes,
+    /// No configuration survived enumeration (degenerate contraction).
+    NoConfiguration,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::IncompleteSizes => {
+                write!(f, "size map does not cover every contraction index")
+            }
+            GenerateError::NoConfiguration => {
+                write!(f, "no kernel configuration could be enumerated")
+            }
+        }
+    }
+}
+
+impl Error for GenerateError {}
+
+/// Everything produced for one contraction: the chosen configuration, the
+/// executable plan, the CUDA source, the simulated performance report and
+/// the search statistics.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// The normalized contraction the kernel implements.
+    pub contraction: Contraction,
+    /// The selected configuration.
+    pub config: KernelConfig,
+    /// The lowered, executable plan (run it with
+    /// [`execute_plan`](cogent_gpu_sim::execute_plan)).
+    pub plan: KernelPlan,
+    /// Complete CUDA translation unit (kernel + host driver).
+    pub cuda_source: String,
+    /// The same kernel emitted as OpenCL C (kernel only).
+    pub opencl_source: String,
+    /// Simulated performance on the target device.
+    pub report: SimReport,
+    /// Search statistics (enumerated/pruned/ranked).
+    pub search: SearchOutcome,
+}
+
+/// The model-driven code generator: device + precision + search settings.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Cogent {
+    device: GpuDevice,
+    precision: Precision,
+    options: SearchOptions,
+    refine_top: usize,
+    store_mode: StoreMode,
+}
+
+impl Default for Cogent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cogent {
+    /// A generator targeting the V100 at double precision with default
+    /// search settings (the paper's primary evaluation platform).
+    pub fn new() -> Self {
+        Self {
+            device: GpuDevice::v100(),
+            precision: Precision::F64,
+            options: SearchOptions::default(),
+            refine_top: 4,
+            store_mode: StoreMode::Assign,
+        }
+    }
+
+    /// Sets the target device.
+    pub fn device(mut self, device: GpuDevice) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Sets the arithmetic precision.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Replaces the search options (enumeration menus, pruning rules,
+    /// ranking depth).
+    pub fn search_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// How many of the model's top configurations to discriminate with the
+    /// simulator (1 = trust the model outright).
+    pub fn refine_top(mut self, k: usize) -> Self {
+        self.refine_top = k.max(1);
+        self
+    }
+
+    /// Selects assignment (`C = A*B`) or accumulation (`C += A*B`) output
+    /// semantics; NWChem-style triples kernels use accumulation.
+    pub fn store_mode(mut self, mode: StoreMode) -> Self {
+        self.store_mode = mode;
+        self
+    }
+
+    /// The configured device.
+    pub fn target_device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The configured precision.
+    pub fn target_precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Like [`Cogent::generate`], but first applies the free
+    /// index-merging transform (§IV: "merging dimensions helps to achieve
+    /// coalescing if the extent of each dimension is very small") and
+    /// keeps whichever version simulates faster.
+    ///
+    /// When the merged version wins, the returned kernel's contraction and
+    /// size map differ from the caller's: the operand buffers must be
+    /// reinterpreted with the merged shapes (a zero-copy reshape, since
+    /// only storage-adjacent indices are fused). The returned `SizeMap`
+    /// always matches the returned kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cogent::generate`].
+    pub fn generate_with_merging(
+        &self,
+        tc: &Contraction,
+        sizes: &SizeMap,
+    ) -> Result<(GeneratedKernel, SizeMap), GenerateError> {
+        let plain = self.generate(tc, sizes)?;
+        let (merged_tc, merged_sizes) = merge_all(tc, sizes);
+        if merged_tc.num_indices() == tc.num_indices() {
+            return Ok((plain, sizes.clone()));
+        }
+        let merged = self.generate(&merged_tc, &merged_sizes)?;
+        if merged.report.time.total_s < plain.report.time.total_s {
+            Ok((merged, merged_sizes))
+        } else {
+            Ok((plain, sizes.clone()))
+        }
+    }
+
+    /// Runs the full pipeline for one contraction: enumerate → prune →
+    /// cost-rank → simulate the top few → lower the winner → emit CUDA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::IncompleteSizes`] when `sizes` misses an
+    /// index and [`GenerateError::NoConfiguration`] when nothing could be
+    /// enumerated.
+    pub fn generate(
+        &self,
+        tc: &Contraction,
+        sizes: &SizeMap,
+    ) -> Result<GeneratedKernel, GenerateError> {
+        if !sizes.covers(tc) {
+            return Err(GenerateError::IncompleteSizes);
+        }
+        let outcome = search(tc, sizes, &self.device, self.precision, &self.options);
+        if outcome.ranked.is_empty() {
+            return Err(GenerateError::NoConfiguration);
+        }
+        let refined = refine_with_simulator(
+            &outcome,
+            sizes,
+            &self.device,
+            self.precision,
+            self.refine_top,
+        );
+        let winner = refined.into_iter().next().expect("refinement is non-empty");
+        let config = outcome.ranked[winner.model_rank].config.clone();
+        let plan = winner.plan.with_store_mode(self.store_mode);
+        // Accumulating stores read the output before writing it; the
+        // report must reflect that extra traffic, so re-simulate the
+        // final plan rather than reusing the assign-mode refinement run.
+        let report = if self.store_mode == StoreMode::Assign {
+            winner.report
+        } else {
+            cogent_gpu_sim::simulate(&plan, &self.device, self.precision)
+        };
+        let cuda_source = emit_source(&plan, self.precision);
+        let opencl_source = emit_opencl_kernel(&plan, self.precision);
+        Ok(GeneratedKernel {
+            contraction: outcome.contraction.clone(),
+            config,
+            plan,
+            cuda_source,
+            opencl_source,
+            report,
+            search: outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_gpu_sim::execute_plan;
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    #[test]
+    fn end_to_end_eq1() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let g = Cogent::new().generate(&tc, &sizes).unwrap();
+        assert!(g.cuda_source.contains("__global__"));
+        assert!(g.opencl_source.contains("__kernel"));
+        assert!(g.report.gflops > 0.0);
+        assert!(g.search.enumerated > 0);
+
+        // The emitted plan computes the right answer.
+        let (a, b) = random_inputs::<f64>(&g.contraction, &sizes, 5);
+        let got = execute_plan(&g.plan, &a, &b);
+        let want = contract_reference(&g.contraction, &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-11));
+    }
+
+    #[test]
+    fn incomplete_sizes_error() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::from_pairs([("i", 8)]);
+        assert_eq!(
+            Cogent::new().generate(&tc, &sizes).unwrap_err(),
+            GenerateError::IncompleteSizes
+        );
+    }
+
+    #[test]
+    fn p100_f32_configuration() {
+        let tc: Contraction = "abcdef-gdab-efgc".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let g = Cogent::new()
+            .device(GpuDevice::p100())
+            .precision(Precision::F32)
+            .generate(&tc, &sizes)
+            .unwrap();
+        assert!(g.cuda_source.contains("__shared__ float s_A"));
+        assert!(g.cuda_source.contains("float* h_C"));
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let c = Cogent::new()
+            .device(GpuDevice::p100())
+            .precision(Precision::F32);
+        assert_eq!(c.target_device().name, "Tesla P100");
+        assert_eq!(c.target_precision(), Precision::F32);
+    }
+
+    #[test]
+    fn refine_top_one_trusts_model() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let g = Cogent::new().refine_top(1).generate(&tc, &sizes).unwrap();
+        // Winner must be the model's first choice.
+        assert_eq!(g.config, g.search.ranked[0].config);
+    }
+
+    #[test]
+    fn merging_small_dims_helps_and_is_selected() {
+        // Internals k,l of extent 4 each, adjacent in both inputs; the
+        // merged candidate fuses them into one 16-wide contracted index.
+        let tc: Contraction = "ab-akl-klb".parse().unwrap();
+        let sizes = SizeMap::from_pairs([("a", 256), ("b", 256), ("k", 4), ("l", 4)]);
+        let (kernel, ksizes) = Cogent::new().generate_with_merging(&tc, &sizes).unwrap();
+        // Whichever version won, it must cover its own contraction and be
+        // no slower than the unmerged kernel (the merged candidate was
+        // evaluated; our enumerator already composes adjacent small dims,
+        // so either outcome is legitimate).
+        assert!(ksizes.covers(&kernel.contraction));
+        assert!(kernel.contraction.num_indices() <= 4);
+        let plain = Cogent::new().generate(&tc, &sizes).unwrap();
+        assert!(kernel.report.time.total_s <= plain.report.time.total_s);
+    }
+
+    #[test]
+    fn merging_is_a_noop_when_nothing_merges() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let (kernel, ksizes) = Cogent::new().generate_with_merging(&tc, &sizes).unwrap();
+        assert_eq!(kernel.contraction.num_indices(), 6);
+        assert_eq!(ksizes, sizes);
+    }
+
+    #[test]
+    fn accumulate_mode_reaches_the_emitted_source() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 64);
+        let g = Cogent::new()
+            .store_mode(StoreMode::Accumulate)
+            .generate(&tc, &sizes)
+            .unwrap();
+        assert_eq!(g.plan.store_mode(), StoreMode::Accumulate);
+        assert!(g.cuda_source.contains("+= r_C[ry][rx];"));
+        assert!(g.opencl_source.contains("+= r_C[ry][rx];"));
+        // The report accounts for the read-modify-write of C.
+        let assign = Cogent::new().generate(&tc, &sizes).unwrap();
+        assert!(g.report.trace.store_c > assign.report.trace.store_c);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GenerateError::IncompleteSizes
+            .to_string()
+            .contains("size map"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Emission of the host-side driver for a generated kernel.
+
+use std::fmt::Write as _;
+
+use cogent_gpu_model::Precision;
+use cogent_gpu_sim::plan::{KernelPlan, MapDim};
+
+use super::cuda::{emit_kernel, kernel_name};
+
+fn ctype(precision: Precision) -> &'static str {
+    match precision {
+        Precision::F32 => "float",
+        Precision::F64 => "double",
+    }
+}
+
+/// Emits a standalone host `main` that allocates the tensors, launches the
+/// kernel with the plan's grid/block shape, times it with CUDA events, and
+/// reports GFLOPS.
+pub fn emit_driver(plan: &KernelPlan, precision: Precision) -> String {
+    let tc = plan.contraction();
+    let ty = ctype(precision);
+    let name = kernel_name(plan);
+    let mut out = String::new();
+
+    let mut names: Vec<String> = plan.bindings().iter().map(|b| b.name.to_string()).collect();
+    names.sort();
+
+    let _ = writeln!(out, "// host driver for {name}");
+    let _ = writeln!(out, "#include <cstdio>");
+    let _ = writeln!(out, "#include <cstdlib>");
+    let _ = writeln!(out, "#include <cuda_runtime.h>");
+    let _ = writeln!(out, "\n#define CUDA_CHECK(call) do {{ \\");
+    let _ = writeln!(out, "    cudaError_t err__ = (call); \\");
+    let _ = writeln!(out, "    if (err__ != cudaSuccess) {{ \\");
+    let _ = writeln!(
+        out,
+        "        fprintf(stderr, \"CUDA error %s at %s:%d\\n\", cudaGetErrorString(err__), __FILE__, __LINE__); \\"
+    );
+    let _ = writeln!(out, "        exit(1); \\");
+    let _ = writeln!(out, "    }} \\");
+    let _ = writeln!(out, "}} while (0)");
+
+    let _ = writeln!(out, "\nint main(int argc, char** argv) {{");
+    // Extents default to the representative sizes, overridable from argv.
+    for (i, n) in names.iter().enumerate() {
+        let extent = plan.binding(n.as_str()).extent;
+        let _ = writeln!(
+            out,
+            "    const int N_{n} = argc > {} ? atoi(argv[{}]) : {extent};",
+            i + 1,
+            i + 1
+        );
+    }
+    let size_of = |t: &cogent_ir::TensorRef| -> String {
+        t.indices()
+            .iter()
+            .map(|i| format!("(size_t)N_{i}"))
+            .collect::<Vec<_>>()
+            .join(" * ")
+    };
+    let _ = writeln!(out, "    const size_t size_C = {};", size_of(tc.c()));
+    let _ = writeln!(out, "    const size_t size_A = {};", size_of(tc.a()));
+    let _ = writeln!(out, "    const size_t size_B = {};", size_of(tc.b()));
+
+    for (buf, size) in [("C", "size_C"), ("A", "size_A"), ("B", "size_B")] {
+        let _ = writeln!(
+            out,
+            "    {ty}* h_{buf} = ({ty}*)malloc({size} * sizeof({ty}));"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    for (size_t i = 0; i < size_A; ++i) h_A[i] = ({ty})drand48();"
+    );
+    let _ = writeln!(
+        out,
+        "    for (size_t i = 0; i < size_B; ++i) h_B[i] = ({ty})drand48();"
+    );
+    for (buf, size) in [("C", "size_C"), ("A", "size_A"), ("B", "size_B")] {
+        let _ = writeln!(out, "    {ty}* d_{buf};");
+        let _ = writeln!(
+            out,
+            "    CUDA_CHECK(cudaMalloc(&d_{buf}, {size} * sizeof({ty})));"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    CUDA_CHECK(cudaMemset(d_C, 0, size_C * sizeof({ty})));"
+    );
+    let _ = writeln!(
+        out,
+        "    CUDA_CHECK(cudaMemcpy(d_A, h_A, size_A * sizeof({ty}), cudaMemcpyHostToDevice));"
+    );
+    let _ = writeln!(
+        out,
+        "    CUDA_CHECK(cudaMemcpy(d_B, h_B, size_B * sizeof({ty}), cudaMemcpyHostToDevice));"
+    );
+
+    // Grid size: product over externals of ceil(N/T).
+    let grid: Vec<String> = plan
+        .external_bindings_c_order()
+        .map(|b| format!("((N_{} + {} - 1) / {})", b.name, b.tile, b.tile))
+        .collect();
+    let _ = writeln!(out, "\n    const int num_blocks = {};", grid.join(" * "));
+    let _ = writeln!(
+        out,
+        "    const dim3 block({}, {});",
+        plan.group_size(MapDim::ThreadX),
+        plan.group_size(MapDim::ThreadY)
+    );
+
+    let extent_args: Vec<String> = names.iter().map(|n| format!("N_{n}")).collect();
+    let _ = writeln!(out, "    cudaEvent_t start, stop;");
+    let _ = writeln!(out, "    CUDA_CHECK(cudaEventCreate(&start));");
+    let _ = writeln!(out, "    CUDA_CHECK(cudaEventCreate(&stop));");
+    let _ = writeln!(out, "    CUDA_CHECK(cudaEventRecord(start));");
+    let _ = writeln!(
+        out,
+        "    {name}<<<num_blocks, block>>>(d_C, d_A, d_B, {});",
+        extent_args.join(", ")
+    );
+    let _ = writeln!(out, "    CUDA_CHECK(cudaEventRecord(stop));");
+    let _ = writeln!(out, "    CUDA_CHECK(cudaEventSynchronize(stop));");
+    let _ = writeln!(out, "    float ms = 0.f;");
+    let _ = writeln!(
+        out,
+        "    CUDA_CHECK(cudaEventElapsedTime(&ms, start, stop));"
+    );
+    let flops: Vec<String> = names.iter().map(|n| format!("(double)N_{n}")).collect();
+    let _ = writeln!(out, "    const double flops = 2.0 * {};", flops.join(" * "));
+    let _ = writeln!(
+        out,
+        "    printf(\"{name}: %.3f ms, %.1f GFLOPS\\n\", ms, flops / ms / 1e6);"
+    );
+    let _ = writeln!(
+        out,
+        "    CUDA_CHECK(cudaMemcpy(h_C, d_C, size_C * sizeof({ty}), cudaMemcpyDeviceToHost));"
+    );
+    let _ = writeln!(out, "    free(h_A); free(h_B); free(h_C);");
+    let _ = writeln!(out, "    cudaFree(d_A); cudaFree(d_B); cudaFree(d_C);");
+    let _ = writeln!(out, "    return 0;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Emits a complete `.cu` translation unit: the kernel followed by the
+/// driver.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::codegen::emit_source;
+/// use cogent_gpu_model::Precision;
+/// use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+/// use cogent_ir::Contraction;
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let plan = KernelPlan::new(&tc, vec![
+///     IndexBinding::new("i", 512, 16, MapDim::ThreadX),
+///     IndexBinding::new("j", 512, 16, MapDim::ThreadY),
+///     IndexBinding::new("k", 512, 8, MapDim::SerialK),
+/// ])?;
+/// let src = emit_source(&plan, Precision::F64);
+/// assert!(src.contains("__global__"));
+/// assert!(src.contains("int main("));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn emit_source(plan: &KernelPlan, precision: Precision) -> String {
+    format!(
+        "{}\n{}",
+        emit_kernel(plan, precision),
+        emit_driver(plan, precision)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_gpu_sim::plan::IndexBinding;
+    use cogent_ir::Contraction;
+
+    fn plan() -> KernelPlan {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
+                IndexBinding::new("b", 64, 4, MapDim::RegX),
+                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
+                IndexBinding::new("c", 64, 1, MapDim::Grid),
+                IndexBinding::new("e", 32, 8, MapDim::SerialK),
+                IndexBinding::new("f", 32, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn driver_structure() {
+        let src = emit_driver(&plan(), Precision::F64);
+        assert!(src.contains("int main("));
+        assert!(src.contains("cudaMalloc"));
+        assert!(src.contains("cudaEventElapsedTime"));
+        // d_C is zero-initialized (accumulating kernels read it).
+        assert!(src.contains("cudaMemset(d_C, 0,"));
+        assert!(src.contains("const dim3 block(16, 16);"));
+        assert!(src.contains("GFLOPS"));
+        // Extents overridable from the command line, defaulting to the
+        // representative size.
+        assert!(src.contains("argc > 1 ? atoi(argv[1]) : 64"));
+    }
+
+    #[test]
+    fn grid_computation_uses_ceil_division() {
+        let src = emit_driver(&plan(), Precision::F64);
+        assert!(src.contains("((N_a + 16 - 1) / 16)"));
+        assert!(src.contains("((N_c + 1 - 1) / 1)"));
+    }
+
+    #[test]
+    fn source_concatenates_kernel_and_driver() {
+        let src = emit_source(&plan(), Precision::F64);
+        let kpos = src.find("__global__").unwrap();
+        let mpos = src.find("int main(").unwrap();
+        assert!(kpos < mpos);
+    }
+
+    #[test]
+    fn kernel_launch_passes_all_extents() {
+        let src = emit_driver(&plan(), Precision::F64);
+        assert!(src.contains("(d_C, d_A, d_B, N_a, N_b, N_c, N_d, N_e, N_f);"));
+    }
+
+    #[test]
+    fn f32_driver() {
+        let src = emit_driver(&plan(), Precision::F32);
+        assert!(src.contains("float* h_C"));
+        assert!(!src.contains("double*"));
+    }
+}

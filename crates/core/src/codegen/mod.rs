@@ -1,0 +1,21 @@
+//! CUDA code emission.
+//!
+//! Given a lowered [`KernelPlan`](cogent_gpu_sim::KernelPlan), emits the
+//! CUDA kernel of Algorithm 1 plus a host driver. Tile sizes and mappings
+//! are baked into the kernel as compile-time constants; tensor extents are
+//! runtime parameters, so one generated kernel supports arbitrary problem
+//! sizes (the representative size only drove the parameter selection).
+//!
+//! The emitter and the functional executor in `cogent-gpu-sim` consume the
+//! same plan, so the executor's correctness checks exercise the same
+//! staging structure and index arithmetic the emitted text encodes.
+
+mod cuda;
+mod driver;
+mod lint;
+mod opencl;
+
+pub use cuda::{emit_kernel, kernel_name};
+pub use driver::{emit_driver, emit_source};
+pub use lint::{lint_kernel_source, LintFindings};
+pub use opencl::emit_opencl_kernel;

@@ -1,0 +1,134 @@
+//! OpenCL kernel emission — the portability extension the paper lists as
+//! future work ("OpenCL code generation is planned for the future").
+//!
+//! The kernel body is the same Algorithm 1 schema as the CUDA backend (the
+//! two share one emitter, parameterized by a dialect); only the surface
+//! syntax differs: `__kernel`/`__global`/`__local` qualifiers, work-item
+//! builtins in place of `threadIdx`/`blockIdx`, and
+//! `barrier(CLK_LOCAL_MEM_FENCE)` in place of `__syncthreads()`.
+
+use cogent_gpu_model::Precision;
+use cogent_gpu_sim::plan::KernelPlan;
+
+use super::cuda::{emit_kernel_dialect, Dialect};
+
+fn opencl_global_param(ty: &str, name: &str, is_const: bool) -> String {
+    if is_const {
+        format!("__global const {ty}* restrict {name}")
+    } else {
+        format!("__global {ty}* restrict {name}")
+    }
+}
+
+const OPENCL: Dialect = Dialect {
+    preamble: "",
+    kernel_qualifier: "__kernel void",
+    global_param: opencl_global_param,
+    smem_qualifier: "__local",
+    block_id: "(int)get_group_id(0)",
+    tid_x: "(int)get_local_id(0)",
+    tid_y: "(int)get_local_id(1)",
+    barrier: "barrier(CLK_LOCAL_MEM_FENCE);",
+};
+
+const OPENCL_FP64_PREAMBLE: &str = "#pragma OPENCL EXTENSION cl_khr_fp64 : enable";
+
+/// Emits the contraction kernel as OpenCL C.
+///
+/// Double-precision kernels start with the `cl_khr_fp64` extension pragma.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::codegen::emit_opencl_kernel;
+/// use cogent_gpu_model::Precision;
+/// use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+/// use cogent_ir::Contraction;
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let plan = KernelPlan::new(&tc, vec![
+///     IndexBinding::new("i", 512, 16, MapDim::ThreadX),
+///     IndexBinding::new("j", 512, 16, MapDim::ThreadY),
+///     IndexBinding::new("k", 512, 8, MapDim::SerialK),
+/// ])?;
+/// let src = emit_opencl_kernel(&plan, Precision::F64);
+/// assert!(src.contains("__kernel void tc_ij_ik_kj"));
+/// assert!(src.contains("barrier(CLK_LOCAL_MEM_FENCE);"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn emit_opencl_kernel(plan: &KernelPlan, precision: Precision) -> String {
+    let dialect = Dialect {
+        preamble: match precision {
+            Precision::F64 => OPENCL_FP64_PREAMBLE,
+            Precision::F32 => "",
+        },
+        ..OPENCL
+    };
+    emit_kernel_dialect(plan, precision, &dialect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_gpu_sim::plan::{IndexBinding, MapDim};
+    use cogent_ir::Contraction;
+
+    fn eq1_plan() -> KernelPlan {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
+                IndexBinding::new("b", 64, 4, MapDim::RegX),
+                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
+                IndexBinding::new("c", 64, 1, MapDim::Grid),
+                IndexBinding::new("e", 32, 8, MapDim::SerialK),
+                IndexBinding::new("f", 32, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn opencl_surface_syntax() {
+        let src = emit_opencl_kernel(&eq1_plan(), Precision::F64);
+        assert!(src.starts_with("#pragma OPENCL EXTENSION cl_khr_fp64 : enable"));
+        assert!(src.contains("__kernel void tc_abcd_aebf_dfce"));
+        assert!(src.contains("__global double* restrict g_C"));
+        assert!(src.contains("__global const double* restrict g_A"));
+        assert!(src.contains("__local double s_A["));
+        assert!(src.contains("(int)get_local_id(0)"));
+        assert!(src.contains("(int)get_group_id(0)"));
+        assert_eq!(src.matches("barrier(CLK_LOCAL_MEM_FENCE);").count(), 2);
+        // No CUDA leftovers.
+        assert!(!src.contains("__global__"));
+        assert!(!src.contains("threadIdx"));
+        assert!(!src.contains("blockIdx"));
+        assert!(!src.contains("__syncthreads"));
+        assert!(!src.contains("__shared__"));
+    }
+
+    #[test]
+    fn f32_needs_no_extension_pragma() {
+        let src = emit_opencl_kernel(&eq1_plan(), Precision::F32);
+        assert!(!src.contains("cl_khr_fp64"));
+        assert!(src.contains("__local float s_A["));
+    }
+
+    #[test]
+    fn body_matches_cuda_structure() {
+        // Same tile constants, same index arithmetic, same outer product —
+        // only the dialect surface differs.
+        let ocl = emit_opencl_kernel(&eq1_plan(), Precision::F64);
+        let cuda = super::super::cuda::emit_kernel(&eq1_plan(), Precision::F64);
+        for fragment in [
+            "#define T_a 16",
+            "r_C[ry][rx] += r_A[rx] * r_B[ry];",
+            "const int o_c = base_c + 0;",
+            "for (int step = 0; step < num_steps; ++step)",
+        ] {
+            assert!(ocl.contains(fragment), "OpenCL missing {fragment}");
+            assert!(cuda.contains(fragment), "CUDA missing {fragment}");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The analytical DRAM-transaction cost model (Algorithm 3 of the paper).
+//!
+//! For each tensor the model estimates the number of global-memory
+//! transactions a configuration incurs: the number of contiguous elements
+//! available in the staged hyper-rectangle (`cal_Cont`) bounds how
+//! coalesced each warp-row's access can be; rows per step, steps, and
+//! thread blocks scale the per-row count up to the whole launch.
+//!
+//! Two variants are provided:
+//!
+//! * [`paper_transaction_cost`] — the literal Algorithm 3 arithmetic, whose
+//!   unit is "coalesced row segments";
+//! * [`transaction_cost`] — the same structure expressed in aligned
+//!   128-byte hardware transactions (what the tracer in `cogent-gpu-sim`
+//!   measures), which is what ranking uses.
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap, TensorRef};
+
+use crate::config::KernelConfig;
+
+/// Per-tensor cost split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CostBreakdown {
+    /// Estimated transactions to load `A` over the whole launch.
+    pub load_a: u128,
+    /// Estimated transactions to load `B`.
+    pub load_b: u128,
+    /// Estimated transactions to store `C`.
+    pub store_c: u128,
+}
+
+impl CostBreakdown {
+    /// Total estimated transactions.
+    pub fn total(&self) -> u128 {
+        self.load_a + self.load_b + self.store_c
+    }
+}
+
+/// `cal_Cont`: contiguous elements at the start of the staged
+/// hyper-rectangle of `tensor` — the product of tile sizes of the leading
+/// dimensions whose tiles cover the full extent, times the first partial
+/// tile.
+fn contiguous_elements(tensor: &TensorRef, cfg: &KernelConfig, sizes: &SizeMap) -> usize {
+    let mut cont = 1usize;
+    for idx in tensor.indices() {
+        let extent = sizes.extent_of(idx);
+        let tile = cfg.tile_of(idx).min(extent);
+        cont *= tile;
+        if tile < extent {
+            break;
+        }
+    }
+    cont
+}
+
+/// Number of thread blocks for the configuration (`cal_Num_TBs`).
+pub fn num_thread_blocks(tc: &Contraction, cfg: &KernelConfig, sizes: &SizeMap) -> u128 {
+    tc.output_indices()
+        .map(|i| {
+            let n = sizes.extent_of(i);
+            n.div_ceil(cfg.tile_of(i).min(n)) as u128
+        })
+        .product()
+}
+
+/// Number of serial steps per block (`cal_Steps`).
+pub fn num_steps(tc: &Contraction, cfg: &KernelConfig, sizes: &SizeMap) -> u128 {
+    tc.internal_indices()
+        .iter()
+        .map(|i| {
+            let n = sizes.extent_of(i);
+            n.div_ceil(cfg.tile_of(i).min(n)) as u128
+        })
+        .product::<u128>()
+        .max(1)
+}
+
+/// Transactions per "row" of `row_len` threads reading elements whose
+/// contiguous runs hold `cont` elements, in hardware 128-byte units.
+fn row_transactions_hw(
+    device: &GpuDevice,
+    precision: Precision,
+    row_len: usize,
+    cont: usize,
+) -> u128 {
+    if row_len == 0 {
+        return 0;
+    }
+    let run = cont.min(row_len).max(1);
+    let runs = row_len.div_ceil(run) as u128;
+    let bytes_per_run = run * precision.bytes();
+    runs * bytes_per_run.div_ceil(device.transaction_bytes) as u128
+}
+
+/// Literal Algorithm 3: transactions counted as coalesced row segments
+/// (`numTransTx = size_TBx / min(size_Cont, size_TBx)`).
+fn row_transactions_paper(row_len: usize, cont: usize) -> u128 {
+    if row_len == 0 {
+        return 0;
+    }
+    let run = cont.min(row_len).max(1);
+    row_len.div_ceil(run) as u128
+}
+
+fn input_cost(
+    tensor: &TensorRef,
+    tc: &Contraction,
+    cfg: &KernelConfig,
+    sizes: &SizeMap,
+    row_len: usize,
+    reg_mult: usize,
+    per_row: impl Fn(usize, usize) -> u128,
+) -> u128 {
+    let cont = contiguous_elements(tensor, cfg, sizes);
+    let rows = cfg.tbk_size().max(1) as u128;
+    let per_step = per_row(row_len, cont)
+        .saturating_mul(rows)
+        .saturating_mul(reg_mult as u128);
+    per_step
+        .saturating_mul(num_steps(tc, cfg, sizes))
+        .saturating_mul(num_thread_blocks(tc, cfg, sizes))
+}
+
+fn output_cost(
+    tc: &Contraction,
+    cfg: &KernelConfig,
+    sizes: &SizeMap,
+    per_row: impl Fn(usize, usize) -> u128,
+) -> u128 {
+    let cont = contiguous_elements(tc.c(), cfg, sizes);
+    let rows = cfg.tby_size().max(1) as u128;
+    let per_block = per_row(cfg.tbx_size(), cont)
+        .saturating_mul(rows)
+        .saturating_mul((cfg.regx_size() * cfg.regy_size()) as u128);
+    per_block.saturating_mul(num_thread_blocks(tc, cfg, sizes))
+}
+
+/// Estimates the launch-total DRAM transactions of `cfg` in hardware
+/// 128-byte units (loads of both inputs plus the output store).
+///
+/// The contraction must be normalized (output FVI in `A`), as produced by
+/// [`Contraction::normalized`]; configurations from
+/// [`enumerate_configs`](crate::enumerate::enumerate_configs) already are.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::{cost::transaction_cost, KernelConfig};
+/// use cogent_gpu_model::{GpuDevice, Precision};
+/// use cogent_ir::{Contraction, SizeMap};
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let sizes = SizeMap::uniform(&tc, 256);
+/// let cfg = KernelConfig {
+///     tbx: vec![("i".into(), 16)],
+///     regx: vec![],
+///     tby: vec![("j".into(), 16)],
+///     regy: vec![],
+///     tbk: vec![("k".into(), 8)],
+/// };
+/// let cost = transaction_cost(&tc, &cfg, &sizes, &GpuDevice::v100(), Precision::F64);
+/// assert!(cost.total() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn transaction_cost(
+    tc: &Contraction,
+    cfg: &KernelConfig,
+    sizes: &SizeMap,
+    device: &GpuDevice,
+    precision: Precision,
+) -> CostBreakdown {
+    let hw = |row: usize, cont: usize| row_transactions_hw(device, precision, row, cont);
+    CostBreakdown {
+        load_a: input_cost(
+            tc.a(),
+            tc,
+            cfg,
+            sizes,
+            cfg.tbx_size(),
+            cfg.regx_size().max(1),
+            hw,
+        ),
+        load_b: input_cost(
+            tc.b(),
+            tc,
+            cfg,
+            sizes,
+            cfg.tby_size(),
+            cfg.regy_size().max(1),
+            hw,
+        ),
+        store_c: output_cost(tc, cfg, sizes, hw),
+    }
+}
+
+/// The literal Algorithm 3 count (unit: coalesced row segments), kept for
+/// fidelity tests and comparison against [`transaction_cost`].
+pub fn paper_transaction_cost(
+    tc: &Contraction,
+    cfg: &KernelConfig,
+    sizes: &SizeMap,
+) -> CostBreakdown {
+    let paper = row_transactions_paper;
+    CostBreakdown {
+        load_a: input_cost(
+            tc.a(),
+            tc,
+            cfg,
+            sizes,
+            cfg.tbx_size(),
+            cfg.regx_size().max(1),
+            paper,
+        ),
+        load_b: input_cost(
+            tc.b(),
+            tc,
+            cfg,
+            sizes,
+            cfg.tby_size(),
+            cfg.regy_size().max(1),
+            paper,
+        ),
+        store_c: output_cost(tc, cfg, sizes, paper),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul() -> (Contraction, SizeMap) {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 256);
+        (tc, sizes)
+    }
+
+    fn cfg(ti: usize, tj: usize, tk: usize) -> KernelConfig {
+        KernelConfig {
+            tbx: vec![("i".into(), ti)],
+            regx: vec![],
+            tby: vec![("j".into(), tj)],
+            regy: vec![],
+            tbk: vec![("k".into(), tk)],
+        }
+    }
+
+    #[test]
+    fn contiguous_elements_walks_leading_full_tiles() {
+        let (tc, sizes) = matmul();
+        // A[i,k]: tile i = 256 (full), tile k = 8 → cont = 256*8? No: i is
+        // full extent so continue, k partial → 256*8.
+        let c = cfg(256, 16, 8);
+        assert_eq!(contiguous_elements(tc.a(), &c, &sizes), 256 * 8);
+        // tile i = 16 < 256 → cont = 16.
+        let c = cfg(16, 16, 8);
+        assert_eq!(contiguous_elements(tc.a(), &c, &sizes), 16);
+    }
+
+    #[test]
+    fn blocks_and_steps() {
+        let (tc, sizes) = matmul();
+        let c = cfg(16, 16, 8);
+        assert_eq!(num_thread_blocks(&tc, &c, &sizes), 16 * 16);
+        assert_eq!(num_steps(&tc, &c, &sizes), 32);
+    }
+
+    #[test]
+    fn larger_k_tile_reduces_total_cost() {
+        let (tc, sizes) = matmul();
+        let d = GpuDevice::v100();
+        // Larger TBk stages more per step but proportionally fewer steps;
+        // the input loads stay constant while the model's row count per
+        // step scales — total input traffic is invariant, but a larger
+        // k-tile improves nothing here. Instead verify reuse: larger TBx/y
+        // tiles cut the *other* input's reloads.
+        let small = transaction_cost(&tc, &cfg(4, 4, 8), &sizes, &d, Precision::F64);
+        let large = transaction_cost(&tc, &cfg(16, 16, 8), &sizes, &d, Precision::F64);
+        assert!(large.total() < small.total());
+    }
+
+    #[test]
+    fn coalesced_fvi_tile_is_cheaper() {
+        let (tc, sizes) = matmul();
+        let d = GpuDevice::v100();
+        // Same thread count; tile along i (the FVI of A and C) of 16 vs a
+        // 4-wide FVI tile with the rest on j.
+        let coalesced = transaction_cost(&tc, &cfg(16, 16, 8), &sizes, &d, Precision::F64);
+        let scattered = transaction_cost(&tc, &cfg(4, 64, 8), &sizes, &d, Precision::F64);
+        let per_elem_c = coalesced.total() as f64 / 1.0;
+        let per_elem_s = scattered.total() as f64 / 1.0;
+        assert!(per_elem_c < per_elem_s);
+    }
+
+    #[test]
+    fn paper_variant_matches_structure() {
+        let (tc, sizes) = matmul();
+        let c = cfg(16, 16, 16);
+        let p = paper_transaction_cost(&tc, &c, &sizes);
+        // A: rows of 16 threads, cont = 16 → 1 segment per row; 16 rows
+        // (TBk); 16 steps; 256 blocks → 65536.
+        assert_eq!(p.load_a, 65_536);
+        assert_eq!(p.load_b, 65_536);
+        // C: 16 rows (TBy) × 1 segment × 256 blocks.
+        assert_eq!(p.store_c, 4_096);
+    }
+
+    #[test]
+    fn hw_variant_scales_with_element_size() {
+        let (tc, sizes) = matmul();
+        let d = GpuDevice::v100();
+        let c = cfg(16, 16, 16);
+        let f64c = transaction_cost(&tc, &c, &sizes, &d, Precision::F64);
+        let f32c = transaction_cost(&tc, &c, &sizes, &d, Precision::F32);
+        assert!(f32c.total() <= f64c.total());
+    }
+
+    #[test]
+    fn register_tiling_reduces_store_row_count() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 64);
+        let d = GpuDevice::v100();
+        let with_reg = KernelConfig {
+            tbx: vec![("a".into(), 16)],
+            regx: vec![("b".into(), 4)],
+            tby: vec![("c".into(), 16)],
+            regy: vec![("d".into(), 4)],
+            tbk: vec![("e".into(), 8), ("f".into(), 1)],
+        };
+        let without = KernelConfig {
+            tbx: vec![("a".into(), 16)],
+            regx: vec![],
+            tby: vec![("c".into(), 16)],
+            regy: vec![],
+            tbk: vec![("e".into(), 8), ("f".into(), 1)],
+        };
+        let r = transaction_cost(&tc, &with_reg, &sizes, &d, Precision::F64);
+        let n = transaction_cost(&tc, &without, &sizes, &d, Precision::F64);
+        // Register tiling amortizes input loads over 16 outputs per
+        // thread; per launch the input traffic must be lower.
+        assert!(r.load_a + r.load_b < n.load_a + n.load_b);
+    }
+
+    #[test]
+    fn cost_zero_free_dims() {
+        // Degenerate row length guard.
+        assert_eq!(row_transactions_paper(0, 4), 0);
+        assert_eq!(
+            row_transactions_hw(&GpuDevice::v100(), Precision::F64, 0, 4),
+            0
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! Configuration enumeration (Algorithm 2 of the paper).
+//!
+//! For each hardware dimension the enumerator builds candidate index lists
+//! whose tile-size product reaches a target size:
+//!
+//! * **TBx** — starts from the output tensor's FVI (mandatory for
+//!   coalesced stores), then accumulates further `A`-externals in rotated
+//!   orders (the paper's `s_idx` loop), clipping the last index's tile so
+//!   the product equals the target (∈ {4, 8, 16});
+//! * **REGx** — accumulates remaining `A`-externals towards a register
+//!   tile target (∈ {2, 4, 6, 8}), plus the empty mapping (`REGx = 1`);
+//! * **TBy/REGy** — the same over `B`-externals (no forced first index —
+//!   the FVI-coalescing rule is applied as a pruning constraint);
+//! * **TBk** — the internal indices towards a serial-tile target
+//!   (∈ {4, 8, 16}); internals beyond the target keep tile 1.
+//!
+//! The full candidate set is the Cartesian product of the three partial
+//! enumerations (§IV-A3), deduplicated.
+
+use std::collections::BTreeSet;
+
+use cogent_ir::{Contraction, ContractionAnalysis, IndexName, SizeMap};
+
+use crate::config::{KernelConfig, MappedIndex};
+
+/// Tunable menus for the enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationOptions {
+    /// Target sizes for `TBx`/`TBy` (threads). The paper limits these to
+    /// `{4, 8, 16}` "to maintain good occupancy"; the default here also
+    /// includes 2 and 32 and lets the pruning rules reject the extremes,
+    /// which reproduces the paper's high pruned fraction.
+    pub tb_sizes: Vec<usize>,
+    /// Target sizes for `REGx`/`REGy` (register tiles). Paper: `{2, 4, 6, 8}`.
+    pub reg_sizes: Vec<usize>,
+    /// Target sizes for `TBk` (serial k-tile). Paper: `{4, 8, 16}`
+    /// (extended here, see `tb_sizes`).
+    pub tbk_sizes: Vec<usize>,
+}
+
+impl Default for EnumerationOptions {
+    fn default() -> Self {
+        Self {
+            tb_sizes: vec![2, 4, 8, 16, 32],
+            reg_sizes: vec![2, 4, 6, 8],
+            tbk_sizes: vec![2, 4, 8, 16, 32],
+        }
+    }
+}
+
+impl EnumerationOptions {
+    /// Size of the *unpruned* configuration space the paper contrasts
+    /// against in §IV: `|mapping| × |tilesize|`. For Eq. 1 (four external
+    /// and two internal indices) this reproduces the paper's 3,981,312.
+    pub fn raw_space_size(tc: &Contraction) -> u128 {
+        let e = tc.external_indices().len() as u32;
+        let i = tc.internal_indices().len() as u32;
+        let mapping = 4u128.pow(e) * 2u128.pow(i.saturating_sub(1));
+        let tilesize = 6u128.pow(e + i.saturating_sub(1));
+        mapping * tilesize
+    }
+}
+
+/// One partial mapping for a hardware dimension.
+type PartialList = Vec<MappedIndex>;
+
+/// Accumulates indices from `order` (already rotated) into a list whose
+/// tile product reaches `target`; the final index's tile is clipped so the
+/// product equals `target` exactly when possible (Algorithm 2 lines 11–42).
+///
+/// Returns `None` when even the full index set cannot reach the target and
+/// `accept_partial` is false.
+fn accumulate(
+    order: &[(&IndexName, usize)],
+    target: usize,
+    seed: Option<MappedIndex>,
+    accept_partial: bool,
+) -> Option<PartialList> {
+    let mut list: PartialList = Vec::new();
+    let mut v_prev = 1usize;
+    if let Some((name, size)) = seed {
+        if size >= target {
+            list.push((name, target));
+            return Some(list);
+        }
+        list.push((name.clone(), size));
+        v_prev *= size;
+    }
+    for &(name, size) in order {
+        let v = v_prev * size;
+        if v >= target {
+            let clip = (target / v_prev).max(1);
+            list.push((name.clone(), clip));
+            return Some(list);
+        }
+        list.push((name.clone(), size));
+        v_prev = v;
+    }
+    // Exhausted without reaching the target.
+    if accept_partial && !list.is_empty() {
+        Some(list)
+    } else {
+        None
+    }
+}
+
+/// All rotations of `candidates` (the `s_idx` loop of Algorithm 2).
+fn rotations<'a>(candidates: &'a [(&'a IndexName, usize)]) -> Vec<Vec<(&'a IndexName, usize)>> {
+    if candidates.is_empty() {
+        return vec![Vec::new()];
+    }
+    (0..candidates.len())
+        .map(|s| {
+            candidates[s..]
+                .iter()
+                .chain(candidates[..s].iter())
+                .copied()
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerates thread-dimension lists for one input tensor's externals.
+fn enum_tb(
+    externals: &[(&IndexName, usize)],
+    targets: &[usize],
+    forced_first: Option<MappedIndex>,
+) -> Vec<PartialList> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for &target in targets {
+        for order in rotations(externals) {
+            if let Some(list) = accumulate(&order, target, forced_first.clone(), true) {
+                let key: Vec<(String, usize)> =
+                    list.iter().map(|(n, t)| (n.to_string(), *t)).collect();
+                if seen.insert(key) {
+                    out.push(list);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates register-tile lists from the externals not used by the
+/// thread-dimension list. Always includes the empty mapping (`REG = 1`).
+fn enum_reg(remaining: &[(&IndexName, usize)], targets: &[usize]) -> Vec<PartialList> {
+    let mut seen = BTreeSet::new();
+    let mut out = vec![Vec::new()];
+    seen.insert(Vec::new());
+    for &target in targets {
+        for order in rotations(remaining) {
+            if let Some(list) = accumulate(&order, target, None, true) {
+                let key: Vec<(String, usize)> =
+                    list.iter().map(|(n, t)| (n.to_string(), *t)).collect();
+                if seen.insert(key) {
+                    out.push(list);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn names_in(list: &[MappedIndex]) -> BTreeSet<&str> {
+    list.iter().map(|(n, _)| n.as_str()).collect()
+}
+
+/// Enumerates the pruned-but-unevaluated configuration space for a
+/// contraction (the input to the cost model).
+///
+/// The contraction is normalized first so that `A` holds the output's FVI,
+/// matching the paper's assumption; the returned configurations refer to
+/// the normalized orientation (use [`Contraction::normalized`] before
+/// lowering them).
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::enumerate::{enumerate_configs, EnumerationOptions};
+/// use cogent_ir::{Contraction, SizeMap};
+///
+/// let tc: Contraction = "abcd-aebf-dfce".parse()?;
+/// let sizes = SizeMap::uniform(&tc, 32);
+/// let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+/// assert!(!configs.is_empty());
+/// // Every configuration keeps the output FVI on TBx (coalesced stores).
+/// assert!(configs.iter().all(|c| c.tbx[0].0.as_str() == "a"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn enumerate_configs(
+    tc: &Contraction,
+    sizes: &SizeMap,
+    options: &EnumerationOptions,
+) -> Vec<KernelConfig> {
+    let tc = tc.normalized();
+    let analysis = ContractionAnalysis::new(&tc);
+    let c_fvi = tc.c().fvi().clone();
+
+    let ext_a: Vec<(&IndexName, usize)> = analysis
+        .externals_a()
+        .iter()
+        .filter(|n| **n != c_fvi)
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+    let ext_b: Vec<(&IndexName, usize)> = analysis
+        .externals_b()
+        .iter()
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+    let ints: Vec<(&IndexName, usize)> = analysis
+        .internals()
+        .iter()
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+
+    let fvi_size = sizes.extent_of(&c_fvi);
+    let tbx_lists = enum_tb(&ext_a, &options.tb_sizes, Some((c_fvi.clone(), fvi_size)));
+    // An input with no external indices (e.g. matrix-vector shapes like
+    // `i-ik-k`) legitimately leaves TBy empty: the block is 1-thread tall.
+    let tby_lists = if ext_b.is_empty() {
+        vec![Vec::new()]
+    } else {
+        enum_tb(&ext_b, &options.tb_sizes, None)
+    };
+    let tbk_lists = if ints.is_empty() {
+        vec![Vec::new()]
+    } else {
+        enum_tb(&ints, &options.tbk_sizes, None)
+    };
+
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for tbx in &tbx_lists {
+        let used_x = names_in(tbx);
+        let rem_a: Vec<(&IndexName, usize)> = ext_a
+            .iter()
+            .filter(|(n, _)| !used_x.contains(n.as_str()))
+            .copied()
+            .collect();
+        for regx in enum_reg(&rem_a, &options.reg_sizes) {
+            for tby in &tby_lists {
+                let used_y = names_in(tby);
+                let rem_b: Vec<(&IndexName, usize)> = ext_b
+                    .iter()
+                    .filter(|(n, _)| !used_y.contains(n.as_str()))
+                    .copied()
+                    .collect();
+                for regy in enum_reg(&rem_b, &options.reg_sizes) {
+                    for tbk in &tbk_lists {
+                        let cfg = KernelConfig {
+                            tbx: tbx.clone(),
+                            regx: regx.clone(),
+                            tby: tby.clone(),
+                            regy: regy.clone(),
+                            tbk: tbk.clone(),
+                        };
+                        if seen.insert(cfg.canonical_key()) {
+                            out.push(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq1() -> Contraction {
+        "abcd-aebf-dfce".parse().unwrap()
+    }
+
+    #[test]
+    fn raw_space_reproduces_paper_number() {
+        // §IV: for Eq. 1, (4^4 × 2) × 6^5 = 3,981,312.
+        assert_eq!(EnumerationOptions::raw_space_size(&eq1()), 3_981_312);
+    }
+
+    #[test]
+    fn accumulate_reaches_target_exactly() {
+        let e = IndexName::new("e");
+        let f = IndexName::new("f");
+        let order = [(&e, 16usize), (&f, 16usize)];
+        let list = accumulate(&order, 8, None, false).unwrap();
+        assert_eq!(list, vec![(e.clone(), 8)]);
+        let list = accumulate(&order, 16, None, false).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].1, 16);
+    }
+
+    #[test]
+    fn accumulate_spans_multiple_indices() {
+        let e = IndexName::new("e");
+        let f = IndexName::new("f");
+        let order = [(&e, 4usize), (&f, 16usize)];
+        let list = accumulate(&order, 16, None, false).unwrap();
+        // e contributes all 4, f is clipped to 16/4 = 4.
+        assert_eq!(list, vec![(e, 4), (f, 4)]);
+    }
+
+    #[test]
+    fn accumulate_partial_acceptance() {
+        let e = IndexName::new("e");
+        let order = [(&e, 2usize)];
+        assert!(accumulate(&order, 16, None, false).is_none());
+        let partial = accumulate(&order, 16, None, true).unwrap();
+        assert_eq!(partial, vec![(e, 2)]);
+    }
+
+    #[test]
+    fn seed_reaching_target_alone() {
+        let a = IndexName::new("a");
+        let list = accumulate(&[], 8, Some((a.clone(), 32)), false).unwrap();
+        assert_eq!(list, vec![(a, 8)]);
+    }
+
+    #[test]
+    fn enumeration_is_nonempty_and_consistent() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+        assert!(!configs.is_empty());
+        for cfg in &configs {
+            assert!(cfg.is_consistent_with(&tc), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn output_fvi_always_first_on_tbx() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 24);
+        for cfg in enumerate_configs(&tc, &sizes, &EnumerationOptions::default()) {
+            assert_eq!(cfg.tbx[0].0.as_str(), "a", "{cfg}");
+        }
+    }
+
+    #[test]
+    fn enumeration_much_smaller_than_raw_space() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let n = enumerate_configs(&tc, &sizes, &EnumerationOptions::default()).len() as u128;
+        assert!(n * 100 < EnumerationOptions::raw_space_size(&tc));
+    }
+
+    #[test]
+    fn matmul_enumeration() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 1024);
+        let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+        assert!(!configs.is_empty());
+        // Only one external per side: REG lists must be empty.
+        assert!(configs
+            .iter()
+            .all(|c| c.regx.is_empty() && c.regy.is_empty()));
+        // All internal indices appear in tbk.
+        assert!(configs
+            .iter()
+            .all(|c| c.tbk.len() == 1 && c.tbk[0].0.as_str() == "k"));
+    }
+
+    #[test]
+    fn small_extents_still_enumerable() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 2); // everything smaller than targets
+        let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+        assert!(!configs.is_empty());
+    }
+
+    #[test]
+    fn normalization_applies_when_output_fvi_in_b() {
+        // Swap A and B textually: output FVI 'a' lives in the second input.
+        let tc: Contraction = "abcd-dfce-aebf".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+        // Configs are expressed against the normalized contraction: 'a'
+        // (an external of the *second* input here) leads TBx.
+        assert!(configs.iter().all(|c| c.tbx[0].0.as_str() == "a"));
+        for cfg in &configs {
+            assert!(cfg.is_consistent_with(&tc.normalized()));
+        }
+    }
+
+    #[test]
+    fn matvec_shape_with_no_b_externals_enumerates() {
+        // C[i] = A[i,k] * B[k]: B is purely internal; TBy stays empty.
+        let tc: Contraction = "i-ik-k".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 256);
+        let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+        assert!(!configs.is_empty());
+        assert!(configs.iter().all(|c| c.tby.is_empty() && c.regy.is_empty()));
+    }
+
+    #[test]
+    fn rotations_cover_all_starts() {
+        let e = IndexName::new("e");
+        let f = IndexName::new("f");
+        let g = IndexName::new("g");
+        let cands = [(&e, 2usize), (&f, 3usize), (&g, 4usize)];
+        let rots = rotations(&cands);
+        assert_eq!(rots.len(), 3);
+        assert_eq!(rots[1][0].0.as_str(), "f");
+        assert_eq!(rots[2][0].0.as_str(), "g");
+    }
+}

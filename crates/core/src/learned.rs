@@ -1,0 +1,298 @@
+//! A learning-based selector over the model's top candidates.
+//!
+//! §VI of the paper: *"our model-driven approach could be enhanced by
+//! using a learning-based approach to perform the selection among the top
+//! set of candidate configurations based on our analytical modeling."*
+//! This module implements that enhancement: a ridge-regression model over
+//! cheap analytic features of a configuration (the cost-model terms,
+//! occupancy, parallelism and footprint statistics) is fitted to simulated
+//! execution times of a training sample and then re-ranks candidate
+//! configurations without simulating them.
+//!
+//! Everything is self-contained: feature extraction, a hand-rolled
+//! symmetric linear solver for the normal equations, and the re-ranking
+//! entry point.
+
+use cogent_gpu_model::{occupancy, wave_efficiency, BlockResources, GpuDevice, Precision};
+use cogent_gpu_sim::simulate;
+use cogent_ir::{Contraction, SizeMap};
+
+use crate::config::KernelConfig;
+use crate::cost::{num_steps, num_thread_blocks, transaction_cost};
+use crate::select::SearchOutcome;
+
+/// Number of features (including the bias term).
+pub const NUM_FEATURES: usize = 11;
+
+/// Extracts the analytic feature vector of one configuration.
+///
+/// All features are cheap to compute (no simulation): log-scaled
+/// cost-model terms, occupancy, wave efficiency, thread/register/shared
+/// memory statistics, and a bias term.
+pub fn features(
+    tc: &Contraction,
+    cfg: &KernelConfig,
+    sizes: &SizeMap,
+    device: &GpuDevice,
+    precision: Precision,
+) -> [f64; NUM_FEATURES] {
+    let cost = transaction_cost(tc, cfg, sizes, device, precision);
+    let threads = cfg.threads_per_block();
+    let smem = cfg.smem_elements() * precision.bytes();
+    let rx = cfg.regx_size();
+    let ry = cfg.regy_size();
+    let words = precision.bytes().div_ceil(4);
+    let regs = (rx * ry + rx + ry) * words + 24;
+    let occ = occupancy(
+        device,
+        BlockResources {
+            threads,
+            smem_bytes: smem,
+            registers_per_thread: regs,
+        },
+    );
+    let blocks = num_thread_blocks(tc, cfg, sizes) as f64;
+    let steps = num_steps(tc, cfg, sizes) as f64;
+    let wave = wave_efficiency(device, blocks as usize, occ.blocks_per_sm.max(1));
+    let ln = |v: f64| (v + 1.0).ln();
+    [
+        1.0, // bias
+        ln(cost.load_a as f64),
+        ln(cost.load_b as f64),
+        ln(cost.store_c as f64),
+        occ.fraction,
+        wave,
+        ln(threads as f64),
+        ln((rx * ry) as f64),
+        ln(smem as f64),
+        ln(blocks),
+        ln(steps),
+    ]
+}
+
+/// A fitted linear model predicting `ln(simulated time)` from
+/// [`features`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedRanker {
+    weights: [f64; NUM_FEATURES],
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` by Gaussian
+/// elimination with partial pivoting (small, dense, no dependencies).
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (x, &p) in rest[0].iter_mut().zip(pivot_row).skip(col) {
+                *x -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+impl LearnedRanker {
+    /// Fits ridge regression (`(XᵀX + λI)w = Xᵀy`) on
+    /// `(features, ln_time)` samples.
+    ///
+    /// Returns `None` when the system is singular (e.g. fewer samples than
+    /// features and a zero ridge).
+    pub fn fit(samples: &[([f64; NUM_FEATURES], f64)], ridge: f64) -> Option<Self> {
+        let n = NUM_FEATURES;
+        let mut xtx = vec![vec![0.0; n]; n];
+        let mut xty = vec![0.0; n];
+        for (x, y) in samples {
+            for i in 0..n {
+                xty[i] += x[i] * y;
+                for j in 0..n {
+                    xtx[i][j] += x[i] * x[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        let w = solve(xtx, xty)?;
+        let mut weights = [0.0; NUM_FEATURES];
+        weights.copy_from_slice(&w);
+        Some(Self { weights })
+    }
+
+    /// Predicted `ln(time)` for a feature vector.
+    pub fn predict(&self, x: &[f64; NUM_FEATURES]) -> f64 {
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum()
+    }
+
+    /// Trains on the top `train_k` candidates of a search outcome by
+    /// simulating them, then re-ranks *all* ranked candidates by predicted
+    /// time (no further simulation). Returns the re-ranked indices into
+    /// `outcome.ranked`, best first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the outcome has no ranked candidates.
+    pub fn train_and_rerank(
+        outcome: &SearchOutcome,
+        sizes: &SizeMap,
+        device: &GpuDevice,
+        precision: Precision,
+        train_k: usize,
+    ) -> (Self, Vec<usize>) {
+        assert!(!outcome.ranked.is_empty(), "nothing to rerank");
+        let tc = &outcome.contraction;
+        let mut samples = Vec::new();
+        for r in outcome.ranked.iter().take(train_k.max(NUM_FEATURES + 2)) {
+            let plan = r
+                .config
+                .lower(tc, sizes)
+                .expect("ranked configurations lower cleanly");
+            let report = simulate(&plan, device, precision);
+            if report.time.total_s.is_finite() {
+                samples.push((
+                    features(tc, &r.config, sizes, device, precision),
+                    report.time.total_s.ln(),
+                ));
+            }
+        }
+        let ranker = Self::fit(&samples, 1e-3).expect("ridge keeps the system regular");
+        let mut order: Vec<usize> = (0..outcome.ranked.len()).collect();
+        order.sort_by(|&i, &j| {
+            let fi = ranker.predict(&features(
+                tc,
+                &outcome.ranked[i].config,
+                sizes,
+                device,
+                precision,
+            ));
+            let fj = ranker.predict(&features(
+                tc,
+                &outcome.ranked[j].config,
+                sizes,
+                device,
+                precision,
+            ));
+            fi.partial_cmp(&fj).expect("predictions are finite")
+        });
+        (ranker, order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{search, SearchOptions};
+    use cogent_gpu_model::GpuDevice;
+
+    #[test]
+    fn solver_inverts_a_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solver_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_linear_relation() {
+        // y = 2*x1 - 0.5*x8 + 3 (bias).
+        let mut samples = Vec::new();
+        for i in 0..64 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[0] = 1.0;
+            x[1] = (i % 7) as f64;
+            x[8] = (i % 5) as f64;
+            // Small independent variation in other features.
+            x[4] = ((i * 13) % 11) as f64 / 11.0;
+            let y = 3.0 + 2.0 * x[1] - 0.5 * x[8];
+            samples.push((x, y));
+        }
+        let model = LearnedRanker::fit(&samples, 1e-9).unwrap();
+        let mut probe = [0.0; NUM_FEATURES];
+        probe[0] = 1.0;
+        probe[1] = 4.0;
+        probe[8] = 2.0;
+        assert!((model.predict(&probe) - (3.0 + 8.0 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rerank_recovers_the_simulated_winner() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 32);
+        let device = GpuDevice::v100();
+        let outcome = search(
+            &tc,
+            &sizes,
+            &device,
+            Precision::F64,
+            &SearchOptions::default(),
+        );
+        let (_, order) =
+            LearnedRanker::train_and_rerank(&outcome, &sizes, &device, Precision::F64, 16);
+        assert_eq!(order.len(), outcome.ranked.len());
+        // The learned top-1 must be at least as fast (simulated) as the
+        // cost model's top-1: the training set contains both, and the
+        // model interpolates its own training data closely.
+        let time_of = |rank: usize| {
+            let plan = outcome.ranked[rank]
+                .config
+                .lower(&outcome.contraction, &sizes)
+                .unwrap();
+            simulate(&plan, &device, Precision::F64).time.total_s
+        };
+        let learned_best = time_of(order[0]);
+        let model_best = time_of(0);
+        assert!(
+            learned_best <= model_best * 1.05,
+            "learned {learned_best} vs model {model_best}"
+        );
+    }
+
+    #[test]
+    fn features_are_finite_and_sized() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 256);
+        let cfg = KernelConfig {
+            tbx: vec![("i".into(), 16)],
+            regx: vec![],
+            tby: vec![("j".into(), 16)],
+            regy: vec![],
+            tbk: vec![("k".into(), 8)],
+        };
+        let f = features(&tc, &cfg, &sizes, &GpuDevice::v100(), Precision::F64);
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f[0], 1.0);
+    }
+}

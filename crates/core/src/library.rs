@@ -1,0 +1,224 @@
+//! Multi-version kernel libraries with runtime selection.
+//!
+//! §IV-B of the paper: *"When the code generator receives a set of
+//! representative problem sizes, it can generate different code versions
+//! targeted at each representative problem size. ... the kernel is
+//! selected at runtime based on the closest representative"* — every
+//! generated kernel is correct for any extents, so selection only affects
+//! performance.
+//!
+//! [`KernelLibrary`] packages that workflow: build one kernel per
+//! representative, then [`KernelLibrary::select`] the version whose
+//! representative is nearest (in log-space, so a 2× difference counts the
+//! same whether the extent is 8 or 800).
+
+use cogent_ir::{Contraction, SizeMap};
+
+use crate::api::{Cogent, GenerateError, GeneratedKernel};
+
+/// A set of generated kernel versions for one contraction, each targeted
+/// at a different representative problem size.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::{library::KernelLibrary, Cogent};
+/// use cogent_ir::{Contraction, SizeMap};
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let library = KernelLibrary::build(
+///     &Cogent::new(),
+///     &tc,
+///     &[SizeMap::uniform(&tc, 64), SizeMap::uniform(&tc, 2048)],
+/// )?;
+/// assert_eq!(library.len(), 2);
+/// // An 80^3 problem selects the version tuned for 64^3.
+/// let chosen = library.select(&SizeMap::uniform(&tc, 80));
+/// assert_eq!(chosen.representative.extent("i"), Some(64));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelLibrary {
+    contraction: Contraction,
+    versions: Vec<KernelVersion>,
+}
+
+/// One version of the library: the representative it was tuned for plus
+/// the generated kernel.
+#[derive(Debug, Clone)]
+pub struct KernelVersion {
+    /// The representative problem size this version was generated for.
+    pub representative: SizeMap,
+    /// The generated kernel.
+    pub kernel: GeneratedKernel,
+}
+
+/// Squared log-space distance between two size maps over the contraction's
+/// indices.
+fn log_distance(tc: &Contraction, x: &SizeMap, y: &SizeMap) -> f64 {
+    tc.all_indices()
+        .map(|i| {
+            let a = x.extent_of(i) as f64;
+            let b = y.extent_of(i) as f64;
+            let d = (a / b).ln();
+            d * d
+        })
+        .sum()
+}
+
+impl KernelLibrary {
+    /// Generates one kernel version per representative size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first generation error; `representatives` must be
+    /// non-empty and each must cover the contraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `representatives` is empty.
+    pub fn build(
+        generator: &Cogent,
+        tc: &Contraction,
+        representatives: &[SizeMap],
+    ) -> Result<Self, GenerateError> {
+        assert!(
+            !representatives.is_empty(),
+            "at least one representative size is required"
+        );
+        let versions = representatives
+            .iter()
+            .map(|sizes| {
+                generator.generate(tc, sizes).map(|kernel| KernelVersion {
+                    representative: sizes.clone(),
+                    kernel,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            contraction: tc.normalized(),
+            versions,
+        })
+    }
+
+    /// The contraction the library serves (normalized).
+    pub fn contraction(&self) -> &Contraction {
+        &self.contraction
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the library is empty (never true: `build` requires at least
+    /// one representative).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Iterates over the versions in build order.
+    pub fn iter(&self) -> impl Iterator<Item = &KernelVersion> {
+        self.versions.iter()
+    }
+
+    /// Selects the version whose representative is closest to `actual`
+    /// (log-space Euclidean distance over all index extents).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `actual` does not cover the contraction.
+    pub fn select(&self, actual: &SizeMap) -> &KernelVersion {
+        assert!(
+            actual.covers(&self.contraction),
+            "actual sizes must cover every index"
+        );
+        self.versions
+            .iter()
+            .min_by(|x, y| {
+                let dx = log_distance(&self.contraction, actual, &x.representative);
+                let dy = log_distance(&self.contraction, actual, &y.representative);
+                dx.partial_cmp(&dy).expect("distances are not NaN")
+            })
+            .expect("library is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_gpu_sim::execute_plan;
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    fn matmul_library() -> (Contraction, KernelLibrary) {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let lib = KernelLibrary::build(
+            &Cogent::new(),
+            &tc,
+            &[SizeMap::uniform(&tc, 64), SizeMap::uniform(&tc, 1024)],
+        )
+        .unwrap();
+        (tc, lib)
+    }
+
+    #[test]
+    fn selects_nearest_representative() {
+        let (tc, lib) = matmul_library();
+        assert_eq!(lib.len(), 2);
+        assert!(!lib.is_empty());
+        let small = lib.select(&SizeMap::uniform(&tc, 96));
+        assert_eq!(small.representative.extent("i"), Some(64));
+        let large = lib.select(&SizeMap::uniform(&tc, 700));
+        assert_eq!(large.representative.extent("i"), Some(1024));
+    }
+
+    #[test]
+    fn selection_can_differ_per_index() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let skinny = SizeMap::from_pairs([("i", 4096), ("j", 16), ("k", 256)]);
+        let square = SizeMap::uniform(&tc, 256);
+        let lib = KernelLibrary::build(&Cogent::new(), &tc, &[skinny.clone(), square]).unwrap();
+        let chosen = lib.select(&SizeMap::from_pairs([("i", 2048), ("j", 24), ("k", 128)]));
+        assert_eq!(chosen.representative, skinny);
+    }
+
+    #[test]
+    fn selected_version_is_correct_at_the_actual_size() {
+        // The kernel is generated for the representative but must be
+        // correct at the actual size (lower its configuration there).
+        let (tc, lib) = matmul_library();
+        let actual = SizeMap::uniform(&tc, 50);
+        let version = lib.select(&actual);
+        let plan = version
+            .kernel
+            .config
+            .lower(&version.kernel.contraction, &actual)
+            .unwrap();
+        let (a, b) = random_inputs::<f64>(&version.kernel.contraction, &actual, 2);
+        let got = execute_plan(&plan, &a, &b);
+        let want = contract_reference(&version.kernel.contraction, &actual, &a, &b);
+        assert!(got.approx_eq(&want, 1e-11));
+    }
+
+    #[test]
+    fn versions_differ_when_sizes_demand_it() {
+        // A tiny and a huge representative should not pick identical
+        // configurations (tile sizes adapt to the problem).
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let lib = KernelLibrary::build(
+            &Cogent::new(),
+            &tc,
+            &[SizeMap::uniform(&tc, 8), SizeMap::uniform(&tc, 64)],
+        )
+        .unwrap();
+        let v: Vec<_> = lib.iter().collect();
+        assert_ne!(v[0].kernel.config, v[1].kernel.config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one representative")]
+    fn empty_representatives_panic() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let _ = KernelLibrary::build(&Cogent::new(), &tc, &[]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Model-driven configuration selection: enumerate → prune → rank.
+
+use std::collections::BTreeMap;
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+
+use crate::config::KernelConfig;
+use crate::constraints::{check_config, PruneRules};
+use crate::cost::{transaction_cost, CostBreakdown};
+use crate::enumerate::{enumerate_configs, EnumerationOptions};
+
+/// A configuration together with its modelled cost.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RankedConfig {
+    /// The kernel configuration.
+    pub config: KernelConfig,
+    /// Modelled DRAM transactions (lower is better).
+    pub cost: CostBreakdown,
+}
+
+/// Statistics and results of one model-driven search.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SearchOutcome {
+    /// The normalized contraction the configurations refer to.
+    pub contraction: Contraction,
+    /// Size of the raw (unpruned) space per the paper's §IV arithmetic.
+    pub raw_space: u128,
+    /// Configurations produced by the structured enumeration.
+    pub enumerated: usize,
+    /// Configurations surviving the hardware/performance pruning.
+    pub survivors: usize,
+    /// How many configurations each pruning rule rejected (under the
+    /// strict rules, even when relaxation later re-admitted some).
+    pub prune_histogram: BTreeMap<String, usize>,
+    /// Whether the thresholds had to be progressively relaxed because the
+    /// strict rules pruned everything (tiny problems).
+    pub rules_relaxed: bool,
+    /// Survivors ranked by modelled cost, best first (truncated to the
+    /// requested `top_k`).
+    pub ranked: Vec<RankedConfig>,
+}
+
+impl SearchOutcome {
+    /// The best configuration, when any survived.
+    pub fn best(&self) -> Option<&RankedConfig> {
+        self.ranked.first()
+    }
+
+    /// Fraction of enumerated configurations pruned before cost
+    /// evaluation (the paper reports ≈97% across the benchmarks).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.enumerated == 0 {
+            return 0.0;
+        }
+        1.0 - self.survivors as f64 / self.enumerated as f64
+    }
+}
+
+/// Search controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOptions {
+    /// Enumeration menus.
+    pub enumeration: EnumerationOptions,
+    /// Pruning thresholds.
+    pub rules: PruneRules,
+    /// How many ranked survivors to keep.
+    pub top_k: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            enumeration: EnumerationOptions::default(),
+            rules: PruneRules::default(),
+            top_k: 16,
+        }
+    }
+}
+
+/// Runs the full model-driven search for `tc` under the representative
+/// `sizes` on `device`.
+///
+/// When pruning eliminates everything (tiny problems on a big device), the
+/// rules are progressively relaxed — first the parallelism/occupancy
+/// floors, then the coalescing requirement — so a best-effort
+/// configuration is always produced if the enumeration is non-empty.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::select::{search, SearchOptions};
+/// use cogent_gpu_model::{GpuDevice, Precision};
+/// use cogent_ir::{Contraction, SizeMap};
+///
+/// let tc: Contraction = "abcd-aebf-dfce".parse()?;
+/// let sizes = SizeMap::uniform(&tc, 48);
+/// let outcome = search(
+///     &tc, &sizes, &GpuDevice::v100(), Precision::F64, &SearchOptions::default(),
+/// );
+/// let best = outcome.best().expect("a configuration survives");
+/// assert!(best.cost.total() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn search(
+    tc: &Contraction,
+    sizes: &SizeMap,
+    device: &GpuDevice,
+    precision: Precision,
+    options: &SearchOptions,
+) -> SearchOutcome {
+    let norm = tc.normalized();
+    let configs = enumerate_configs(&norm, sizes, &options.enumeration);
+    let enumerated = configs.len();
+
+    let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+    let mut survivors: Vec<KernelConfig> = Vec::new();
+    for cfg in &configs {
+        match check_config(&norm, cfg, sizes, device, precision, &options.rules) {
+            Ok(()) => survivors.push(cfg.clone()),
+            Err(reason) => {
+                *histogram.entry(reason.to_string()).or_default() += 1;
+            }
+        }
+    }
+
+    // Progressive relaxation for small problems.
+    let mut rules_relaxed = false;
+    if survivors.is_empty() {
+        rules_relaxed = true;
+        let mut relaxed = options.rules.clone();
+        relaxed.min_blocks_per_sm = 0.0;
+        relaxed.min_occupancy = 0.0;
+        relaxed.min_threads = 1;
+        survivors = configs
+            .iter()
+            .filter(|c| check_config(&norm, c, sizes, device, precision, &relaxed).is_ok())
+            .cloned()
+            .collect();
+        if survivors.is_empty() {
+            relaxed.require_input_fvi_coalescing = false;
+            survivors = configs
+                .iter()
+                .filter(|c| check_config(&norm, c, sizes, device, precision, &relaxed).is_ok())
+                .cloned()
+                .collect();
+        }
+    }
+
+    let survivor_count = survivors.len();
+    let mut ranked: Vec<RankedConfig> = survivors
+        .into_iter()
+        .map(|config| {
+            let cost = transaction_cost(&norm, &config, sizes, device, precision);
+            RankedConfig { config, cost }
+        })
+        .collect();
+    ranked.sort_by_key(|r| r.cost.total());
+    ranked.truncate(options.top_k);
+
+    SearchOutcome {
+        contraction: norm.clone(),
+        raw_space: EnumerationOptions::raw_space_size(&norm),
+        enumerated,
+        survivors: survivor_count,
+        prune_histogram: histogram,
+        rules_relaxed,
+        ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tccg: &str, n: usize) -> SearchOutcome {
+        let tc: Contraction = tccg.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        search(
+            &tc,
+            &sizes,
+            &GpuDevice::v100(),
+            Precision::F64,
+            &SearchOptions::default(),
+        )
+    }
+
+    #[test]
+    fn eq1_search_finds_config() {
+        let o = run("abcd-aebf-dfce", 48);
+        assert!(o.enumerated > 0);
+        assert!(o.best().is_some());
+        // Costs are sorted ascending.
+        for pair in o.ranked.windows(2) {
+            assert!(pair[0].cost.total() <= pair[1].cost.total());
+        }
+    }
+
+    #[test]
+    fn pruning_removes_a_large_fraction() {
+        // On realistic CCSD(T)-like shapes most enumerated configs violate
+        // a constraint; the paper reports ~97%.
+        let o = run("abcdef-gdab-efgc", 16);
+        assert!(o.enumerated > o.survivors);
+        assert!(o.pruned_fraction() > 0.3, "pruned {}", o.pruned_fraction());
+    }
+
+    #[test]
+    fn histogram_accounts_for_all_pruned() {
+        let o = run("abcd-aebf-dfce", 48);
+        if !o.rules_relaxed {
+            let pruned: usize = o.prune_histogram.values().sum();
+            assert_eq!(pruned + o.survivors, o.enumerated);
+        }
+    }
+
+    #[test]
+    fn tiny_problem_relaxation_still_yields_config() {
+        let o = run("ij-ik-kj", 8);
+        assert!(o.best().is_some(), "relaxation must keep a config");
+    }
+
+    #[test]
+    fn best_config_is_lowerable_and_correct() {
+        use cogent_gpu_sim::execute_plan;
+        use cogent_tensor::reference::{contract_reference, random_inputs};
+
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 12);
+        let o = search(
+            &tc,
+            &sizes,
+            &GpuDevice::v100(),
+            Precision::F64,
+            &SearchOptions::default(),
+        );
+        let best = o.best().unwrap();
+        let norm = tc.normalized();
+        let plan = best.config.lower(&norm, &sizes).unwrap();
+        let (a, b) = random_inputs::<f64>(&norm, &sizes, 17);
+        let got = execute_plan(&plan, &a, &b);
+        let want = contract_reference(&norm, &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-11));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 48);
+        let opts = SearchOptions {
+            top_k: 3,
+            ..SearchOptions::default()
+        };
+        let o = search(&tc, &sizes, &GpuDevice::v100(), Precision::F64, &opts);
+        assert!(o.ranked.len() <= 3);
+    }
+
+    #[test]
+    fn raw_space_reported() {
+        let o = run("abcd-aebf-dfce", 48);
+        assert_eq!(o.raw_space, 3_981_312);
+        assert!((o.enumerated as u128) < o.raw_space);
+    }
+}

@@ -1,0 +1,144 @@
+//! A cuBLAS-like GEMM performance model.
+//!
+//! TAL_SH's TTGT pipeline spends its compute phase in cuBLAS. cuBLAS is
+//! close to peak on large, square matrices but loses efficiency on the
+//! highly rectangular shapes that flattened tensor contractions often
+//! produce — one of the paper's motivations for direct contraction. This
+//! model captures exactly those effects: tile-quantization waste along
+//! m/n, a small-k pipeline penalty, and a memory-bandwidth bound.
+
+use crate::calib;
+use crate::device::{GpuDevice, Precision};
+
+/// Predicted GEMM efficiency (fraction of peak FLOPS) for an `m×n×k`
+/// product, before the bandwidth bound is applied.
+pub fn gemm_efficiency(m: usize, n: usize, k: usize) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    // Tile quantization: an m×n output is covered by 128×128 tiles; partial
+    // tiles do full work for partial output.
+    let util = |d: usize, tile: f64| -> f64 {
+        let d = d as f64;
+        let tiles = (d / tile).ceil();
+        (d / (tiles * tile)).min(1.0)
+    };
+    let m_util = util(m, calib::CUBLAS_TILE_MN);
+    let n_util = util(n, calib::CUBLAS_TILE_MN);
+    let k_util = util(k, calib::CUBLAS_TILE_K);
+    // Small-k penalty: short dot products cannot hide pipeline latency.
+    let k_pipeline = k as f64 / (k as f64 + calib::CUBLAS_SMALL_K);
+    calib::CUBLAS_PEAK_EFFICIENCY * m_util * n_util * k_util * k_pipeline
+}
+
+/// Predicted wall-clock seconds for one `m×n×k` GEMM of the given
+/// precision, including the launch overhead and the DRAM roofline.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_gpu_model::{gemm_model::gemm_time_s, GpuDevice, Precision};
+///
+/// let d = GpuDevice::v100();
+/// let square = gemm_time_s(&d, 4096, 4096, 4096, Precision::F64);
+/// let skinny = gemm_time_s(&d, 4096 * 64, 64, 4096, Precision::F64);
+/// // Same FLOPs, but the skinny shape must be slower per FLOP.
+/// assert!(skinny > square);
+/// ```
+pub fn gemm_time_s(device: &GpuDevice, m: usize, n: usize, k: usize, precision: Precision) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return calib::KERNEL_LAUNCH_OVERHEAD_S;
+    }
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let eff = gemm_efficiency(m, n, k).max(1e-4);
+    let compute = flops / (device.peak_gflops(precision) * 1e9 * eff);
+
+    // Memory bound: each operand streamed at least once (cuBLAS re-reads
+    // A/B per output tile column/row; approximate with tile reuse factor).
+    let elem = precision.bytes() as f64;
+    let tiles_n = (n as f64 / calib::CUBLAS_TILE_MN).ceil();
+    let tiles_m = (m as f64 / calib::CUBLAS_TILE_MN).ceil();
+    let bytes = elem
+        * ((m * k) as f64 * tiles_n.min(8.0) // A read per column-panel, capped by L2 reuse
+            + (k * n) as f64 * tiles_m.min(8.0)
+            + (m * n) as f64);
+    let mem = bytes / (device.dram_bandwidth_gbs * calib::STREAM_BANDWIDTH_EFFICIENCY * 1e9);
+
+    compute.max(mem) + calib::KERNEL_LAUNCH_OVERHEAD_S
+}
+
+/// Effective GFLOP/s of the modelled GEMM.
+pub fn gemm_gflops(device: &GpuDevice, m: usize, n: usize, k: usize, precision: Precision) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    flops / gemm_time_s(device, m, n, k, precision) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuDevice {
+        GpuDevice::v100()
+    }
+
+    #[test]
+    fn large_square_gemm_near_peak() {
+        let g = gemm_gflops(&v100(), 8192, 8192, 8192, Precision::F64);
+        assert!(g > 0.7 * v100().peak_gflops_f64, "got {g}");
+        assert!(g <= v100().peak_gflops_f64);
+    }
+
+    #[test]
+    fn rectangular_gemm_is_slower_per_flop() {
+        let d = v100();
+        let sq = gemm_gflops(&d, 2048, 2048, 2048, Precision::F64);
+        let skinny = gemm_gflops(&d, 2048 * 2048 / 16, 16, 2048, Precision::F64);
+        assert!(skinny < sq);
+    }
+
+    #[test]
+    fn small_k_hurts() {
+        let d = v100();
+        let big_k = gemm_gflops(&d, 4096, 4096, 1024, Precision::F64);
+        let small_k = gemm_gflops(&d, 4096, 4096, 8, Precision::F64);
+        assert!(small_k < 0.5 * big_k);
+    }
+
+    #[test]
+    fn f32_faster_than_f64() {
+        let d = v100();
+        let t64 = gemm_time_s(&d, 4096, 4096, 4096, Precision::F64);
+        let t32 = gemm_time_s(&d, 4096, 4096, 4096, Precision::F32);
+        assert!(t32 < t64);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        assert_eq!(gemm_efficiency(0, 4, 4), 0.0);
+        for &(m, n, k) in &[(1, 1, 1), (100, 3, 7), (4096, 4096, 4096)] {
+            let e = gemm_efficiency(m, n, k);
+            assert!((0.0..=1.0).contains(&e), "({m},{n},{k}) -> {e}");
+        }
+    }
+
+    #[test]
+    fn tiny_gemm_dominated_by_launch_overhead() {
+        let t = gemm_time_s(&v100(), 4, 4, 4, Precision::F64);
+        assert!(t >= calib::KERNEL_LAUNCH_OVERHEAD_S);
+        assert!(t < 10.0 * calib::KERNEL_LAUNCH_OVERHEAD_S);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let t = gemm_time_s(&v100(), 0, 4, 4, Precision::F64);
+        assert_eq!(t, calib::KERNEL_LAUNCH_OVERHEAD_S);
+    }
+
+    #[test]
+    fn time_monotone_in_size() {
+        let d = v100();
+        let t1 = gemm_time_s(&d, 512, 512, 512, Precision::F64);
+        let t2 = gemm_time_s(&d, 1024, 1024, 1024, Precision::F64);
+        assert!(t2 > t1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Global-memory transaction and bandwidth models.
+
+use crate::calib;
+use crate::device::GpuDevice;
+
+/// Number of aligned 128-byte transactions needed by one warp-wide access
+/// in which `threads` consecutive threads read `elem_bytes`-byte elements
+/// whose addresses are grouped into contiguous runs of `run_len` elements,
+/// with consecutive runs separated by `stride_bytes`.
+///
+/// This is the primitive the address tracer and the analytic cost model
+/// both reduce to: fully coalesced access (`run_len * elem_bytes >= 128`)
+/// costs one transaction per 128 bytes; scattered access costs one
+/// transaction per run (at least).
+pub fn transactions_for_strided_access(
+    device: &GpuDevice,
+    threads: usize,
+    run_len: usize,
+    elem_bytes: usize,
+) -> usize {
+    if threads == 0 || run_len == 0 {
+        return 0;
+    }
+    let run_len = run_len.min(threads);
+    let runs = threads.div_ceil(run_len);
+    let bytes_per_run = run_len * elem_bytes;
+    runs * bytes_per_run.div_ceil(device.transaction_bytes)
+}
+
+/// Achievable DRAM bandwidth (GB/s) at a given occupancy fraction.
+///
+/// Bandwidth saturates once enough warps are in flight
+/// ([`calib::OCCUPANCY_FOR_PEAK_BANDWIDTH`]); below that it degrades
+/// linearly (little memory-level parallelism hides DRAM latency).
+pub fn achievable_bandwidth_gbs(device: &GpuDevice, occupancy_fraction: f64) -> f64 {
+    let occ = occupancy_fraction.clamp(0.0, 1.0);
+    let mlp = (occ / calib::OCCUPANCY_FOR_PEAK_BANDWIDTH).min(1.0);
+    device.dram_bandwidth_gbs * calib::STREAM_BANDWIDTH_EFFICIENCY * mlp
+}
+
+/// Time in seconds to move `transactions` 128-byte transactions at the
+/// bandwidth achievable under `occupancy_fraction`.
+pub fn transfer_time_s(device: &GpuDevice, transactions: u128, occupancy_fraction: f64) -> f64 {
+    let bytes = transactions as f64 * device.transaction_bytes as f64;
+    let bw = achievable_bandwidth_gbs(device, occupancy_fraction).max(1e-9);
+    bytes / (bw * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuDevice {
+        GpuDevice::v100()
+    }
+
+    #[test]
+    fn fully_coalesced_f64() {
+        // 32 threads × 8 bytes contiguous = 256 bytes = 2 transactions.
+        assert_eq!(transactions_for_strided_access(&v100(), 32, 32, 8), 2);
+    }
+
+    #[test]
+    fn fully_coalesced_f32() {
+        // 32 threads × 4 bytes contiguous = 128 bytes = 1 transaction.
+        assert_eq!(transactions_for_strided_access(&v100(), 32, 32, 4), 1);
+    }
+
+    #[test]
+    fn short_runs_cost_one_transaction_each() {
+        // Runs of 4 doubles (32 B): 8 runs → 8 transactions.
+        assert_eq!(transactions_for_strided_access(&v100(), 32, 4, 8), 8);
+    }
+
+    #[test]
+    fn fully_scattered() {
+        // Run length 1: every thread its own transaction.
+        assert_eq!(transactions_for_strided_access(&v100(), 32, 1, 8), 32);
+    }
+
+    #[test]
+    fn run_longer_than_warp_is_clamped() {
+        assert_eq!(
+            transactions_for_strided_access(&v100(), 16, 64, 8),
+            transactions_for_strided_access(&v100(), 16, 16, 8)
+        );
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(transactions_for_strided_access(&v100(), 0, 4, 8), 0);
+        assert_eq!(transactions_for_strided_access(&v100(), 4, 0, 8), 0);
+    }
+
+    #[test]
+    fn bandwidth_saturates() {
+        let d = v100();
+        let at_peak = achievable_bandwidth_gbs(&d, 1.0);
+        let at_knee = achievable_bandwidth_gbs(&d, calib::OCCUPANCY_FOR_PEAK_BANDWIDTH);
+        assert!((at_peak - at_knee).abs() < 1e-9);
+        assert!(at_peak <= d.dram_bandwidth_gbs);
+        assert!(at_peak > 0.7 * d.dram_bandwidth_gbs);
+    }
+
+    #[test]
+    fn bandwidth_degrades_at_low_occupancy() {
+        let d = v100();
+        let low = achievable_bandwidth_gbs(&d, 0.05);
+        let high = achievable_bandwidth_gbs(&d, 0.5);
+        assert!(low < high);
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let d = v100();
+        let t1 = transfer_time_s(&d, 1_000, 1.0);
+        let t2 = transfer_time_s(&d, 2_000, 1.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

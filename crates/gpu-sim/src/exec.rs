@@ -1,0 +1,660 @@
+//! Functional execution of kernel plans.
+//!
+//! [`execute_plan`] runs a [`KernelPlan`] exactly the way the generated
+//! CUDA kernel of Algorithm 1 would, but on host memory:
+//!
+//! 1. for every thread block, and every serial step, stage the `A` and `B`
+//!    tiles from "global" memory into "shared" buffers (zero-filling
+//!    out-of-bounds positions, as boundary-guarded kernels do);
+//! 2. each thread loads a column vector of `A` and a row vector of `B` from
+//!    the shared tiles into "registers";
+//! 3. accumulates their outer product into its `REGx×REGy` register tile;
+//! 4. after the last step, stores the register tile to the output, guarded
+//!    against partial tiles.
+//!
+//! Because the lowering in `cogent-core` derives both this plan and the
+//! emitted CUDA text from the same configuration, executing the plan
+//! functionally validates the index arithmetic of the generated kernel.
+
+use cogent_ir::TensorRef;
+use cogent_tensor::{DenseTensor, Element};
+
+use crate::plan::{KernelPlan, MapDim};
+
+/// How one dimension of a tensor obtains its in-tile coordinate during
+/// kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoordSource {
+    /// From the decomposition of a hardware dimension, at this position of
+    /// the group (0 = fastest).
+    Group(MapDim, usize),
+}
+
+/// Per-dimension access description of one tensor under a plan.
+#[derive(Debug, Clone)]
+pub(crate) struct DimSpec {
+    /// Index into `plan.bindings()`.
+    pub binding: usize,
+    /// Extent of the dimension.
+    pub extent: usize,
+    /// Tile size of the dimension.
+    pub tile: usize,
+    /// Stride of this dimension in the tensor's global layout.
+    pub global_stride: usize,
+    /// Stride of this dimension in the staged tile's linearization.
+    pub tile_stride: usize,
+    /// Where the in-tile coordinate comes from.
+    pub source: CoordSource,
+}
+
+/// Access plan for one tensor: dimensions in the tensor's own storage
+/// order (fastest first).
+#[derive(Debug, Clone)]
+pub(crate) struct TensorAccess {
+    pub dims: Vec<DimSpec>,
+    pub tile_elems: usize,
+}
+
+impl TensorAccess {
+    pub(crate) fn new(plan: &KernelPlan, tensor: &TensorRef) -> Self {
+        let mut dims = Vec::with_capacity(tensor.rank());
+        let mut global_stride = 1usize;
+        let mut tile_stride = 1usize;
+        for idx in tensor.indices() {
+            let (b_pos, binding) = plan
+                .bindings()
+                .iter()
+                .enumerate()
+                .find(|(_, b)| &b.name == idx)
+                .expect("plan covers all indices");
+            let group_pos = plan
+                .group_bindings(binding.dim)
+                .position(|b| b.name == binding.name)
+                .expect("binding is in its own group");
+            dims.push(DimSpec {
+                binding: b_pos,
+                extent: binding.extent,
+                tile: binding.tile,
+                global_stride,
+                tile_stride,
+                source: CoordSource::Group(binding.dim, group_pos),
+            });
+            global_stride *= binding.extent;
+            tile_stride *= binding.tile;
+        }
+        Self {
+            dims,
+            tile_elems: tile_stride,
+        }
+    }
+
+    /// The extents of the tensor in storage order.
+    pub(crate) fn extents(&self) -> Vec<usize> {
+        self.dims.iter().map(|d| d.extent).collect()
+    }
+
+    /// Contribution of hardware dimension `dim` to the tile-linear offset,
+    /// tabulated for every linear position of that dimension.
+    ///
+    /// `decomp[pos]` must give the in-tile coordinate of the group's
+    /// `pos`-th binding.
+    pub(crate) fn tile_offset_table(&self, plan: &KernelPlan, dim: MapDim) -> Vec<usize> {
+        let size = plan.group_size(dim);
+        (0..size)
+            .map(|lin| {
+                let coords = plan.decompose_in_group(dim, lin);
+                self.dims
+                    .iter()
+                    .filter_map(|d| match d.source {
+                        CoordSource::Group(g, pos) if g == dim => Some(d.tile_stride * coords[pos]),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Executes `plan` on concrete operands, producing the output tensor.
+///
+/// # Panics
+///
+/// Panics when the operand shapes do not match the plan's binding extents.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+/// use cogent_gpu_sim::execute_plan;
+/// use cogent_ir::{Contraction, SizeMap};
+/// use cogent_tensor::reference::{contract_reference, random_inputs};
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let plan = KernelPlan::new(&tc, vec![
+///     IndexBinding::new("i", 20, 8, MapDim::ThreadX),
+///     IndexBinding::new("j", 12, 4, MapDim::ThreadY),
+///     IndexBinding::new("k", 9, 4, MapDim::SerialK),
+/// ])?;
+/// let sizes = SizeMap::from_pairs([("i", 20), ("j", 12), ("k", 9)]);
+/// let (a, b) = random_inputs::<f64>(&tc, &sizes, 0);
+/// let got = execute_plan(&plan, &a, &b);
+/// let want = contract_reference(&tc, &sizes, &a, &b);
+/// assert!(got.approx_eq(&want, 1e-12));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_plan<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+) -> DenseTensor<T> {
+    let acc_c = TensorAccess::new(plan, plan.contraction().c());
+    let mut c = DenseTensor::<T>::zeros(&acc_c.extents());
+    execute_plan_into(plan, a, b, &mut c);
+    c
+}
+
+/// Executes `plan` writing into an existing output tensor. With
+/// [`StoreMode::Accumulate`](crate::plan::StoreMode) the kernel's
+/// contributions are added to `c`'s current contents.
+///
+/// # Panics
+///
+/// Panics when any operand shape does not match the plan's binding extents.
+pub fn execute_plan_into<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+    c: &mut DenseTensor<T>,
+) {
+    let tc = plan.contraction();
+    let acc_a = TensorAccess::new(plan, tc.a());
+    let acc_b = TensorAccess::new(plan, tc.b());
+    let acc_c = TensorAccess::new(plan, tc.c());
+
+    assert_eq!(
+        a.layout().extents(),
+        &acc_a.extents()[..],
+        "A shape mismatch"
+    );
+    assert_eq!(
+        b.layout().extents(),
+        &acc_b.extents()[..],
+        "B shape mismatch"
+    );
+
+    let tbx = plan.group_size(MapDim::ThreadX);
+    let tby = plan.group_size(MapDim::ThreadY);
+    let regx = plan.group_size(MapDim::RegX);
+    let regy = plan.group_size(MapDim::RegY);
+    let ktile = plan.group_size(MapDim::SerialK);
+    let threads = tbx * tby;
+    let steps = plan.steps();
+
+    // Tabulated smem-offset contributions per hardware dimension.
+    let a_tx = acc_a.tile_offset_table(plan, MapDim::ThreadX);
+    let a_rx = acc_a.tile_offset_table(plan, MapDim::RegX);
+    let a_k = acc_a.tile_offset_table(plan, MapDim::SerialK);
+    let b_ty = acc_b.tile_offset_table(plan, MapDim::ThreadY);
+    let b_ry = acc_b.tile_offset_table(plan, MapDim::RegY);
+    let b_k = acc_b.tile_offset_table(plan, MapDim::SerialK);
+
+    assert_eq!(
+        c.layout().extents(),
+        &acc_c.extents()[..],
+        "C shape mismatch"
+    );
+
+    let mut smem_a = vec![T::ZERO; acc_a.tile_elems];
+    let mut smem_b = vec![T::ZERO; acc_b.tile_elems];
+    let mut reg_c = vec![T::ZERO; threads * regx * regy];
+    let mut reg_a = vec![T::ZERO; regx];
+    let mut reg_b = vec![T::ZERO; regy];
+    // Per-binding global base offsets of the current tile.
+    let num_bindings = plan.bindings().len();
+    let mut base = vec![0usize; num_bindings];
+
+    for block in 0..plan.num_blocks() {
+        // (0) Establish the block's output tile origin.
+        let tiles = plan.block_tile_coords(block);
+        for (bind, t) in plan
+            .external_bindings_c_order()
+            .zip(&tiles)
+            .map(|(bb, &t)| (bb, t))
+        {
+            let pos = plan
+                .bindings()
+                .iter()
+                .position(|x| x.name == bind.name)
+                .expect("binding exists");
+            base[pos] = t * bind.tile;
+        }
+
+        reg_c.iter_mut().for_each(|v| *v = T::ZERO);
+
+        #[allow(clippy::needless_range_loop)] // tx/ty are thread coordinates
+        for step in 0..steps {
+            // Internal tile origins for this step (mixed radix over the
+            // SerialK group's tile counts, fastest first).
+            let mut rem = step;
+            for bind in plan.group_bindings(MapDim::SerialK) {
+                let n = bind.num_tiles();
+                let t = rem % n;
+                rem /= n;
+                let pos = plan
+                    .bindings()
+                    .iter()
+                    .position(|x| x.name == bind.name)
+                    .expect("binding exists");
+                base[pos] = t * bind.tile;
+            }
+
+            // (1) Stage tiles of A and B into shared memory (guarded).
+            stage_tile(&acc_a, &base, a.as_slice(), &mut smem_a);
+            stage_tile(&acc_b, &base, b.as_slice(), &mut smem_b);
+
+            // (2)+(3) Each thread: SMEM→REG vectors, outer product.
+            for ty in 0..tby {
+                for tx in 0..tbx {
+                    let thread = tx + tbx * ty;
+                    let rc = &mut reg_c[thread * regx * regy..(thread + 1) * regx * regy];
+                    for j in 0..ktile {
+                        let a_base = a_tx[tx] + a_k[j];
+                        let b_base = b_ty[ty] + b_k[j];
+                        for (rx, ra) in reg_a.iter_mut().enumerate() {
+                            *ra = smem_a[a_base + a_rx[rx]];
+                        }
+                        for (ry, rb) in reg_b.iter_mut().enumerate() {
+                            *rb = smem_b[b_base + b_ry[ry]];
+                        }
+                        for ry in 0..regy {
+                            let rb = reg_b[ry];
+                            for rx in 0..regx {
+                                rc[rx + regx * ry] = reg_a[rx].mul_add_(rb, rc[rx + regx * ry]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // (4) Store register tiles to global memory (guarded).
+        store_output(plan, &acc_c, &base, c, &reg_c, tbx, tby, regx, regy);
+    }
+}
+
+/// Stages one tile into a shared buffer, zero-filling out-of-bounds
+/// positions.
+fn stage_tile<T: Element>(acc: &TensorAccess, base: &[usize], global: &[T], smem: &mut [T]) {
+    let rank = acc.dims.len();
+    let mut coords = vec![0usize; rank];
+    for slot in smem.iter_mut() {
+        let mut off = 0usize;
+        let mut in_bounds = true;
+        for (d, &cd) in acc.dims.iter().zip(&coords) {
+            let g = base[d.binding] + cd;
+            if g >= d.extent {
+                in_bounds = false;
+                break;
+            }
+            off += g * d.global_stride;
+        }
+        *slot = if in_bounds { global[off] } else { T::ZERO };
+        // Advance in-tile coords (mixed radix over tile sizes).
+        for (d, c) in acc.dims.iter().zip(coords.iter_mut()) {
+            *c += 1;
+            if *c < d.tile {
+                break;
+            }
+            *c = 0;
+        }
+    }
+}
+
+/// Per-dimension output coordinate tables: `tables[d][lin]` is the
+/// in-tile coordinate of C's `d`-th dimension at linear position `lin` of
+/// its source hardware dimension. Computed once per plan, used per store.
+pub(crate) fn output_coord_tables(plan: &KernelPlan, acc_c: &TensorAccess) -> Vec<Vec<usize>> {
+    acc_c
+        .dims
+        .iter()
+        .map(|d| {
+            let CoordSource::Group(dim, pos) = d.source;
+            (0..plan.group_size(dim))
+                .map(|lin| plan.decompose_in_group(dim, lin)[pos])
+                .collect()
+        })
+        .collect()
+}
+
+/// Stores every thread's register tile, skipping out-of-bounds elements.
+#[allow(clippy::too_many_arguments)]
+fn store_output<T: Element>(
+    plan: &KernelPlan,
+    acc_c: &TensorAccess,
+    base: &[usize],
+    c: &mut DenseTensor<T>,
+    reg_c: &[T],
+    tbx: usize,
+    tby: usize,
+    regx: usize,
+    regy: usize,
+) {
+    let out = c.as_mut_slice();
+    let tables = output_coord_tables(plan, acc_c);
+    for ty in 0..tby {
+        for tx in 0..tbx {
+            let thread = tx + tbx * ty;
+            let rc = &reg_c[thread * regx * regy..(thread + 1) * regx * regy];
+            for ry in 0..regy {
+                for rx in 0..regx {
+                    let mut off = 0usize;
+                    let mut in_bounds = true;
+                    for (d, table) in acc_c.dims.iter().zip(&tables) {
+                        let CoordSource::Group(dim, _) = d.source;
+                        let lin = match dim {
+                            MapDim::ThreadX => tx,
+                            MapDim::ThreadY => ty,
+                            MapDim::RegX => rx,
+                            MapDim::RegY => ry,
+                            MapDim::Grid => 0,
+                            MapDim::SerialK => unreachable!("C has no internal index"),
+                        };
+                        let g = base[d.binding] + table[lin];
+                        if g >= d.extent {
+                            in_bounds = false;
+                            break;
+                        }
+                        off += g * d.global_stride;
+                    }
+                    if in_bounds {
+                        match plan.store_mode() {
+                            crate::plan::StoreMode::Assign => {
+                                out[off] = rc[rx + regx * ry];
+                            }
+                            crate::plan::StoreMode::Accumulate => {
+                                out[off] += rc[rx + regx * ry];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::IndexBinding;
+    use cogent_ir::{Contraction, SizeMap};
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    fn check(plan: &KernelPlan) {
+        let tc = plan.contraction();
+        let sizes =
+            SizeMap::from_pairs(plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
+        let (a, b) = random_inputs::<f64>(tc, &sizes, 7);
+        let got = execute_plan(plan, &a, &b);
+        let want = contract_reference(tc, &sizes, &a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-11),
+            "{plan}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn matmul_exact_tiling() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("i", 32, 8, MapDim::ThreadX),
+                    IndexBinding::new("j", 16, 4, MapDim::ThreadY),
+                    IndexBinding::new("k", 24, 6, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn matmul_ragged_tiling() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("i", 30, 8, MapDim::ThreadX),
+                    IndexBinding::new("j", 17, 4, MapDim::ThreadY),
+                    IndexBinding::new("k", 23, 6, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn matmul_with_register_tiles() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        // i split?? No — one index per dimension here: i→Tx only. Use a 4D
+        // case below for multi-index groups; this covers reg tiling via a
+        // second pair of externals.
+        let tc4: Contraction = "ijpq-ipk-kqj".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc4,
+                vec![
+                    IndexBinding::new("i", 13, 4, MapDim::ThreadX),
+                    IndexBinding::new("p", 7, 3, MapDim::RegX),
+                    IndexBinding::new("j", 11, 4, MapDim::ThreadY),
+                    IndexBinding::new("q", 5, 2, MapDim::RegY),
+                    IndexBinding::new("k", 9, 4, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+        let _ = tc;
+    }
+
+    #[test]
+    fn fig2_mapping_of_eq1() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("a", 8, 2, MapDim::ThreadX),
+                    IndexBinding::new("b", 8, 2, MapDim::RegX),
+                    IndexBinding::new("c", 8, 2, MapDim::ThreadY),
+                    IndexBinding::new("d", 8, 2, MapDim::RegY),
+                    IndexBinding::new("e", 8, 4, MapDim::SerialK),
+                    IndexBinding::new("f", 8, 2, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn eq1_with_grid_mapped_externals() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("a", 9, 4, MapDim::ThreadX),
+                    IndexBinding::new("b", 6, 1, MapDim::Grid),
+                    IndexBinding::new("c", 7, 4, MapDim::ThreadY),
+                    IndexBinding::new("d", 5, 1, MapDim::Grid),
+                    IndexBinding::new("e", 6, 3, MapDim::SerialK),
+                    IndexBinding::new("f", 4, 4, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn multiple_indices_per_thread_dimension() {
+        // Both a and b on ThreadX (composed), c and d on ThreadY.
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("a", 6, 3, MapDim::ThreadX),
+                    IndexBinding::new("b", 6, 2, MapDim::ThreadX),
+                    IndexBinding::new("c", 6, 2, MapDim::ThreadY),
+                    IndexBinding::new("d", 6, 3, MapDim::ThreadY),
+                    IndexBinding::new("e", 5, 5, MapDim::SerialK),
+                    IndexBinding::new("f", 7, 2, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn sd2_1_six_dimensional() {
+        let tc: Contraction = "abcdef-gdab-efgc".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("a", 5, 2, MapDim::ThreadX),
+                    IndexBinding::new("b", 4, 2, MapDim::RegX),
+                    IndexBinding::new("d", 4, 2, MapDim::ThreadX),
+                    IndexBinding::new("c", 5, 2, MapDim::ThreadY),
+                    IndexBinding::new("e", 4, 2, MapDim::RegY),
+                    IndexBinding::new("f", 3, 1, MapDim::Grid),
+                    IndexBinding::new("g", 6, 3, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn outer_product_no_internals() {
+        let tc: Contraction = "ij-i-j".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("i", 10, 4, MapDim::ThreadX),
+                    IndexBinding::new("j", 6, 2, MapDim::ThreadY),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn tile_size_one_everywhere() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        check(
+            &KernelPlan::new(
+                &tc,
+                vec![
+                    IndexBinding::new("i", 5, 1, MapDim::ThreadX),
+                    IndexBinding::new("j", 4, 1, MapDim::ThreadY),
+                    IndexBinding::new("k", 3, 1, MapDim::SerialK),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn full_extent_tiles_single_block() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("i", 8, 8, MapDim::ThreadX),
+                IndexBinding::new("j", 8, 8, MapDim::ThreadY),
+                IndexBinding::new("k", 8, 8, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        assert_eq!(plan.num_blocks(), 1);
+        assert_eq!(plan.steps(), 1);
+        check(&plan);
+    }
+
+    #[test]
+    fn f32_execution_matches() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 6, 2, MapDim::ThreadX),
+                IndexBinding::new("b", 6, 3, MapDim::RegX),
+                IndexBinding::new("c", 6, 2, MapDim::ThreadY),
+                IndexBinding::new("d", 6, 3, MapDim::RegY),
+                IndexBinding::new("e", 6, 2, MapDim::SerialK),
+                IndexBinding::new("f", 6, 3, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        let sizes = SizeMap::uniform(&tc, 6);
+        let (a, b) = random_inputs::<f32>(&tc, &sizes, 3);
+        let got = execute_plan(&plan, &a, &b);
+        let want = contract_reference(&tc, &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn accumulate_mode_adds_to_existing_output() {
+        use crate::exec::execute_plan_into;
+        use crate::plan::StoreMode;
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let bindings = vec![
+            IndexBinding::new("i", 10, 4, MapDim::ThreadX),
+            IndexBinding::new("j", 9, 4, MapDim::ThreadY),
+            IndexBinding::new("k", 7, 3, MapDim::SerialK),
+        ];
+        let plan = KernelPlan::new(&tc, bindings.clone())
+            .unwrap()
+            .with_store_mode(StoreMode::Accumulate);
+        assert_eq!(plan.store_mode(), StoreMode::Accumulate);
+        let sizes = SizeMap::from_pairs([("i", 10), ("j", 9), ("k", 7)]);
+        let (a, b) = random_inputs::<f64>(&tc, &sizes, 5);
+        let want_once = contract_reference(&tc, &sizes, &a, &b);
+
+        // Accumulating twice into a zero tensor doubles the result.
+        let mut c = cogent_tensor::DenseTensor::<f64>::zeros(&[10, 9]);
+        execute_plan_into(&plan, &a, &b, &mut c);
+        execute_plan_into(&plan, &a, &b, &mut c);
+        for (got, want) in c.as_slice().iter().zip(want_once.as_slice()) {
+            assert!((got - 2.0 * want).abs() < 1e-11);
+        }
+
+        // Assign mode overwrites instead.
+        let assign = KernelPlan::new(&tc, bindings).unwrap();
+        let mut c2 = cogent_tensor::DenseTensor::<f64>::zeros(&[10, 9]);
+        execute_plan_into(&assign, &a, &b, &mut c2);
+        execute_plan_into(&assign, &a, &b, &mut c2);
+        assert!(c2.approx_eq(&want_once, 1e-11));
+    }
+
+    #[test]
+    #[should_panic(expected = "A shape mismatch")]
+    fn validates_operand_shapes() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("i", 8, 4, MapDim::ThreadX),
+                IndexBinding::new("j", 8, 4, MapDim::ThreadY),
+                IndexBinding::new("k", 8, 4, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        let a = DenseTensor::<f64>::zeros(&[4, 8]);
+        let b = DenseTensor::<f64>::zeros(&[8, 8]);
+        let _ = execute_plan(&plan, &a, &b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property test: for random contractions, random legal mappings and
+//! random (often non-dividing) tile sizes, executing the kernel plan must
+//! reproduce the reference contraction exactly.
+
+use cogent_gpu_sim::execute_plan;
+use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+use cogent_ir::{Contraction, SizeMap, TensorRef};
+use cogent_tensor::reference::{contract_reference, random_inputs};
+use proptest::prelude::*;
+
+/// Builds a random-but-legal plan: A-externals distributed over
+/// ThreadX/RegX/Grid, B-externals over ThreadY/RegY/Grid, internals on
+/// SerialK, with tile sizes in `1..=extent`.
+fn plan_strategy() -> impl Strategy<Value = KernelPlan> {
+    (
+        1usize..=2,                          // externals in A
+        1usize..=2,                          // externals in B
+        1usize..=2,                          // internals
+        prop::collection::vec(2usize..7, 6), // extents
+        prop::collection::vec(0usize..3, 6), // dim choice per index
+        prop::collection::vec(1usize..7, 6), // tile seed per index
+        0usize..4,                           // rotation of A's layout
+        0usize..4,                           // rotation of B's layout
+    )
+        .prop_map(|(na, nb, ni, extents, dims, tiles, rot_a, rot_b)| {
+            let total = na + nb + ni;
+            let letters: Vec<String> = (0..total)
+                .map(|i| ((b'a' + i as u8) as char).to_string())
+                .collect();
+            let ext_a = &letters[..na];
+            let ext_b = &letters[na..na + nb];
+            let ints = &letters[na + nb..];
+            let c_idx: Vec<&str> = ext_a
+                .iter()
+                .chain(ext_b.iter())
+                .map(String::as_str)
+                .collect();
+            let mut a_idx: Vec<&str> = ext_a
+                .iter()
+                .chain(ints.iter())
+                .map(String::as_str)
+                .collect();
+            let mut b_idx: Vec<&str> = ext_b
+                .iter()
+                .chain(ints.iter())
+                .map(String::as_str)
+                .collect();
+            let (la, lb) = (a_idx.len(), b_idx.len());
+            a_idx.rotate_left(rot_a % la);
+            b_idx.rotate_left(rot_b % lb);
+            let tc = Contraction::new(
+                TensorRef::new("C", c_idx),
+                TensorRef::new("A", a_idx),
+                TensorRef::new("B", b_idx),
+            )
+            .expect("valid contraction");
+
+            let mut bindings = Vec::new();
+            // Ensure at least one ThreadX/ThreadY index: force the first
+            // A-external to ThreadX and first B-external to ThreadY.
+            for (i, name) in letters.iter().enumerate() {
+                let extent = extents[i % extents.len()];
+                let tile = 1 + tiles[i % tiles.len()] % extent;
+                let dim = if i < na {
+                    if i == 0 {
+                        MapDim::ThreadX
+                    } else {
+                        match dims[i % dims.len()] {
+                            0 => MapDim::ThreadX,
+                            1 => MapDim::RegX,
+                            _ => MapDim::Grid,
+                        }
+                    }
+                } else if i < na + nb {
+                    if i == na {
+                        MapDim::ThreadY
+                    } else {
+                        match dims[i % dims.len()] {
+                            0 => MapDim::ThreadY,
+                            1 => MapDim::RegY,
+                            _ => MapDim::Grid,
+                        }
+                    }
+                } else {
+                    MapDim::SerialK
+                };
+                let tile = if dim == MapDim::Grid { 1 } else { tile };
+                bindings.push(IndexBinding::new(name.as_str(), extent, tile, dim));
+            }
+            KernelPlan::new(&tc, bindings).expect("legal plan")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_execution_matches_reference(plan in plan_strategy(), seed in 0u64..100) {
+        let tc = plan.contraction();
+        let sizes = SizeMap::from_pairs(
+            plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)),
+        );
+        let (a, b) = random_inputs::<f64>(tc, &sizes, seed);
+        let got = execute_plan(&plan, &a, &b);
+        let want = contract_reference(tc, &sizes, &a, &b);
+        prop_assert!(
+            got.approx_eq(&want, 1e-11),
+            "plan {} diverged: max diff {}",
+            plan,
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn plan_structure_invariants(plan in plan_strategy()) {
+        // Thread and register sizes multiply out to the block's data space.
+        let tbx = plan.group_size(MapDim::ThreadX);
+        let tby = plan.group_size(MapDim::ThreadY);
+        let rx = plan.group_size(MapDim::RegX);
+        let ry = plan.group_size(MapDim::RegY);
+        prop_assert_eq!(plan.threads_per_block(), tbx * tby);
+        prop_assert_eq!(plan.outputs_per_thread(), rx * ry);
+        // Shared memory holds exactly the two staged tiles.
+        prop_assert_eq!(
+            plan.smem_bytes(8),
+            (plan.a_tile_elements() + plan.b_tile_elements()) * 8
+        );
+        // Padded flops never undercount true flops.
+        prop_assert!(plan.padded_flops() >= plan.true_flops());
+    }
+}

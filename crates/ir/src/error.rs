@@ -1,0 +1,143 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::index::IndexName;
+
+/// Error validating a [`Contraction`](crate::Contraction) or
+/// [`TensorRef`](crate::TensorRef).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateContractionError {
+    /// A tensor was given an empty name.
+    EmptyTensorName,
+    /// A tensor was given no indices.
+    EmptyIndexList {
+        /// The offending tensor.
+        tensor: String,
+    },
+    /// The same index appears twice within one tensor (e.g. a trace), which
+    /// is outside the contraction class handled here.
+    RepeatedIndexInTensor {
+        /// The offending tensor.
+        tensor: String,
+        /// The repeated index.
+        index: IndexName,
+    },
+    /// An index appears in all three tensors (batch/Hadamard index).
+    BatchIndex {
+        /// The offending index.
+        index: IndexName,
+    },
+    /// An index appears in only one tensor.
+    UnmatchedIndex {
+        /// The offending index.
+        index: IndexName,
+        /// The tensor in which it appears.
+        tensor: String,
+    },
+    /// Two tensors share a name.
+    DuplicateTensorName,
+}
+
+impl fmt::Display for ValidateContractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTensorName => write!(f, "tensor name is empty"),
+            Self::EmptyIndexList { tensor } => {
+                write!(f, "tensor {tensor} has an empty index list")
+            }
+            Self::RepeatedIndexInTensor { tensor, index } => {
+                write!(f, "index {index} repeats within tensor {tensor}")
+            }
+            Self::BatchIndex { index } => write!(
+                f,
+                "index {index} appears in all three tensors (batch indices are not a contraction)"
+            ),
+            Self::UnmatchedIndex { index, tensor } => write!(
+                f,
+                "index {index} of tensor {tensor} appears in only one tensor"
+            ),
+            Self::DuplicateTensorName => write!(f, "two tensors share the same name"),
+        }
+    }
+}
+
+impl Error for ValidateContractionError {}
+
+/// Error parsing a contraction from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseContractionError {
+    /// The string did not have the expected overall shape.
+    Syntax {
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// The indices parsed fine but the contraction itself is invalid.
+    Invalid(ValidateContractionError),
+}
+
+impl ParseContractionError {
+    pub(crate) fn syntax(message: impl Into<String>) -> Self {
+        Self::Syntax {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseContractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { message } => write!(f, "invalid contraction syntax: {message}"),
+            Self::Invalid(e) => write!(f, "invalid contraction: {e}"),
+        }
+    }
+}
+
+impl Error for ParseContractionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Syntax { .. } => None,
+            Self::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidateContractionError> for ParseContractionError {
+    fn from(e: ValidateContractionError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        let msgs = [
+            ValidateContractionError::EmptyTensorName.to_string(),
+            ValidateContractionError::DuplicateTensorName.to_string(),
+            ValidateContractionError::BatchIndex {
+                index: IndexName::new("a"),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn parse_error_wraps_validation() {
+        let inner = ValidateContractionError::EmptyTensorName;
+        let outer = ParseContractionError::from(inner.clone());
+        assert!(outer.to_string().contains("tensor name is empty"));
+        assert!(Error::source(&outer).is_some());
+        let _ = inner;
+    }
+}

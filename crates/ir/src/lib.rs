@@ -1,0 +1,47 @@
+//! Intermediate representation for tensor contractions.
+//!
+//! A *tensor contraction* is a higher-dimensional generalization of
+//! matrix-matrix multiplication: `C[ext] = sum_{int} A[...] * B[...]`,
+//! written in Einstein convention where every index that does not appear in
+//! the output tensor is summed over.
+//!
+//! This crate provides:
+//!
+//! * [`TensorRef`] — an ordered list of index names for one tensor, with the
+//!   **first index being the fastest varying** (generalized column-major, as
+//!   assumed throughout the COGENT paper).
+//! * [`Contraction`] — a validated three-tensor contraction in which every
+//!   index appears in **exactly two** of the three tensors. This is the key
+//!   domain property the code generator exploits: each loop index is a reuse
+//!   direction for exactly one tensor (the one it does not index).
+//! * [`SizeMap`] — representative extents for each index, used by the cost
+//!   model and for allocating concrete tensors.
+//! * Parsers for the TCCG string form (`"abcd-aebf-dfce"`) and an explicit
+//!   form (`"C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]"`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cogent_ir::Contraction;
+//!
+//! // Eq. 1 of the paper: C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]
+//! let tc: Contraction = "abcd-aebf-dfce".parse()?;
+//! assert_eq!(tc.external_indices().len(), 4);
+//! assert_eq!(tc.internal_indices().len(), 2);
+//! # Ok::<(), cogent_ir::ParseContractionError>(())
+//! ```
+
+pub mod analysis;
+pub mod expr;
+pub mod index;
+pub mod parse;
+pub mod size;
+pub mod transform;
+
+mod error;
+
+pub use analysis::{ContractionAnalysis, IndexClass, TensorRole};
+pub use error::{ParseContractionError, ValidateContractionError};
+pub use expr::{Contraction, TensorRef};
+pub use index::IndexName;
+pub use size::SizeMap;

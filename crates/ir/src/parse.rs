@@ -1,0 +1,343 @@
+//! Parsing contractions from strings.
+//!
+//! Two notations are supported:
+//!
+//! * **TCCG form** — three dash-separated groups of single-letter indices,
+//!   output first: `"abcd-aebf-dfce"` means
+//!   `C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]`.
+//! * **Explicit form** — `"C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]"`, allowing
+//!   multi-character index names such as `h3` or `p6`.
+//!
+//! [`Contraction`] implements [`std::str::FromStr`] accepting either form.
+
+use std::str::FromStr;
+
+use crate::error::ParseContractionError;
+use crate::expr::{Contraction, TensorRef};
+use crate::index::IndexName;
+
+/// Parses the TCCG single-letter notation, e.g. `"abcd-aebf-dfce"`.
+///
+/// The three groups name the output, left input and right input tensors
+/// `C`, `A` and `B` respectively, fastest-varying index first.
+///
+/// # Errors
+///
+/// Returns an error when the string does not consist of exactly three
+/// non-empty dash-separated alphabetic groups, or when the resulting
+/// contraction is invalid (see
+/// [`ValidateContractionError`](crate::ValidateContractionError)).
+///
+/// # Examples
+///
+/// ```
+/// let tc = cogent_ir::parse::parse_tccg("abcd-aebf-dfce")?;
+/// assert_eq!(tc.c().rank(), 4);
+/// # Ok::<(), cogent_ir::ParseContractionError>(())
+/// ```
+pub fn parse_tccg(s: &str) -> Result<Contraction, ParseContractionError> {
+    let parts: Vec<&str> = s.trim().split('-').collect();
+    if parts.len() != 3 {
+        return Err(ParseContractionError::syntax(format!(
+            "expected 3 dash-separated groups, found {}",
+            parts.len()
+        )));
+    }
+    let group = |name: &str, text: &str| -> Result<TensorRef, ParseContractionError> {
+        if text.is_empty() {
+            return Err(ParseContractionError::syntax(format!(
+                "tensor {name} has an empty index group"
+            )));
+        }
+        let indices: Vec<IndexName> = text
+            .chars()
+            .map(|c| {
+                IndexName::try_new(&c.to_string()).ok_or_else(|| {
+                    ParseContractionError::syntax(format!("invalid index character {c:?}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        TensorRef::try_new(name, indices).map_err(Into::into)
+    };
+    let c = group("C", parts[0])?;
+    let a = group("A", parts[1])?;
+    let b = group("B", parts[2])?;
+    Contraction::new(c, a, b).map_err(Into::into)
+}
+
+/// Parses either notation (like [`Contraction::from_str`]) but accepts
+/// batch (Hadamard) indices, building through
+/// [`Contraction::with_batch`].
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax or an otherwise invalid
+/// contraction.
+///
+/// # Examples
+///
+/// ```
+/// let tc = cogent_ir::parse::parse_allowing_batch("C[i,j,n] = A[i,k,n] * B[k,j,n]")?;
+/// assert_eq!(tc.batch_indices().len(), 1);
+/// let tc2 = cogent_ir::parse::parse_allowing_batch("ijn-ikn-kjn")?;
+/// assert_eq!(tc2.batch_indices().len(), 1);
+/// # Ok::<(), cogent_ir::ParseContractionError>(())
+/// ```
+pub fn parse_allowing_batch(s: &str) -> Result<Contraction, ParseContractionError> {
+    let strict: Result<Contraction, ParseContractionError> = s.parse();
+    match strict {
+        Err(ParseContractionError::Invalid(
+            crate::ValidateContractionError::BatchIndex { .. },
+        )) => {
+            // Re-parse the tensor refs and rebuild permissively.
+            let (c, a, b) = split_tensors(s)?;
+            Contraction::with_batch(c, a, b).map_err(Into::into)
+        }
+        other => other,
+    }
+}
+
+/// Parses the three tensor references of either notation without building
+/// the contraction.
+fn split_tensors(s: &str) -> Result<(TensorRef, TensorRef, TensorRef), ParseContractionError> {
+    if let Some(eq) = s.find('=') {
+        let accumulate = eq > 0 && s.as_bytes()[eq - 1] == b'+';
+        let lhs = &s[..eq - usize::from(accumulate)];
+        let rhs = &s[eq + 1..];
+        let (a_text, b_text) = rhs.split_once('*').ok_or_else(|| {
+            ParseContractionError::syntax("missing '*' on the right-hand side")
+        })?;
+        Ok((parse_tensor(lhs)?, parse_tensor(a_text)?, parse_tensor(b_text)?))
+    } else {
+        let parts: Vec<&str> = s.trim().split('-').collect();
+        if parts.len() != 3 {
+            return Err(ParseContractionError::syntax(format!(
+                "expected 3 dash-separated groups, found {}",
+                parts.len()
+            )));
+        }
+        let group = |name: &str, text: &str| -> Result<TensorRef, ParseContractionError> {
+            let indices: Vec<IndexName> = text
+                .chars()
+                .map(|c| {
+                    IndexName::try_new(&c.to_string()).ok_or_else(|| {
+                        ParseContractionError::syntax(format!("invalid index character {c:?}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            TensorRef::try_new(name, indices).map_err(Into::into)
+        };
+        Ok((group("C", parts[0])?, group("A", parts[1])?, group("B", parts[2])?))
+    }
+}
+
+/// Parses the explicit bracket notation, e.g.
+/// `"C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]"`.
+///
+/// Tensor names are arbitrary identifiers; index names may be
+/// multi-character (`h3`, `p6`). Whitespace is insignificant. The
+/// accumulate form (`C[...] += ...`) parses to the same contraction — use
+/// [`parse_statement`] to also recover the assignment kind.
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax or an invalid contraction.
+///
+/// # Examples
+///
+/// ```
+/// let tc = cogent_ir::parse::parse_explicit(
+///     "T3[h3,h2,h1,p6,p5,p4] = T2[h7,p4,p5,h1] * V2[h3,h2,p6,h7]",
+/// )?;
+/// assert_eq!(tc.internal_indices().len(), 1);
+/// # Ok::<(), cogent_ir::ParseContractionError>(())
+/// ```
+pub fn parse_explicit(s: &str) -> Result<Contraction, ParseContractionError> {
+    parse_statement(s).map(|(tc, _)| tc)
+}
+
+/// Like [`parse_explicit`], additionally reporting whether the statement
+/// used the accumulate form: `true` for `C[...] += A[...] * B[...]`
+/// (NWChem's triples kernels are written this way), `false` for plain `=`.
+///
+/// # Errors
+///
+/// Returns an error on malformed syntax or an invalid contraction.
+///
+/// # Examples
+///
+/// ```
+/// let (tc, accumulate) = cogent_ir::parse::parse_statement(
+///     "T3[h1,p4] += T2[h3,p4] * V2[h1,h3]",
+/// )?;
+/// assert!(accumulate);
+/// assert_eq!(tc.internal_indices()[0].as_str(), "h3");
+/// # Ok::<(), cogent_ir::ParseContractionError>(())
+/// ```
+pub fn parse_statement(s: &str) -> Result<(Contraction, bool), ParseContractionError> {
+    let eq = s
+        .find('=')
+        .ok_or_else(|| ParseContractionError::syntax("missing '='"))?;
+    let accumulate = eq > 0 && s.as_bytes()[eq - 1] == b'+';
+    let lhs = &s[..eq - usize::from(accumulate)];
+    let rhs = &s[eq + 1..];
+    let (a_text, b_text) = rhs
+        .split_once('*')
+        .ok_or_else(|| ParseContractionError::syntax("missing '*' on the right-hand side"))?;
+    let c = parse_tensor(lhs)?;
+    let a = parse_tensor(a_text)?;
+    let b = parse_tensor(b_text)?;
+    Contraction::new(c, a, b)
+        .map(|tc| (tc, accumulate))
+        .map_err(Into::into)
+}
+
+fn parse_tensor(text: &str) -> Result<TensorRef, ParseContractionError> {
+    let text = text.trim();
+    let open = text
+        .find('[')
+        .ok_or_else(|| ParseContractionError::syntax(format!("missing '[' in {text:?}")))?;
+    if !text.ends_with(']') {
+        return Err(ParseContractionError::syntax(format!(
+            "missing closing ']' in {text:?}"
+        )));
+    }
+    let name = text[..open].trim();
+    let body = &text[open + 1..text.len() - 1];
+    let indices: Vec<IndexName> = body
+        .split(',')
+        .map(|part| {
+            let part = part.trim();
+            IndexName::try_new(part).ok_or_else(|| {
+                ParseContractionError::syntax(format!("invalid index name {part:?}"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    TensorRef::try_new(name, indices).map_err(Into::into)
+}
+
+impl FromStr for Contraction {
+    type Err = ParseContractionError;
+
+    /// Accepts either the TCCG form (`"abcd-aebf-dfce"`) or the explicit
+    /// form (`"C[...] = A[...] * B[...]"`), chosen by the presence of `=`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains('=') {
+            parse_explicit(s)
+        } else {
+            parse_tccg(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tccg_eq1() {
+        let tc = parse_tccg("abcd-aebf-dfce").unwrap();
+        assert_eq!(tc.to_string(), "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]");
+    }
+
+    #[test]
+    fn tccg_matmul() {
+        let tc = parse_tccg("ij-ik-kj").unwrap();
+        assert_eq!(tc.internal_indices().len(), 1);
+        assert_eq!(tc.internal_indices()[0].as_str(), "k");
+    }
+
+    #[test]
+    fn tccg_sd2_1_from_paper() {
+        // Fig. 8 benchmark: SD2_1 (abcdef-gdab-efgc).
+        let tc = parse_tccg("abcdef-gdab-efgc").unwrap();
+        assert_eq!(tc.c().rank(), 6);
+        assert_eq!(tc.a().rank(), 4);
+        assert_eq!(tc.b().rank(), 4);
+        assert_eq!(tc.internal_indices().len(), 1);
+        assert_eq!(tc.internal_indices()[0].as_str(), "g");
+    }
+
+    #[test]
+    fn tccg_wrong_group_count() {
+        assert!(parse_tccg("ab-cd").is_err());
+        assert!(parse_tccg("ab-cd-ef-gh").is_err());
+    }
+
+    #[test]
+    fn tccg_empty_group() {
+        assert!(parse_tccg("ab--cd").is_err());
+        assert!(parse_tccg("-ab-cd").is_err());
+    }
+
+    #[test]
+    fn tccg_bad_character() {
+        assert!(parse_tccg("a1b-ab-1b".replace('1', "!").as_str()).is_err());
+    }
+
+    #[test]
+    fn explicit_eq1() {
+        let tc = parse_explicit("C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]").unwrap();
+        assert_eq!(tc.to_tccg_string().unwrap(), "abcd-aebf-dfce");
+    }
+
+    #[test]
+    fn explicit_multichar_indices() {
+        let tc =
+            parse_explicit("T3[h3,h2,h1,p6,p5,p4] = T2[h7,p4,p5,h1] * V2[h3,h2,p6,h7]").unwrap();
+        assert_eq!(tc.c().name(), "T3");
+        assert_eq!(tc.internal_indices()[0].as_str(), "h7");
+    }
+
+    #[test]
+    fn explicit_whitespace_insensitive() {
+        let tc = parse_explicit("  C[ a , b ]=A[ a , k ]  *  B[ k , b ] ").unwrap();
+        assert_eq!(tc.to_tccg_string().unwrap(), "ab-ak-kb");
+    }
+
+    #[test]
+    fn explicit_missing_parts() {
+        assert!(parse_explicit("C[a,b] A[a,k] * B[k,b]").is_err());
+        assert!(parse_explicit("C[a,b] = A[a,k] B[k,b]").is_err());
+        assert!(parse_explicit("C[a,b] = A[a,k * B[k,b]").is_err());
+        assert!(parse_explicit("Ca,b] = A[a,k] * B[k,b]").is_err());
+    }
+
+    #[test]
+    fn from_str_dispatch() {
+        let t1: Contraction = "ab-ak-kb".parse().unwrap();
+        let t2: Contraction = "C[a,b] = A[a,k] * B[k,b]".parse().unwrap();
+        assert_eq!(t1.to_tccg_string(), t2.to_tccg_string());
+    }
+
+    #[test]
+    fn statement_detects_accumulate() {
+        let (tc, acc) = parse_statement("C[a,b] += A[a,k] * B[k,b]").unwrap();
+        assert!(acc);
+        assert_eq!(tc.to_tccg_string().unwrap(), "ab-ak-kb");
+        let (_, plain) = parse_statement("C[a,b] = A[a,k] * B[k,b]").unwrap();
+        assert!(!plain);
+        // Whitespace around the operator is tolerated.
+        let (_, acc2) = parse_statement("C[a,b]  +=  A[a,k] * B[k,b]").unwrap();
+        assert!(acc2);
+    }
+
+    #[test]
+    fn allowing_batch_accepts_and_rejects_correctly() {
+        let tc = parse_allowing_batch("ijn-ikn-kjn").unwrap();
+        assert_eq!(tc.batch_indices()[0].as_str(), "n");
+        // Non-batch contractions still parse identically.
+        let tc2 = parse_allowing_batch("ij-ik-kj").unwrap();
+        assert!(tc2.batch_indices().is_empty());
+        // Genuinely invalid input still errors.
+        assert!(parse_allowing_batch("ij-ikz-kj").is_err());
+        assert!(parse_allowing_batch("ij-ik").is_err());
+    }
+
+    #[test]
+    fn parse_surfaces_validation_errors() {
+        // "z" appears once.
+        let err = parse_tccg("ab-akz-kb").unwrap_err();
+        assert!(matches!(err, ParseContractionError::Invalid(_)));
+    }
+}

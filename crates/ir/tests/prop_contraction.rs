@@ -1,0 +1,122 @@
+//! Property tests for the contraction IR: random contractions are generated
+//! by partitioning a random index pool into the three legal groups and
+//! shuffling per-tensor orders; the classifier must recover the partition.
+
+use cogent_ir::{Contraction, ContractionAnalysis, SizeMap, TensorRef};
+use proptest::prelude::*;
+
+/// Strategy producing a random valid contraction together with the intended
+/// partition (externals-in-A, externals-in-B, internals).
+fn contraction_strategy() -> impl Strategy<Value = (Contraction, usize, usize, usize)> {
+    // Pool of up to 8 single-letter indices split into three groups:
+    // group sizes (na, nb, ni) with na + nb >= 1 and ni >= 1 and each input
+    // tensor non-empty.
+    (1usize..=3, 1usize..=3, 1usize..=2).prop_flat_map(|(na, nb, ni)| {
+        let total = na + nb + ni;
+        let letters: Vec<String> = (0..total)
+            .map(|i| ((b'a' + i as u8) as char).to_string())
+            .collect();
+        let ext_a = letters[..na].to_vec();
+        let ext_b = letters[na..na + nb].to_vec();
+        let ints = letters[na + nb..].to_vec();
+        let c_perm = Just(()).prop_perturb(move |_, mut rng| {
+            let mut v: Vec<String> = ext_a.iter().chain(ext_b.iter()).cloned().collect();
+            // Fisher-Yates with proptest's rng for reproducibility.
+            for i in (1..v.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                v.swap(i, j);
+            }
+            v
+        });
+        let ea = letters[..na].to_vec();
+        let eb = letters[na..na + nb].to_vec();
+        let ii = ints.clone();
+        c_perm.prop_map(move |c_order| {
+            let mut a_idx: Vec<String> = ea.iter().chain(ii.iter()).cloned().collect();
+            let mut b_idx: Vec<String> = eb.iter().chain(ii.iter()).cloned().collect();
+            // Deterministic rotation to vary input layouts.
+            let ra = c_order.len() % a_idx.len().max(1);
+            let rb = (c_order.len() / 2) % b_idx.len().max(1);
+            a_idx.rotate_left(ra);
+            b_idx.rotate_left(rb);
+            let c = TensorRef::new("C", c_order.iter().map(String::as_str));
+            let a = TensorRef::new("A", a_idx.iter().map(String::as_str));
+            let b = TensorRef::new("B", b_idx.iter().map(String::as_str));
+            (
+                Contraction::new(c, a, b).expect("constructed valid"),
+                na,
+                nb,
+                ii.len(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn classifier_recovers_partition((tc, na, nb, ni) in contraction_strategy()) {
+        let an = ContractionAnalysis::new(&tc);
+        prop_assert_eq!(an.externals_a().len(), na);
+        prop_assert_eq!(an.externals_b().len(), nb);
+        prop_assert_eq!(an.internals().len(), ni);
+        prop_assert_eq!(tc.num_indices(), na + nb + ni);
+    }
+
+    #[test]
+    fn every_index_in_exactly_two_tensors((tc, ..) in contraction_strategy()) {
+        for idx in tc.all_indices() {
+            let count = [tc.c(), tc.a(), tc.b()]
+                .iter()
+                .filter(|t| t.contains(idx))
+                .count();
+            prop_assert_eq!(count, 2, "index {} must be in exactly two tensors", idx);
+        }
+    }
+
+    #[test]
+    fn reuse_tensor_never_contains_index((tc, ..) in contraction_strategy()) {
+        let an = ContractionAnalysis::new(&tc);
+        for idx in tc.all_indices() {
+            let class = an.classify(idx).unwrap();
+            let reused = match class.reuse_tensor().expect("no batch indices") {
+                cogent_ir::TensorRole::C => tc.c(),
+                cogent_ir::TensorRole::A => tc.a(),
+                cogent_ir::TensorRole::B => tc.b(),
+            };
+            prop_assert!(!reused.contains(idx));
+        }
+    }
+
+    #[test]
+    fn normalization_puts_output_fvi_in_a((tc, ..) in contraction_strategy()) {
+        let n = tc.normalized();
+        prop_assert!(n.a().contains(n.c().fvi()));
+        // Normalization preserves the index partition sizes.
+        let an = ContractionAnalysis::new(&tc);
+        let nn = ContractionAnalysis::new(&n);
+        prop_assert_eq!(an.internals().len(), nn.internals().len());
+        prop_assert_eq!(
+            an.externals_a().len() + an.externals_b().len(),
+            nn.externals_a().len() + nn.externals_b().len()
+        );
+    }
+
+    #[test]
+    fn tccg_string_roundtrip((tc, ..) in contraction_strategy()) {
+        let s = tc.to_tccg_string().expect("single-letter indices");
+        let parsed: Contraction = s.parse().unwrap();
+        prop_assert_eq!(parsed.to_tccg_string().unwrap(), s);
+    }
+
+    #[test]
+    fn flops_positive_and_scales((tc, ..) in contraction_strategy()) {
+        let an = ContractionAnalysis::new(&tc);
+        let s1 = SizeMap::uniform(&tc, 4);
+        let s2 = SizeMap::uniform(&tc, 8);
+        let f1 = an.flops(&s1);
+        let f2 = an.flops(&s2);
+        prop_assert!(f1 > 0);
+        // Doubling every extent multiplies flops by 2^rank.
+        prop_assert_eq!(f2, f1 << tc.num_indices());
+    }
+}

@@ -1,0 +1,469 @@
+//! The 48 benchmark entries.
+
+use std::fmt;
+
+use cogent_ir::{Contraction, SizeMap};
+
+/// Benchmark group (the clusters visible in Figs. 4–5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchGroup {
+    /// Tensor-matrix multiplications from machine learning (#1–8).
+    MachineLearning,
+    /// Atomic-orbital → molecular-orbital integral transforms (#9–11).
+    AoToMo,
+    /// CCSD contractions (#12–30).
+    Ccsd,
+    /// CCSD(T) SD1/SD2 triples contractions (#31–48).
+    CcsdT,
+}
+
+impl fmt::Display for BenchGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BenchGroup::MachineLearning => "ML",
+            BenchGroup::AoToMo => "AO-MO",
+            BenchGroup::Ccsd => "CCSD",
+            BenchGroup::CcsdT => "CCSD(T)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One benchmark: a contraction spec plus its representative extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TccgEntry {
+    /// 1-based position in Figs. 4–5.
+    pub id: usize,
+    /// Short name (e.g. `"sd2_1"` or `"tccg_12"`).
+    pub name: String,
+    /// The group the entry belongs to.
+    pub group: BenchGroup,
+    /// The contraction in TCCG string notation.
+    pub spec: String,
+    sizes: Vec<(char, usize)>,
+}
+
+impl TccgEntry {
+    fn new(
+        id: usize,
+        name: impl Into<String>,
+        group: BenchGroup,
+        spec: impl Into<String>,
+        sizes: &[(char, usize)],
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            group,
+            spec: spec.into(),
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// Parses the entry's contraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored spec is malformed (a bug in the suite, caught
+    /// by its tests).
+    pub fn contraction(&self) -> Contraction {
+        self.spec
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid suite entry {}: {e}", self.name))
+    }
+
+    /// The representative extents for this entry.
+    pub fn sizes(&self) -> SizeMap {
+        SizeMap::from_pairs(self.sizes.iter().map(|&(c, n)| (c, n)))
+    }
+
+    /// Total floating point operations at the representative size.
+    pub fn flops(&self) -> u128 {
+        cogent_ir::ContractionAnalysis::new(&self.contraction()).flops(&self.sizes())
+    }
+
+    /// Arithmetic intensity (FLOPs per tensor element touched once) at the
+    /// representative size — low values mark the transpose-hostile
+    /// CCSD(T) region of Figs. 4–5.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let tc = self.contraction();
+        cogent_ir::ContractionAnalysis::new(&tc).arithmetic_intensity(&self.sizes())
+    }
+}
+
+/// Looks up a suite entry by its short name (e.g. `"sd2_1"`).
+pub fn find(name: &str) -> Option<TccgEntry> {
+    suite().into_iter().find(|e| e.name == name)
+}
+
+impl fmt::Display for TccgEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} [{}] {}",
+            self.id, self.name, self.group, self.spec
+        )
+    }
+}
+
+fn uniform(letters: &str, n: usize) -> Vec<(char, usize)> {
+    letters.chars().map(|c| (c, n)).collect()
+}
+
+/// CCSD(T) extents: occupied orbitals (`a..c`) of 16, virtuals (`d..f`) of
+/// 24, with the contracted index `g` occupied (SD1) or virtual (SD2).
+fn ccsdt_sizes(g_extent: usize) -> Vec<(char, usize)> {
+    vec![
+        ('a', 16),
+        ('b', 16),
+        ('c', 16),
+        ('d', 24),
+        ('e', 24),
+        ('f', 24),
+        ('g', g_extent),
+    ]
+}
+
+/// The nine SD1 contractions (#31–39): reconstructions of NWChem's
+/// `sd_t_d1_<i>` triples kernels. The output is `t3[h3,h2,h1,p6,p5,p4]`
+/// (letters `a..f`); variant `i` selects which occupied index joins `t2`
+/// and which virtual index joins `v2`.
+pub fn sd1_entries() -> Vec<TccgEntry> {
+    let mut out = Vec::new();
+    let h_choices = ['c', 'b', 'a'];
+    let p_choices = ['d', 'e', 'f'];
+    let mut i = 0;
+    for &p_w in &p_choices {
+        for &h_a in &h_choices {
+            i += 1;
+            // A = t2(h7, p_hi, p_lo, hA): the two virtuals not given to v2,
+            // descending, matching the NWChem kernel's (p4, p5) order.
+            let mut ps: Vec<char> = p_choices.iter().copied().filter(|&p| p != p_w).collect();
+            ps.sort_unstable();
+            ps.reverse();
+            let a_spec: String = std::iter::once('g')
+                .chain(ps)
+                .chain(std::iter::once(h_a))
+                .collect();
+            // B = v2(hB1, hB2, pW, h7) with the remaining occupied indices
+            // ascending.
+            let hs: Vec<char> = h_choices
+                .iter()
+                .copied()
+                .filter(|&h| h != h_a)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev() // h_choices is (c,b,a); ascending order is (a,b)
+                .collect();
+            let b_spec: String = hs.into_iter().chain([p_w, 'g']).collect();
+            out.push(TccgEntry::new(
+                30 + i,
+                format!("sd1_{i}"),
+                BenchGroup::CcsdT,
+                format!("abcdef-{a_spec}-{b_spec}"),
+                &ccsdt_sizes(16),
+            ));
+        }
+    }
+    out
+}
+
+/// The nine SD2 contractions (#40–48). SD2_1 is the paper's Fig. 8
+/// benchmark, `abcdef-gdab-efgc`.
+pub fn sd2_entries() -> Vec<TccgEntry> {
+    let mut out = Vec::new();
+    let h_choices = ['c', 'b', 'a'];
+    let p_choices = ['d', 'e', 'f'];
+    let mut i = 0;
+    for &h_z in &h_choices {
+        for &p_a in &p_choices {
+            i += 1;
+            // A = t2(p7, pA, hX, hY): the occupied indices not given to v2,
+            // ascending.
+            let hs: Vec<char> = {
+                let mut v: Vec<char> = h_choices.iter().copied().filter(|&h| h != h_z).collect();
+                v.sort_unstable();
+                v
+            };
+            let a_spec: String = std::iter::once('g')
+                .chain(std::iter::once(p_a))
+                .chain(hs)
+                .collect();
+            // B = v2(pB1, pB2, p7, hZ) with the remaining virtuals ascending.
+            let ps: Vec<char> = {
+                let mut v: Vec<char> = p_choices.iter().copied().filter(|&p| p != p_a).collect();
+                v.sort_unstable();
+                v
+            };
+            let b_spec: String = ps.into_iter().chain(['g', h_z]).collect();
+            out.push(TccgEntry::new(
+                39 + i,
+                format!("sd2_{i}"),
+                BenchGroup::CcsdT,
+                format!("abcdef-{a_spec}-{b_spec}"),
+                &ccsdt_sizes(24),
+            ));
+        }
+    }
+    out
+}
+
+/// The full 48-entry suite in figure order.
+pub fn suite() -> Vec<TccgEntry> {
+    use BenchGroup::*;
+    let mut out = Vec::with_capacity(48);
+
+    // #1-8: ML tensor-matrix multiplications.
+    let ml3 = uniform("abcd", 152);
+    let ml4: Vec<(char, usize)> = uniform("abcd", 48)
+        .into_iter()
+        .chain([('e', 152)])
+        .collect();
+    for (i, spec) in ["abc-acd-db", "abc-adc-bd", "abc-bda-dc", "abc-dca-bd"]
+        .iter()
+        .enumerate()
+    {
+        out.push(TccgEntry::new(
+            i + 1,
+            format!("ml_{}", i + 1),
+            MachineLearning,
+            *spec,
+            &ml3,
+        ));
+    }
+    for (i, spec) in [
+        "abcd-aebd-ce",
+        "abcd-abed-ce",
+        "abcd-aecd-be",
+        "abcd-eabc-de",
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(TccgEntry::new(
+            i + 5,
+            format!("ml_{}", i + 5),
+            MachineLearning,
+            *spec,
+            &ml4,
+        ));
+    }
+
+    // #9-11: AO -> MO transforms.
+    let aomo = uniform("abcde", 72);
+    for (i, spec) in ["abcd-ebcd-ae", "abcd-eacd-be", "abcd-abec-de"]
+        .iter()
+        .enumerate()
+    {
+        out.push(TccgEntry::new(
+            i + 9,
+            format!("aomo_{}", i + 1),
+            AoToMo,
+            *spec,
+            &aomo,
+        ));
+    }
+
+    // #12-30: CCSD. #12 and #20-30 are 4D = 4D×4D contractions (two
+    // contracted indices); #12 is the paper's Eq. 1.
+    let ccsd6 = uniform("abcdef", 64);
+    out.push(TccgEntry::new(12, "ccsd_1", Ccsd, "abcd-aebf-dfce", &ccsd6));
+    let ccsd_misc: [(&str, Vec<(char, usize)>); 7] = [
+        // 2D output: large free dims, modest contracted dims, so the
+        // direct approach still has enough thread blocks.
+        (
+            "ab-acd-dbc",
+            vec![('a', 384), ('b', 384), ('c', 64), ('d', 64)],
+        ),
+        (
+            "ab-cad-dcb",
+            vec![('a', 384), ('b', 384), ('c', 64), ('d', 64)],
+        ),
+        ("abc-aefc-fbe", uniform("abcef", 64)),
+        ("abc-aefb-fce", uniform("abcef", 64)),
+        ("abcd-ebad-ce", uniform("abcde", 64)),
+        ("abcd-bced-ae", uniform("abcde", 64)),
+        ("abcd-acbe-ed", uniform("abcde", 64)),
+    ];
+    for (i, (spec, sizes)) in ccsd_misc.iter().enumerate() {
+        out.push(TccgEntry::new(
+            13 + i,
+            format!("ccsd_{}", i + 2),
+            Ccsd,
+            *spec,
+            sizes,
+        ));
+    }
+    for (i, spec) in [
+        "abcd-aebf-cfde",
+        "abcd-aefb-fdce",
+        "abcd-eafb-fdec",
+        "abcd-aebf-dfec",
+        "abcd-eafb-dcfe",
+        "abcd-efab-cdfe",
+        "abcd-efab-fecd",
+        "abcd-aebf-cedf",
+        "abcd-beaf-dfce",
+        "abcd-ebaf-fdce",
+        "abcd-eafd-fbec",
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(TccgEntry::new(
+            20 + i,
+            format!("ccsd_{}", i + 9),
+            Ccsd,
+            *spec,
+            &ccsd6,
+        ));
+    }
+
+    // #31-48: CCSD(T).
+    out.extend(sd1_entries());
+    out.extend(sd2_entries());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_ir::ContractionAnalysis;
+
+    #[test]
+    fn suite_has_48_entries_in_figure_order() {
+        let s = suite();
+        assert_eq!(s.len(), 48);
+        for (i, e) in s.iter().enumerate() {
+            assert_eq!(e.id, i + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn every_entry_parses_and_is_covered() {
+        for e in suite() {
+            let tc = e.contraction();
+            let sizes = e.sizes();
+            assert!(sizes.covers(&tc), "{e} missing extents");
+            assert!(e.flops() > 0);
+        }
+    }
+
+    #[test]
+    fn specs_are_unique() {
+        let s = suite();
+        let mut specs: Vec<&str> = s.iter().map(|e| e.spec.as_str()).collect();
+        specs.sort_unstable();
+        specs.dedup();
+        assert_eq!(specs.len(), 48, "duplicate specs in the suite");
+    }
+
+    #[test]
+    fn group_boundaries_match_the_paper() {
+        let s = suite();
+        assert!(s[..8]
+            .iter()
+            .all(|e| e.group == BenchGroup::MachineLearning));
+        assert!(s[8..11].iter().all(|e| e.group == BenchGroup::AoToMo));
+        assert!(s[11..30].iter().all(|e| e.group == BenchGroup::Ccsd));
+        assert!(s[30..].iter().all(|e| e.group == BenchGroup::CcsdT));
+    }
+
+    #[test]
+    fn sd2_1_is_the_paper_benchmark() {
+        let sd2 = sd2_entries();
+        assert_eq!(sd2.len(), 9);
+        assert_eq!(sd2[0].name, "sd2_1");
+        assert_eq!(sd2[0].spec, "abcdef-gdab-efgc");
+        assert_eq!(sd2[0].id, 40);
+    }
+
+    #[test]
+    fn sd1_1_matches_nwchem_layout() {
+        // t3(h3,h2,h1,p6,p5,p4) += t2(h7,p4,p5,h1) * v2(h3,h2,p6,h7)
+        // → abcdef-gfec-abdg.
+        let sd1 = sd1_entries();
+        assert_eq!(sd1.len(), 9);
+        assert_eq!(sd1[0].spec, "abcdef-gfec-abdg");
+        assert_eq!(sd1[0].id, 31);
+    }
+
+    #[test]
+    fn ccsdt_entries_are_6d_with_one_contraction_index() {
+        for e in suite().iter().filter(|e| e.group == BenchGroup::CcsdT) {
+            let tc = e.contraction();
+            assert_eq!(tc.c().rank(), 6, "{e}");
+            assert_eq!(tc.a().rank(), 4, "{e}");
+            assert_eq!(tc.b().rank(), 4, "{e}");
+            assert_eq!(tc.internal_indices().len(), 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn ccsd_4d_entries_have_two_contraction_indices() {
+        let s = suite();
+        for id in std::iter::once(12).chain(20..=30) {
+            let e = &s[id - 1];
+            let tc = e.contraction();
+            assert_eq!(tc.c().rank(), 4, "{e}");
+            assert_eq!(tc.internal_indices().len(), 2, "{e}");
+        }
+    }
+
+    #[test]
+    fn eq1_is_entry_12() {
+        assert_eq!(suite()[11].spec, "abcd-aebf-dfce");
+    }
+
+    #[test]
+    fn reuse_partition_holds_for_all_entries() {
+        // The domain property COGENT depends on: each index in exactly two
+        // tensors (validated by Contraction::new) and the classifier
+        // partitions the index set.
+        for e in suite() {
+            let tc = e.contraction();
+            let an = ContractionAnalysis::new(&tc);
+            assert_eq!(
+                an.externals_a().len() + an.externals_b().len() + an.internals().len(),
+                tc.num_indices(),
+                "{e}"
+            );
+        }
+    }
+
+    #[test]
+    fn ccsdt_sizes_distinguish_occupied_virtual() {
+        let sd1 = &sd1_entries()[0];
+        let sizes = sd1.sizes();
+        assert_eq!(sizes.extent("a"), Some(16));
+        assert_eq!(sizes.extent("d"), Some(24));
+        assert_eq!(sizes.extent("g"), Some(16));
+        let sd2 = &sd2_entries()[0];
+        assert_eq!(sd2.sizes().extent("g"), Some(24));
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert_eq!(find("sd2_1").unwrap().id, 40);
+        assert_eq!(find("ccsd_1").unwrap().spec, "abcd-aebf-dfce");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn ccsdt_has_low_arithmetic_intensity() {
+        // The CCSD(T) group's intensity is bounded by ~2·N_g (one
+        // contraction index); the fat 4D CCSD entries are far higher.
+        let sd2 = find("sd2_1").unwrap();
+        let fat = find("ccsd_9").unwrap();
+        assert!(sd2.arithmetic_intensity() < fat.arithmetic_intensity() / 10.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = &suite()[39];
+        let s = e.to_string();
+        assert!(s.contains("#40"));
+        assert!(s.contains("sd2_1"));
+        assert!(s.contains("CCSD(T)"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The scalar element trait.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Scalar element types usable in tensors — `f32` and `f64`.
+///
+/// The trait is sealed: the kernels in this workspace are written and tested
+/// against IEEE-754 binary32/binary64 semantics only (the paper evaluates
+/// double precision throughout and single precision for the Tensor
+/// Comprehensions comparison).
+pub trait Element:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Sum
+    + Send
+    + Sync
+    + private::Sealed
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Size of the element in bytes (4 for `f32`, 8 for `f64`).
+    const BYTES: usize;
+
+    /// Converts from `f64`, rounding as needed.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (`f32` widens losslessly).
+    fn to_f64(self) -> f64;
+    /// Fused-style multiply-add `self * m + a` (not necessarily a hardware
+    /// FMA; used for clarity in inner loops).
+    fn mul_add_(self, m: Self, a: Self) -> Self;
+    /// Absolute value.
+    fn abs_(self) -> Self;
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 8;
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn mul_add_(self, m: Self, a: Self) -> Self {
+        self * m + a
+    }
+    fn abs_(self) -> Self {
+        self.abs()
+    }
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const BYTES: usize = 4;
+
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn mul_add_(self, m: Self, a: Self) -> Self {
+        self * m + a
+    }
+    fn abs_(self) -> Self {
+        self.abs()
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Maximum absolute difference between two equally-long slices.
+///
+/// # Panics
+///
+/// Panics when lengths differ.
+pub fn max_abs_diff<T: Element>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Whether two slices agree to a relative-ish tolerance suitable for
+/// accumulated floating-point sums: `|x - y| <= tol * (1 + max(|x|, |y|))`.
+pub fn approx_eq_slices<T: Element>(x: &[T], y: &[T], tol: f64) -> bool {
+    x.len() == y.len()
+        && x.iter().zip(y).all(|(&a, &b)| {
+            let (a, b) = (a.to_f64(), b.to_f64());
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f32::ONE, 1.0);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(1.5f32.to_f64(), 1.5f64);
+        assert_eq!(f64::from_f64(-2.25), -2.25);
+    }
+
+    #[test]
+    fn mul_add() {
+        assert_eq!(2.0f64.mul_add_(3.0, 4.0), 10.0);
+        assert_eq!(2.0f32.mul_add_(3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn abs() {
+        assert_eq!((-3.0f64).abs_(), 3.0);
+        assert_eq!((-3.0f32).abs_(), 3.0);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0f64, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn max_abs_diff_length_mismatch() {
+        let _ = max_abs_diff(&[1.0f64], &[]);
+    }
+
+    #[test]
+    fn approx_eq() {
+        assert!(approx_eq_slices(&[1.0f64, 2.0], &[1.0 + 1e-13, 2.0], 1e-12));
+        assert!(!approx_eq_slices(&[1.0f64], &[1.1], 1e-12));
+        assert!(!approx_eq_slices(&[1.0f64], &[1.0, 2.0], 1e-12));
+    }
+}

@@ -1,0 +1,175 @@
+//! Blocked general matrix-matrix multiplication.
+//!
+//! Matrices are column-major (`M[i,j]` at offset `i + j*ld`), consistent
+//! with the tensor layout convention. This is the compute core of the TTGT
+//! baseline; it is a straightforward cache-blocked implementation — the
+//! point of the reproduction is relative behaviour, not absolute CPU FLOPS.
+
+use crate::dense::DenseTensor;
+use crate::element::Element;
+
+/// Cache block along `m` (rows of C).
+const MC: usize = 64;
+/// Cache block along `k` (the contracted dimension).
+const KC: usize = 64;
+/// Cache block along `n` (columns of C).
+const NC: usize = 64;
+
+/// Computes `C += A * B` for column-major matrices: `A` is `m×k`, `B` is
+/// `k×n`, `C` is `m×n`.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the given dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_tensor::gemm::gemm;
+///
+/// // [1 3] [5 7]   [23 31]  (column-major data below)
+/// // [2 4] [6 8] = [34 46]
+/// let a = [1.0f64, 2.0, 3.0, 4.0];
+/// let b = [5.0f64, 6.0, 7.0, 8.0];
+/// let mut c = [0.0f64; 4];
+/// gemm(2, 2, 2, &a, &b, &mut c);
+/// assert_eq!(c, [23.0, 34.0, 31.0, 46.0]);
+/// ```
+pub fn gemm<T: Element>(m: usize, n: usize, k: usize, a: &[T], b: &[T], c: &mut [T]) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+
+    for jc in (0..n).step_by(NC) {
+        let n_hi = (jc + NC).min(n);
+        for pc in (0..k).step_by(KC) {
+            let k_hi = (pc + KC).min(k);
+            for ic in (0..m).step_by(MC) {
+                let m_hi = (ic + MC).min(m);
+                // Micro: jki order — contiguous column-major updates of C.
+                for j in jc..n_hi {
+                    let c_col = j * m;
+                    for p in pc..k_hi {
+                        let b_pj = b[p + j * k];
+                        if b_pj == T::ZERO {
+                            continue;
+                        }
+                        let a_col = p * m;
+                        for i in ic..m_hi {
+                            c[c_col + i] = a[a_col + i].mul_add_(b_pj, c[c_col + i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper multiplying 2D [`DenseTensor`]s: returns `A * B`.
+///
+/// # Panics
+///
+/// Panics when the operands are not rank-2 or the inner dimensions differ.
+pub fn matmul<T: Element>(a: &DenseTensor<T>, b: &DenseTensor<T>) -> DenseTensor<T> {
+    assert_eq!(a.layout().rank(), 2, "A must be a matrix");
+    assert_eq!(b.layout().rank(), 2, "B must be a matrix");
+    let (m, ka) = (a.layout().extents()[0], a.layout().extents()[1]);
+    let (kb, n) = (b.layout().extents()[0], b.layout().extents()[1]);
+    assert_eq!(ka, kb, "inner dimensions differ: {ka} vs {kb}");
+    let mut c = DenseTensor::<T>::zeros(&[m, n]);
+    gemm(m, n, ka, a.as_slice(), b.as_slice(), c.as_mut_slice());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_naive<T: Element>(m: usize, n: usize, k: usize, a: &[T], b: &[T]) -> Vec<T> {
+        let mut c = vec![T::ZERO; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = T::ZERO;
+                for p in 0..k {
+                    acc += a[i + p * m] * b[p + j * k];
+                }
+                c[i + j * m] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        // A = [1 3; 2 4] col-major [1,2,3,4]; B = [5 7; 6 8] col-major [5,6,7,8].
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        let b = [5.0f64, 6.0, 7.0, 8.0];
+        let mut c = [0.0f64; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        // C[0,0] = 1*5 + 3*6 = 23; C[1,0] = 2*5+4*6 = 34;
+        // C[0,1] = 1*7+3*8 = 31; C[1,1] = 2*7+4*8 = 46.
+        assert_eq!(c, [23.0, 34.0, 31.0, 46.0]);
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = [1.0f64];
+        let b = [1.0f64];
+        let mut c = [10.0f64];
+        gemm(1, 1, 1, &a, &b, &mut c);
+        assert_eq!(c, [11.0]);
+    }
+
+    #[test]
+    fn matches_naive_various_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (65, 2, 130),
+            (70, 70, 70),
+            (128, 1, 64),
+        ] {
+            let a = DenseTensor::<f64>::random(&[m, k], 1);
+            let b = DenseTensor::<f64>::random(&[k, n], 2);
+            let mut c = vec![0.0f64; m * n];
+            gemm(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+            let want = gemm_naive(m, n, k, a.as_slice(), b.as_slice());
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-10, "({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_path() {
+        let a = DenseTensor::<f32>::random(&[33, 17], 4);
+        let b = DenseTensor::<f32>::random(&[17, 9], 5);
+        let c = matmul(&a, &b);
+        let want = gemm_naive(33, 9, 17, a.as_slice(), b.as_slice());
+        for (x, y) in c.as_slice().iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_shape() {
+        let a = DenseTensor::<f64>::zeros(&[3, 4]);
+        let b = DenseTensor::<f64>::zeros(&[4, 5]);
+        assert_eq!(matmul(&a, &b).layout().extents(), &[3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatched() {
+        let a = DenseTensor::<f64>::zeros(&[3, 4]);
+        let b = DenseTensor::<f64>::zeros(&[5, 5]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "A has wrong length")]
+    fn gemm_validates_lengths() {
+        let mut c = [0.0f64; 1];
+        gemm(1, 1, 2, &[1.0], &[1.0, 2.0], &mut c);
+    }
+}

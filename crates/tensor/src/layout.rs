@@ -1,0 +1,265 @@
+//! Multi-dimensional layouts (generalized column-major).
+
+use std::fmt;
+
+/// The shape and strides of a dense tensor.
+///
+/// Layouts are *generalized column-major*: dimension 0 is the fastest
+/// varying (stride 1), matching the IR convention that the first index of a
+/// [`TensorRef`](cogent_ir::TensorRef) is the fastest varying index.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_tensor::Layout;
+///
+/// let l = Layout::column_major(&[3, 4, 5]);
+/// assert_eq!(l.strides(), &[1, 3, 12]);
+/// assert_eq!(l.len(), 60);
+/// assert_eq!(l.offset(&[2, 1, 0]), 5);
+/// assert_eq!(l.coords(5), vec![2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    extents: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Layout {
+    /// Creates a column-major (first-index-fastest) layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extents` is empty or any extent is zero.
+    pub fn column_major(extents: &[usize]) -> Self {
+        assert!(
+            !extents.is_empty(),
+            "layout must have at least one dimension"
+        );
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "extents must be positive: {extents:?}"
+        );
+        let mut strides = Vec::with_capacity(extents.len());
+        let mut s = 1usize;
+        for &e in extents {
+            strides.push(s);
+            s = s.checked_mul(e).expect("tensor size overflows usize");
+        }
+        Self {
+            extents: extents.to_vec(),
+            strides,
+        }
+    }
+
+    /// The extent of each dimension.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// The stride of each dimension, in elements.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// Whether the layout holds zero elements (never true: extents are
+    /// validated positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear offset of the element at `coords`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `coords` is out of bounds or has the
+    /// wrong rank.
+    #[inline]
+    pub fn offset(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        let mut off = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!(
+                c < self.extents[d],
+                "coordinate {c} out of bounds in dim {d}"
+            );
+            off += c * self.strides[d];
+        }
+        off
+    }
+
+    /// Inverse of [`Layout::offset`]: the coordinates of linear element
+    /// `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset >= len()`.
+    pub fn coords(&self, offset: usize) -> Vec<usize> {
+        assert!(offset < self.len(), "offset {offset} out of bounds");
+        let mut rem = offset;
+        let mut coords = Vec::with_capacity(self.rank());
+        for &e in &self.extents {
+            coords.push(rem % e);
+            rem /= e;
+        }
+        coords
+    }
+
+    /// Advances `coords` to the next element in layout order (fastest
+    /// dimension first). Returns `false` when iteration wrapped past the
+    /// last element.
+    #[inline]
+    pub fn advance(&self, coords: &mut [usize]) -> bool {
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c += 1;
+            if *c < self.extents[d] {
+                return true;
+            }
+            *c = 0;
+        }
+        false
+    }
+
+    /// Iterates over all coordinate tuples in layout order.
+    pub fn iter_coords(&self) -> CoordIter<'_> {
+        CoordIter {
+            layout: self,
+            next: Some(vec![0; self.rank()]),
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} (strides {:?})", self.extents, self.strides)
+    }
+}
+
+/// Iterator over all coordinates of a [`Layout`], fastest dimension first.
+#[derive(Debug, Clone)]
+pub struct CoordIter<'a> {
+    layout: &'a Layout,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for CoordIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.take()?;
+        let mut following = current.clone();
+        if self.layout.advance(&mut following) {
+            self.next = Some(following);
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.next {
+            None => (0, Some(0)),
+            Some(c) => {
+                let done = self.layout.offset(c);
+                let left = self.layout.len() - done;
+                (left, Some(left))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for CoordIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_column_major() {
+        let l = Layout::column_major(&[2, 3, 4]);
+        assert_eq!(l.strides(), &[1, 2, 6]);
+        assert_eq!(l.len(), 24);
+        assert_eq!(l.rank(), 3);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn offset_coords_roundtrip() {
+        let l = Layout::column_major(&[3, 4, 5]);
+        for off in 0..l.len() {
+            let c = l.coords(off);
+            assert_eq!(l.offset(&c), off);
+        }
+    }
+
+    #[test]
+    fn advance_enumerates_in_order() {
+        let l = Layout::column_major(&[2, 3]);
+        let mut c = vec![0, 0];
+        let mut seen = vec![l.offset(&c)];
+        while l.advance(&mut c) {
+            seen.push(l.offset(&c));
+        }
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_coords_matches_len() {
+        let l = Layout::column_major(&[3, 2, 2]);
+        let all: Vec<_> = l.iter_coords().collect();
+        assert_eq!(all.len(), l.len());
+        assert_eq!(all[0], vec![0, 0, 0]);
+        assert_eq!(all[1], vec![1, 0, 0]); // first dim fastest
+        assert_eq!(all.last().unwrap(), &vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn iter_coords_size_hint() {
+        let l = Layout::column_major(&[2, 2]);
+        let mut it = l.iter_coords();
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn rank_one() {
+        let l = Layout::column_major(&[7]);
+        assert_eq!(l.strides(), &[1]);
+        assert_eq!(l.offset(&[6]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_extents_panic() {
+        let _ = Layout::column_major(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_panics() {
+        let _ = Layout::column_major(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn coords_out_of_bounds() {
+        let _ = Layout::column_major(&[2, 2]).coords(4);
+    }
+
+    #[test]
+    fn display_mentions_strides() {
+        let l = Layout::column_major(&[2, 3]);
+        let s = l.to_string();
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[1, 2]"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense tensor substrate: storage, index permutation, GEMM and reference
+//! contraction kernels.
+//!
+//! This crate provides the host-side numerical machinery that both the
+//! COGENT reproduction and its baselines are built on:
+//!
+//! * [`DenseTensor`] — dense storage with a generalized column-major layout
+//!   (first index fastest varying, matching the IR convention).
+//! * [`permute`](permute::permute) — out-of-place index permutation
+//!   (an HPTT-style blocked transpose).
+//! * [`gemm`](gemm::gemm) — a blocked general matrix-matrix multiply.
+//! * [`contract_reference`](reference::contract_reference) — a naive
+//!   direct contraction of arbitrary rank, used as ground truth everywhere.
+//! * [`ttgt`] — the Transpose-Transpose-GEMM-Transpose pipeline, the
+//!   functional core of the TAL_SH-like baseline.
+//! * [`gett`] — a GETT-style pack-and-macro-kernel direct
+//!   contraction (the paper's CPU-side direct comparator).
+//!
+//! # Examples
+//!
+//! ```
+//! use cogent_ir::{Contraction, SizeMap};
+//! use cogent_tensor::{reference::contract_reference, DenseTensor};
+//!
+//! let tc: Contraction = "ij-ik-kj".parse()?;
+//! let sizes = SizeMap::from_pairs([("i", 3), ("j", 4), ("k", 5)]);
+//! let a = DenseTensor::<f64>::sequential(&[3, 5]);
+//! let b = DenseTensor::<f64>::sequential(&[5, 4]);
+//! let c = contract_reference(&tc, &sizes, &a, &b);
+//! assert_eq!(c.layout().extents(), &[3, 4]);
+//! # Ok::<(), cogent_ir::ParseContractionError>(())
+//! ```
+
+pub mod dense;
+pub mod element;
+pub mod gemm;
+pub mod gett;
+pub mod layout;
+pub mod permute;
+pub mod reference;
+pub mod ttgt;
+
+pub use dense::DenseTensor;
+pub use element::Element;
+pub use layout::Layout;

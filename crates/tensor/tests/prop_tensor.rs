@@ -1,0 +1,134 @@
+//! Property tests for the tensor substrate: permutation round-trips, GEMM
+//! against a naive evaluator, and TTGT against the reference contraction.
+
+use cogent_ir::{Contraction, SizeMap, TensorRef};
+use cogent_tensor::permute::{permutation_between, permute};
+use cogent_tensor::reference::{contract_reference, random_inputs};
+use cogent_tensor::ttgt::TtgtPlan;
+use cogent_tensor::DenseTensor;
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..5)
+}
+
+fn perm_strategy(rank: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..rank).collect::<Vec<_>>()).prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn permute_roundtrip((shape, perm) in shape_strategy()
+        .prop_flat_map(|s| {
+            let rank = s.len();
+            (Just(s), perm_strategy(rank))
+        }),
+        seed in 0u64..1000)
+    {
+        let rank = shape.len();
+        let t = DenseTensor::<f64>::random(&shape, seed);
+        let mut inv = vec![0usize; rank];
+        for (d, &p) in perm.iter().enumerate() {
+            inv[p] = d;
+        }
+        let back = permute(&permute(&t, &perm), &inv);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn permute_preserves_multiset(shape in shape_strategy(), seed in 0u64..1000) {
+        let rank = shape.len();
+        let t = DenseTensor::<f64>::random(&shape, seed);
+        let perm: Vec<usize> = (0..rank).rev().collect();
+        let p = permute(&t, &perm);
+        let mut x: Vec<u64> = t.as_slice().iter().map(|v| v.to_bits()).collect();
+        let mut y: Vec<u64> = p.as_slice().iter().map(|v| v.to_bits()).collect();
+        x.sort_unstable();
+        y.sort_unstable();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn permute_element_mapping(shape in prop::collection::vec(2usize..5, 2..5), seed in 0u64..100) {
+        let rank = shape.len();
+        let t = DenseTensor::<f64>::random(&shape, seed);
+        let perm: Vec<usize> = (0..rank).rev().collect();
+        let p = permute(&t, &perm);
+        // out[c] = in[c'] where c'[perm[d]] = c[d].
+        for out_coords in p.layout().iter_coords().step_by(3) {
+            let mut in_coords = vec![0usize; rank];
+            for (d, &pd) in perm.iter().enumerate() {
+                in_coords[pd] = out_coords[d];
+            }
+            prop_assert_eq!(p.get(&out_coords), t.get(&in_coords));
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_contraction(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::from_pairs([("i", m), ("j", n), ("k", k)]);
+        let a = DenseTensor::<f64>::random(&[m, k], seed);
+        let b = DenseTensor::<f64>::random(&[k, n], seed + 1);
+        let via_gemm = cogent_tensor::gemm::matmul(&a, &b);
+        let via_ref = contract_reference(&tc, &sizes, &a, &b);
+        prop_assert!(via_gemm.approx_eq(&via_ref, 1e-11));
+    }
+
+    #[test]
+    fn ttgt_matches_reference_on_random_contractions(
+        na in 1usize..3,
+        nb in 1usize..3,
+        ni in 1usize..3,
+        rot_a in 0usize..4,
+        rot_b in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        // Build a random contraction: externals a..(na), then nb, then ni
+        // internals; rotate input layouts to vary FVIs.
+        let total = na + nb + ni;
+        let letters: Vec<String> =
+            (0..total).map(|i| ((b'a' + i as u8) as char).to_string()).collect();
+        let ext_a = &letters[..na];
+        let ext_b = &letters[na..na + nb];
+        let ints = &letters[na + nb..];
+        let c_idx: Vec<&str> = ext_a.iter().chain(ext_b.iter()).map(String::as_str).collect();
+        let mut a_idx: Vec<&str> = ext_a.iter().chain(ints.iter()).map(String::as_str).collect();
+        let mut b_idx: Vec<&str> = ext_b.iter().chain(ints.iter()).map(String::as_str).collect();
+        let la = a_idx.len();
+        let lb = b_idx.len();
+        a_idx.rotate_left(rot_a % la);
+        b_idx.rotate_left(rot_b % lb);
+        let tc = Contraction::new(
+            TensorRef::new("C", c_idx),
+            TensorRef::new("A", a_idx),
+            TensorRef::new("B", b_idx),
+        ).unwrap();
+        let sizes = SizeMap::from_pairs(
+            letters.iter().enumerate().map(|(i, l)| (l.as_str(), 2 + (i % 3))),
+        );
+        let plan = TtgtPlan::new(&tc, &sizes);
+        let (a, b) = random_inputs::<f64>(&tc, &sizes, seed);
+        let got = plan.execute(&a, &b);
+        let want = contract_reference(&tc, &sizes, &a, &b);
+        prop_assert!(got.approx_eq(&want, 1e-11), "contraction {}", tc);
+    }
+
+    #[test]
+    fn permutation_between_is_consistent(rank in 1usize..5) {
+        let names: Vec<String> =
+            (0..rank).map(|i| ((b'a' + i as u8) as char).to_string()).collect();
+        let from = TensorRef::new("F", names.iter().map(String::as_str));
+        let mut rev = names.clone();
+        rev.reverse();
+        let to = TensorRef::new("T", rev.iter().map(String::as_str));
+        let perm = permutation_between(&from, &to);
+        let expect: Vec<usize> = (0..rank).rev().collect();
+        prop_assert_eq!(perm, expect);
+    }
+}

@@ -1,0 +1,68 @@
+//! Model-driven selection vs genetic autotuning: the paper's central
+//! contrast (§IV–V). COGENT picks its configuration from an analytical
+//! cost model in milliseconds; a Tensor-Comprehensions-style genetic
+//! autotuner needs hundreds-to-thousands of kernel evaluations to
+//! approach it.
+//!
+//! Run with: `cargo run --release --example autotune_vs_model`
+
+use std::time::Instant;
+
+use cogent::baselines::{measure_cogent, TcAutotuner};
+use cogent::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = GpuDevice::v100();
+    // The paper's Fig. 8 benchmark: SD2_1.
+    let entry = cogent::tccg::sd2_entries()
+        .into_iter()
+        .next()
+        .expect("sd2_1");
+    let tc = entry.contraction();
+    let sizes = entry.sizes();
+    println!(
+        "benchmark: {} ({}), FP32, {}\n",
+        entry.name, entry.spec, device
+    );
+
+    let start = Instant::now();
+    let cogent = measure_cogent(&tc, &sizes, &device, Precision::F32);
+    let model_s = start.elapsed().as_secs_f64();
+    println!(
+        "COGENT (model-driven): {:7.1} GFLOPS, selected in {:.3} s, 0 kernel executions",
+        cogent.gflops, model_s
+    );
+
+    let tuner = TcAutotuner {
+        population: 40,
+        generations: 8,
+        ..TcAutotuner::new()
+    };
+    let start = Instant::now();
+    let result = tuner.tune(&tc, &sizes, &device, Precision::F32);
+    let tune_s = start.elapsed().as_secs_f64();
+    println!(
+        "TC-like GA autotuner:  {:7.1} GFLOPS after {} kernel evaluations in {:.1} s",
+        result.tuned.gflops, result.evaluations, tune_s
+    );
+    println!(
+        "TC untuned default:    {:7.3} GFLOPS\n",
+        result.untuned.gflops
+    );
+
+    println!("best-so-far convergence (cf. Fig. 8):");
+    println!(
+        "{:>12} {:>12} {:>10}",
+        "evaluations", "GFLOPS", "% of COGENT"
+    );
+    let step = (result.trace.len() / 12).max(1);
+    for p in result.trace.iter().step_by(step) {
+        println!(
+            "{:>12} {:>12.1} {:>9.1}%",
+            p.evaluations,
+            p.gflops,
+            100.0 * p.gflops / cogent.gflops
+        );
+    }
+    Ok(())
+}

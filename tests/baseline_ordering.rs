@@ -1,0 +1,126 @@
+//! Cross-crate assertions on the *comparative* results — the shapes the
+//! paper's evaluation establishes. These are the reproduction's headline
+//! claims, so they are tested, not just printed by the bench harness.
+
+use cogent::baselines::{measure_cogent, NaiveDirect, NwchemLikeGenerator, TtgtEngine};
+use cogent::prelude::*;
+
+fn geomean(v: &[f64]) -> f64 {
+    (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// Runs all frameworks over the CCSD(T) entries on one device.
+fn ccsdt_geomeans(device: &GpuDevice) -> (f64, f64, f64) {
+    let mut cogent = Vec::new();
+    let mut nwchem = Vec::new();
+    let mut talsh = Vec::new();
+    for entry in cogent::tccg::suite()
+        .into_iter()
+        .filter(|e| e.group == cogent::tccg::BenchGroup::CcsdT)
+        .step_by(3)
+    {
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        cogent.push(measure_cogent(&tc, &sizes, device, Precision::F64).gflops);
+        nwchem.push(
+            NwchemLikeGenerator::new()
+                .measure(&tc, &sizes, device, Precision::F64)
+                .gflops,
+        );
+        talsh.push(
+            TtgtEngine::new()
+                .measure(&tc, &sizes, device, Precision::F64)
+                .gflops,
+        );
+    }
+    (geomean(&cogent), geomean(&nwchem), geomean(&talsh))
+}
+
+#[test]
+fn ccsdt_ordering_on_v100_matches_paper() {
+    // Fig. 5: COGENT > NWChem generator >> TAL_SH on the CCSD(T) group.
+    let (cogent, nwchem, talsh) = ccsdt_geomeans(&GpuDevice::v100());
+    assert!(cogent > nwchem, "COGENT {cogent} vs NWChem {nwchem}");
+    assert!(nwchem > talsh, "NWChem {nwchem} vs TAL_SH {talsh}");
+    // TAL_SH is several-fold slower (paper: ≈5x; accept >2.5x).
+    assert!(cogent / talsh > 2.5, "ratio {}", cogent / talsh);
+}
+
+#[test]
+fn ccsdt_ordering_on_p100_matches_paper() {
+    let (cogent, nwchem, talsh) = ccsdt_geomeans(&GpuDevice::p100());
+    assert!(cogent > nwchem);
+    assert!(nwchem > talsh);
+}
+
+#[test]
+fn talsh_competitive_on_fat_4d_contractions() {
+    // Fig. 4/5, #20–30: flattened to large GEMMs, TTGT rides cuBLAS and is
+    // competitive with (within 2x of) the direct generators.
+    let entry = &cogent::tccg::suite()[24]; // abcd-efab-cdfe at 64^6
+    let tc = entry.contraction();
+    let sizes = entry.sizes();
+    let d = GpuDevice::v100();
+    let cogent = measure_cogent(&tc, &sizes, &d, Precision::F64).gflops;
+    let talsh = TtgtEngine::new()
+        .measure(&tc, &sizes, &d, Precision::F64)
+        .gflops;
+    assert!(talsh > 0.5 * cogent, "TAL_SH {talsh} vs COGENT {cogent}");
+    // ... and on the V100 COGENT still comes out ahead (the paper:
+    // "COGENT consistently outperforms TAL_SH" on Volta).
+    assert!(cogent >= talsh, "COGENT {cogent} vs TAL_SH {talsh}");
+}
+
+#[test]
+fn naive_is_the_floor() {
+    let entry = &cogent::tccg::suite()[11]; // Eq. 1
+    let tc = entry.contraction();
+    let sizes = entry.sizes();
+    let d = GpuDevice::v100();
+    let naive = NaiveDirect::new()
+        .measure(&tc, &sizes, &d, Precision::F64)
+        .gflops;
+    let cogent = measure_cogent(&tc, &sizes, &d, Precision::F64).gflops;
+    let nwchem = NwchemLikeGenerator::new()
+        .measure(&tc, &sizes, &d, Precision::F64)
+        .gflops;
+    assert!(naive < nwchem);
+    assert!(naive < cogent);
+}
+
+#[test]
+fn v100_outperforms_p100_everywhere() {
+    // Sanity: the same framework on the faster device is faster (Figs. 4
+    // vs 5).
+    for entry in cogent::tccg::suite().into_iter().step_by(11) {
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        let v = measure_cogent(&tc, &sizes, &GpuDevice::v100(), Precision::F64).gflops;
+        let p = measure_cogent(&tc, &sizes, &GpuDevice::p100(), Precision::F64).gflops;
+        assert!(v > p, "{}: v100 {v} vs p100 {p}", entry.name);
+    }
+}
+
+#[test]
+fn model_driven_beats_short_autotuning() {
+    // Figs. 6–8: a TC-like GA with a limited budget does not reach
+    // COGENT's model-selected configuration.
+    use cogent::baselines::TcAutotuner;
+    let entry = cogent::tccg::sd2_entries().into_iter().next().unwrap();
+    let tc = entry.contraction();
+    let sizes = entry.sizes();
+    let d = GpuDevice::v100();
+    let cogent = measure_cogent(&tc, &sizes, &d, Precision::F32).gflops;
+    let tuner = TcAutotuner {
+        population: 20,
+        generations: 5,
+        ..TcAutotuner::new()
+    };
+    let result = tuner.tune(&tc, &sizes, &d, Precision::F32);
+    assert!(
+        cogent > result.tuned.gflops,
+        "COGENT {cogent} vs TC {}",
+        result.tuned.gflops
+    );
+    assert!(result.tuned.gflops > result.untuned.gflops);
+}

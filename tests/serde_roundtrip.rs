@@ -1,0 +1,271 @@
+//! Serialization coverage for the public data types: configurations,
+//! search outcomes, devices and reports implement `serde::Serialize` so
+//! bench harnesses can persist and diff them across runs. The workspace
+//! deliberately adds no JSON crate, so instead of a textual round-trip the
+//! test drives each `Serialize` impl with a counting serializer, proving
+//! the impl traverses every field of the value without panicking.
+
+use cogent::generator::select::{search, SearchOptions};
+use cogent::generator::KernelConfig;
+use cogent::prelude::*;
+
+fn serde_json_like<T: serde::Serialize>(value: &T) -> CountedTree {
+    let mut counter = CountingSerializer::default();
+    value
+        .serialize(&mut counter)
+        .expect("serialization never fails for plain data");
+    CountedTree {
+        nodes: counter.nodes,
+    }
+}
+
+/// Minimal serializer that counts emitted data-model leaves.
+#[derive(Default)]
+struct CountingSerializer {
+    nodes: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct CountedTree {
+    nodes: usize,
+}
+
+mod counting_impl {
+    use super::CountingSerializer;
+    use serde::ser::*;
+
+    #[derive(Debug)]
+    pub struct Never;
+    impl std::fmt::Display for Never {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("never")
+        }
+    }
+    impl std::error::Error for Never {}
+    impl Error for Never {
+        fn custom<T: std::fmt::Display>(_: T) -> Self {
+            Never
+        }
+    }
+
+    macro_rules! count_leaf {
+        ($($m:ident: $t:ty,)*) => {
+            $(fn $m(self, _v: $t) -> Result<(), Never> { self.nodes += 1; Ok(()) })*
+        };
+    }
+
+    impl Serializer for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        count_leaf! {
+            serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
+            serialize_i32: i32, serialize_i64: i64, serialize_i128: i128,
+            serialize_u8: u8, serialize_u16: u16, serialize_u32: u32,
+            serialize_u64: u64, serialize_u128: u128, serialize_f32: f32,
+            serialize_f64: f64, serialize_char: char, serialize_str: &str,
+            serialize_bytes: &[u8],
+        }
+        fn serialize_none(self) -> Result<(), Never> {
+            self.nodes += 1;
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut *self)
+        }
+        fn serialize_unit(self) -> Result<(), Never> {
+            self.nodes += 1;
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Never> {
+            self.nodes += 1;
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+        ) -> Result<(), Never> {
+            self.nodes += 1;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            v.serialize(self)
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, Never> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self, Never> {
+            Ok(self)
+        }
+    }
+
+    impl SerializeSeq for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeTuple for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeTupleStruct for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeTupleVariant for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeMap for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Never> {
+            k.serialize(&mut **self)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeStruct for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+    impl SerializeStructVariant for &mut CountingSerializer {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            v.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn public_types_serialize_completely() {
+    // Contraction + SizeMap.
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 32);
+    assert!(serde_json_like(&tc).nodes > 10);
+    assert!(serde_json_like(&sizes).nodes >= 12); // 6 names + 6 extents
+
+    // Devices and reports.
+    let device = GpuDevice::v100();
+    assert!(serde_json_like(&device).nodes > 10);
+
+    // A full search outcome (configs, costs, histogram).
+    let outcome = search(
+        &tc,
+        &sizes,
+        &device,
+        Precision::F64,
+        &SearchOptions::default(),
+    );
+    let nodes = serde_json_like(&outcome).nodes;
+    assert!(nodes > 100, "outcome serialized only {nodes} nodes");
+
+    // A kernel configuration.
+    let cfg = KernelConfig {
+        tbx: vec![("a".into(), 16)],
+        regx: vec![("b".into(), 4)],
+        tby: vec![("d".into(), 16)],
+        regy: vec![("c".into(), 4)],
+        tbk: vec![("e".into(), 8), ("f".into(), 2)],
+    };
+    assert!(serde_json_like(&cfg).nodes >= 12);
+
+    // A simulation report.
+    let plan = cfg.lower(&tc.normalized(), &sizes).unwrap();
+    let report = cogent::sim::simulate(&plan, &device, Precision::F64);
+    assert!(serde_json_like(&report).nodes > 10);
+}
