@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local/CI gate: build, test, lint, format — exactly what the GitHub
+# Actions workflow runs. All dependencies are vendored in vendor/, so the
+# whole gate works offline; when the network (or a pre-populated cargo
+# registry) is unavailable we pass --offline explicitly.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE=""
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "cargo metadata failed without --offline; falling back to offline mode" >&2
+    OFFLINE="--offline"
+fi
+
+run() {
+    echo "+ $*" >&2
+    "$@"
+}
+
+run cargo build --release $OFFLINE
+run cargo test -q --workspace $OFFLINE
+run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
+run cargo fmt --all -- --check
+
+echo "ci.sh: all checks passed" >&2

@@ -11,6 +11,9 @@ use cogent_tccg::{suite, BenchGroup};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let device = parse_device(&args);
+    // Per-benchmark pipeline traces land next to the printed table as
+    // JSON lines (results/fig4_5_traces.jsonl).
+    cogent_obs::set_enabled(true);
     let entries = suite();
     let entries: Vec<_> = if quick_mode(&args) {
         entries.into_iter().step_by(6).collect()
@@ -94,4 +97,11 @@ fn main() {
         rows.len(),
         rows.iter().map(|r| r.generation_s).sum::<f64>()
     );
+
+    let trace_path = std::path::Path::new("results/fig4_5_traces.jsonl");
+    match cogent_bench::write_trace_jsonl(trace_path) {
+        Ok(n) if n > 0 => println!("  wrote {n} pipeline traces to {}", trace_path.display()),
+        Ok(_) => {}
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
 }

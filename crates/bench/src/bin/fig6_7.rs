@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use cogent_baselines::{measure_cogent, TcAutotuner};
-use cogent_bench::{geomean, parse_device, quick_mode};
+use cogent_bench::{geomean, parse_device, quick_mode, with_published_trace};
 use cogent_gpu_model::Precision;
 use cogent_tccg::sd2_entries;
 
@@ -18,6 +18,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let device = parse_device(&args);
     let quick = quick_mode(&args);
+    // COGENT's per-contraction pipeline traces go to results/ as JSONL.
+    cogent_obs::set_enabled(true);
 
     let mut tuner = TcAutotuner::new(); // paper settings: pop 100, 20 gens
     if quick {
@@ -40,7 +42,9 @@ fn main() {
         let tc_expr = entry.contraction();
         let sizes = entry.sizes();
         let start = Instant::now();
-        let cogent = measure_cogent(&tc_expr, &sizes, &device, Precision::F32);
+        let cogent = with_published_trace(&entry.name, || {
+            measure_cogent(&tc_expr, &sizes, &device, Precision::F32)
+        });
         let gen_s = start.elapsed().as_secs_f64();
         let tuned = tuner.tune(&tc_expr, &sizes, &device, Precision::F32);
         println!(
@@ -63,4 +67,11 @@ fn main() {
         geomean(&tc_all),
         geomean(&cogent_all) / geomean(&tc_all),
     );
+
+    let trace_path = std::path::Path::new("results/fig6_7_traces.jsonl");
+    match cogent_bench::write_trace_jsonl(trace_path) {
+        Ok(n) if n > 0 => println!("wrote {n} pipeline traces to {}", trace_path.display()),
+        Ok(_) => {}
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use cogent_bench::quick_mode;
+use cogent_bench::{quick_mode, with_published_trace};
 use cogent_core::select::{search, SearchOptions};
 use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_tccg::suite;
@@ -16,6 +16,9 @@ use cogent_tccg::suite;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let device = GpuDevice::v100();
+    // Per-contraction search traces (enumerate/prune/rank spans with the
+    // per-rule reject counters) land in results/ as JSONL.
+    cogent_obs::set_enabled(true);
     let entries = suite();
     let entries: Vec<_> = if quick_mode(&args) {
         entries.into_iter().step_by(8).collect()
@@ -34,13 +37,15 @@ fn main() {
         let tc = entry.contraction();
         let sizes = entry.sizes();
         let start = Instant::now();
-        let outcome = search(
-            &tc,
-            &sizes,
-            &device,
-            Precision::F64,
-            &SearchOptions::default(),
-        );
+        let outcome = with_published_trace(&entry.name, || {
+            search(
+                &tc,
+                &sizes,
+                &device,
+                Precision::F64,
+                &SearchOptions::default(),
+            )
+        });
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         println!(
             "{:>3} {:<8} {:<22} {:>14} {:>8} {:>9} {:>7.1}% {:>9.2}",
@@ -75,4 +80,11 @@ fn main() {
         "Eq. 1 ({}): raw space {} (paper: 3,981,312), structured enumeration {}, cost model evaluated {} survivors",
         eq1.spec, outcome.raw_space, outcome.enumerated, outcome.survivors
     );
+
+    let trace_path = std::path::Path::new("results/pruning_stats_traces.jsonl");
+    match cogent_bench::write_trace_jsonl(trace_path) {
+        Ok(n) if n > 0 => println!("wrote {n} search traces to {}", trace_path.display()),
+        Ok(_) => {}
+        Err(e) => eprintln!("could not write {}: {e}", trace_path.display()),
+    }
 }

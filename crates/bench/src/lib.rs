@@ -9,10 +9,12 @@
 //! | `fig8`          | Fig. 8: TC best-so-far GFLOPS vs autotuning iterations on SD2_1 |
 //! | `pruning_stats` | §IV statistics: raw space size, enumerated/pruned counts |
 
+use std::path::Path;
 use std::time::Instant;
 
 use cogent_baselines::{measure_cogent, Measurement, NwchemLikeGenerator, TtgtEngine};
 use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_obs::json::Json;
 use cogent_tccg::TccgEntry;
 
 /// Geometric mean of positive values. Returns `NaN` for an empty slice.
@@ -61,12 +63,55 @@ pub struct Fig45Row {
     pub generation_s: f64,
 }
 
+/// Runs `f` under a [`cogent_obs::Capture`] and publishes the resulting
+/// pipeline trace to the global registry under `label`. A no-op wrapper
+/// while tracing is disabled.
+pub fn with_published_trace<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let capture = cogent_obs::Capture::start(label);
+    let value = f();
+    if let Some(trace) = capture.finish() {
+        cogent_obs::registry::publish(label, trace);
+    }
+    value
+}
+
+/// Drains the trace registry and writes one JSON object per line
+/// (`{"label": ..., "trace": {...}}`) to `path`, creating parent
+/// directories as needed. Returns how many traces were written; writes
+/// nothing (and leaves any existing file alone) when the registry is
+/// empty.
+pub fn write_trace_jsonl(path: &Path) -> std::io::Result<usize> {
+    let traces = cogent_obs::registry::drain();
+    if traces.is_empty() {
+        return Ok(0);
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::new();
+    let count = traces.len();
+    for (label, trace) in traces {
+        let line = Json::Object(vec![
+            ("label".to_string(), Json::Str(label)),
+            ("trace".to_string(), trace.to_json()),
+        ]);
+        line.write(&mut out);
+        out.push('\n');
+    }
+    std::fs::write(path, out)?;
+    Ok(count)
+}
+
 /// Runs the three FP64 frameworks of Figs. 4–5 on one benchmark.
 pub fn run_fig45_entry(entry: &TccgEntry, device: &GpuDevice) -> Fig45Row {
     let tc = entry.contraction();
     let sizes = entry.sizes();
     let start = Instant::now();
-    let cogent = measure_cogent(&tc, &sizes, device, Precision::F64);
+    let cogent = with_published_trace(&entry.name, || {
+        measure_cogent(&tc, &sizes, device, Precision::F64)
+    });
     let generation_s = start.elapsed().as_secs_f64();
     let nwchem = NwchemLikeGenerator::new().measure(&tc, &sizes, device, Precision::F64);
     let talsh = TtgtEngine::new().measure(&tc, &sizes, device, Precision::F64);
@@ -107,6 +152,34 @@ mod tests {
     fn quick_flag() {
         assert!(quick_mode(&["--quick".into()]));
         assert!(!quick_mode(&[]));
+    }
+
+    #[test]
+    fn published_traces_written_as_jsonl() {
+        cogent_obs::set_enabled(true);
+        let value = with_published_trace("jsonl_test", || {
+            cogent_obs::counter("test.touched", 1);
+            42
+        });
+        cogent_obs::set_enabled(false);
+        assert_eq!(value, 42);
+
+        let path = std::env::temp_dir().join("cogent_bench_trace_test.jsonl");
+        let written = write_trace_jsonl(&path).unwrap();
+        assert!(written >= 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Concurrent tests may publish too; every line must parse and
+        // ours must be among them.
+        let mut found = false;
+        for line in text.lines() {
+            let json = Json::parse(line).unwrap();
+            if json.get("label").and_then(Json::as_str) == Some("jsonl_test") {
+                assert!(json.get("trace").and_then(|t| t.get("root")).is_some());
+                found = true;
+            }
+        }
+        assert!(found, "published trace missing from {text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

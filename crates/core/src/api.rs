@@ -4,9 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 use cogent_gpu_model::{GpuDevice, Precision};
-use cogent_ir::transform::merge_all;
 use cogent_gpu_sim::plan::StoreMode;
 use cogent_gpu_sim::{KernelPlan, SimReport};
+use cogent_ir::transform::merge_all;
 use cogent_ir::{Contraction, SizeMap};
 
 use crate::codegen::{emit_opencl_kernel, emit_source};
@@ -59,6 +59,9 @@ pub struct GeneratedKernel {
     pub report: SimReport,
     /// Search statistics (enumerated/pruned/ranked).
     pub search: SearchOutcome,
+    /// Pipeline trace of this generation run. Populated whenever tracing
+    /// is enabled (see [`cogent_obs::set_enabled`]), `None` otherwise.
+    pub trace: Option<cogent_obs::PipelineTrace>,
 }
 
 /// The model-driven code generator: device + precision + search settings.
@@ -183,6 +186,9 @@ impl Cogent {
         if !sizes.covers(tc) {
             return Err(GenerateError::IncompleteSizes);
         }
+        // One capture per generation; when tracing is disabled this (and
+        // every span below) is a single atomic load.
+        let capture = cogent_obs::Capture::start("generate");
         let outcome = search(tc, sizes, &self.device, self.precision, &self.options);
         if outcome.ranked.is_empty() {
             return Err(GenerateError::NoConfiguration);
@@ -205,8 +211,15 @@ impl Cogent {
         } else {
             cogent_gpu_sim::simulate(&plan, &self.device, self.precision)
         };
-        let cuda_source = emit_source(&plan, self.precision);
-        let opencl_source = emit_opencl_kernel(&plan, self.precision);
+        let (cuda_source, opencl_source) = {
+            let _span = cogent_obs::span("codegen");
+            let cuda = emit_source(&plan, self.precision);
+            let opencl = emit_opencl_kernel(&plan, self.precision);
+            cogent_obs::counter("codegen.cuda_bytes", cuda.len() as u128);
+            cogent_obs::counter("codegen.opencl_bytes", opencl.len() as u128);
+            (cuda, opencl)
+        };
+        let trace = capture.finish();
         Ok(GeneratedKernel {
             contraction: outcome.contraction.clone(),
             config,
@@ -215,6 +228,7 @@ impl Cogent {
             opencl_source,
             report,
             search: outcome,
+            trace,
         })
     }
 }

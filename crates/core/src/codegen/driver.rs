@@ -167,11 +167,13 @@ pub fn emit_driver(plan: &KernelPlan, precision: Precision) -> String {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn emit_source(plan: &KernelPlan, precision: Precision) -> String {
-    format!(
+    let source = format!(
         "{}\n{}",
         emit_kernel(plan, precision),
         emit_driver(plan, precision)
-    )
+    );
+    cogent_obs::counter("codegen.cuda_lines", source.lines().count() as u128);
+    source
 }
 
 #[cfg(test)]

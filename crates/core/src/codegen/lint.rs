@@ -21,10 +21,7 @@ fn balanced(source: &str, open: char, close: char) -> Result<(), String> {
             } else if ch == close {
                 depth -= 1;
                 if depth < 0 {
-                    return Err(format!(
-                        "unbalanced {close:?} at line {}",
-                        line_no + 1
-                    ));
+                    return Err(format!("unbalanced {close:?} at line {}", line_no + 1));
                 }
             }
         }
@@ -45,12 +42,10 @@ fn symbols_with_prefix(source: &str, prefix: &str) -> BTreeSet<String> {
         let begin = start + pos;
         // Must not be part of a longer identifier (e.g. `nt_a` contains
         // `t_a` — require a non-ident char before).
-        let ok_before = begin == 0
-            || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+        let ok_before =
+            begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
         let mut end = begin + pat.len();
-        while end < source.len()
-            && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
-        {
+        while end < source.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
             end += 1;
         }
         if ok_before && end > begin + pat.len() {
@@ -117,8 +112,8 @@ pub fn lint_kernel_source(source: &str) -> LintFindings {
     // Every extent N_<i> must appear in the parameter list (or be declared
     // in the driver).
     for n in symbols_with_prefix(source, "N") {
-        let declared = source.contains(&format!("const int {n}"))
-            || source.contains(&format!("int {n} ="));
+        let declared =
+            source.contains(&format!("const int {n}")) || source.contains(&format!("int {n} ="));
         if !declared {
             findings.push(format!("extent {n} used but never declared"));
         }

@@ -31,6 +31,21 @@ pub enum PruneReason {
     UncoalescedInputFvi,
 }
 
+impl PruneReason {
+    /// The stable `prune.reject.<rule>` counter name this reason reports
+    /// under in pipeline traces (see the `cogent-obs` crate).
+    pub fn counter_key(&self) -> &'static str {
+        match self {
+            PruneReason::SharedMemoryExceeded => "prune.reject.shared_memory_exceeded",
+            PruneReason::BadThreadCount => "prune.reject.bad_thread_count",
+            PruneReason::TooManyRegisters => "prune.reject.too_many_registers",
+            PruneReason::TooFewBlocks => "prune.reject.too_few_blocks",
+            PruneReason::LowOccupancy => "prune.reject.low_occupancy",
+            PruneReason::UncoalescedInputFvi => "prune.reject.uncoalesced_input_fvi",
+        }
+    }
+}
+
 impl std::fmt::Display for PruneReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

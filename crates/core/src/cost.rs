@@ -170,6 +170,9 @@ pub fn transaction_cost(
     device: &GpuDevice,
     precision: Precision,
 ) -> CostBreakdown {
+    // Every model evaluation is counted on the enclosing trace span, so
+    // model-vs-trace discrepancies are attributable per generate request.
+    cogent_obs::counter("cost.model_evaluations", 1);
     let hw = |row: usize, cont: usize| row_transactions_hw(device, precision, row, cont);
     CostBreakdown {
         load_a: input_cost(

@@ -229,6 +229,12 @@ pub fn enumerate_configs(
         enum_tb(&ints, &options.tbk_sizes, None)
     };
 
+    // Menu sizes of the structured enumeration; attributed to whichever
+    // span (normally "enumerate") is open on this thread.
+    cogent_obs::counter("enumerate.tbx_lists", tbx_lists.len() as u128);
+    cogent_obs::counter("enumerate.tby_lists", tby_lists.len() as u128);
+    cogent_obs::counter("enumerate.tbk_lists", tbk_lists.len() as u128);
+
     let mut seen = BTreeSet::new();
     let mut out = Vec::new();
     for tbx in &tbx_lists {
@@ -391,7 +397,9 @@ mod tests {
         let sizes = SizeMap::uniform(&tc, 256);
         let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
         assert!(!configs.is_empty());
-        assert!(configs.iter().all(|c| c.tby.is_empty() && c.regy.is_empty()));
+        assert!(configs
+            .iter()
+            .all(|c| c.tby.is_empty() && c.regy.is_empty()));
     }
 
     #[test]

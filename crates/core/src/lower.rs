@@ -59,6 +59,11 @@ pub fn refine_with_simulator(
         !outcome.ranked.is_empty(),
         "no ranked configurations to refine"
     );
+    let _span = cogent_obs::span("lower");
+    cogent_obs::counter(
+        "lower.candidates",
+        outcome.ranked.len().min(k.max(1)) as u128,
+    );
     let mut refined: Vec<RefinedCandidate> = outcome
         .ranked
         .iter()

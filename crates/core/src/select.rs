@@ -110,16 +110,27 @@ pub fn search(
     options: &SearchOptions,
 ) -> SearchOutcome {
     let norm = tc.normalized();
-    let configs = enumerate_configs(&norm, sizes, &options.enumeration);
+    let raw_space = EnumerationOptions::raw_space_size(&norm);
+
+    let configs = {
+        let _span = cogent_obs::span("enumerate");
+        let configs = enumerate_configs(&norm, sizes, &options.enumeration);
+        cogent_obs::counter("enumerate.configs", configs.len() as u128);
+        cogent_obs::counter("enumerate.raw_space", raw_space);
+        configs
+    };
     let enumerated = configs.len();
 
+    let prune_span = cogent_obs::span("prune");
     let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+    let mut counter_histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut survivors: Vec<KernelConfig> = Vec::new();
     for cfg in &configs {
         match check_config(&norm, cfg, sizes, device, precision, &options.rules) {
             Ok(()) => survivors.push(cfg.clone()),
             Err(reason) => {
                 *histogram.entry(reason.to_string()).or_default() += 1;
+                *counter_histogram.entry(reason.counter_key()).or_default() += 1;
             }
         }
     }
@@ -146,8 +157,16 @@ pub fn search(
                 .collect();
         }
     }
+    cogent_obs::counter("prune.checked", enumerated as u128);
+    cogent_obs::counter("prune.survivors", survivors.len() as u128);
+    cogent_obs::counter("prune.relaxed", u128::from(rules_relaxed));
+    for (key, count) in &counter_histogram {
+        cogent_obs::counter(key, *count as u128);
+    }
+    drop(prune_span);
 
     let survivor_count = survivors.len();
+    let rank_span = cogent_obs::span("rank");
     let mut ranked: Vec<RankedConfig> = survivors
         .into_iter()
         .map(|config| {
@@ -157,10 +176,15 @@ pub fn search(
         .collect();
     ranked.sort_by_key(|r| r.cost.total());
     ranked.truncate(options.top_k);
+    cogent_obs::counter("rank.kept", ranked.len() as u128);
+    if let Some(best) = ranked.first() {
+        cogent_obs::counter("rank.best_model_cost", best.cost.total());
+    }
+    drop(rank_span);
 
     SearchOutcome {
         contraction: norm.clone(),
-        raw_space: EnumerationOptions::raw_space_size(&norm),
+        raw_space,
         enumerated,
         survivors: survivor_count,
         prune_histogram: histogram,

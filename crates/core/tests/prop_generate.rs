@@ -34,10 +34,16 @@ fn case_strategy() -> impl Strategy<Value = (Contraction, SizeMap)> {
                 .chain(ext_b.iter())
                 .map(String::as_str)
                 .collect();
-            let mut a_idx: Vec<&str> =
-                ext_a.iter().chain(ints.iter()).map(String::as_str).collect();
-            let mut b_idx: Vec<&str> =
-                ext_b.iter().chain(ints.iter()).map(String::as_str).collect();
+            let mut a_idx: Vec<&str> = ext_a
+                .iter()
+                .chain(ints.iter())
+                .map(String::as_str)
+                .collect();
+            let mut b_idx: Vec<&str> = ext_b
+                .iter()
+                .chain(ints.iter())
+                .map(String::as_str)
+                .collect();
             let (la, lb) = (a_idx.len(), b_idx.len());
             a_idx.rotate_left(rot_a % la);
             b_idx.rotate_left(rot_b % lb);

@@ -1,0 +1,26 @@
+//! Disabled-by-default tracing must be inert: no span nodes allocated,
+//! no trace attached. Kept in its own test binary so no concurrently
+//! running test can flip the global flag mid-measurement.
+
+use cogent_core::Cogent;
+use cogent_ir::{Contraction, SizeMap};
+
+#[test]
+fn disabled_trace_allocates_no_span_nodes() {
+    assert!(!cogent_obs::enabled(), "tracing must default to off");
+    let before = cogent_obs::nodes_allocated();
+
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 16);
+    let kernel = Cogent::new().generate(&tc, &sizes).unwrap();
+
+    assert!(
+        kernel.trace.is_none(),
+        "disabled run must not attach a trace"
+    );
+    assert_eq!(
+        cogent_obs::nodes_allocated(),
+        before,
+        "disabled tracing allocated span nodes"
+    );
+}

@@ -1,0 +1,80 @@
+//! Pipeline-trace integration tests: a traced `generate` must produce a
+//! span for every phase, the per-rule prune counters must agree with
+//! `SearchOutcome::prune_histogram`, and the trace must survive a JSON
+//! round trip.
+
+use cogent_core::Cogent;
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+use cogent_obs::PipelineTrace;
+
+/// One traced generation; the global flag is restored so this file's
+/// tests compose regardless of execution order.
+fn traced_generate(tccg: &str, n: usize) -> (cogent_core::GeneratedKernel, PipelineTrace) {
+    let tc: Contraction = tccg.parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, n);
+    cogent_obs::set_enabled(true);
+    let kernel = Cogent::new()
+        .device(GpuDevice::v100())
+        .precision(Precision::F64)
+        .generate(&tc, &sizes)
+        .unwrap();
+    let trace = kernel
+        .trace
+        .clone()
+        .expect("tracing enabled: trace attached");
+    (kernel, trace)
+}
+
+#[test]
+fn every_phase_has_a_span_with_counters() {
+    let (_, trace) = traced_generate("abcd-aebf-dfce", 16);
+    for phase in ["enumerate", "prune", "rank", "lower", "codegen", "simulate"] {
+        let span = trace
+            .find(phase)
+            .unwrap_or_else(|| panic!("no span for phase {phase}"));
+        assert!(span.duration_ns > 0, "{phase} has zero duration");
+        assert!(!span.counters.is_empty(), "{phase} recorded no counters");
+    }
+}
+
+#[test]
+fn prune_reject_counters_sum_to_histogram() {
+    let (kernel, trace) = traced_generate("abcd-aebf-dfce", 48);
+    // Both are tallied in the strict pruning pass, so they must agree
+    // exactly — even when relaxation later re-admits configurations.
+    let histogram_total: usize = kernel.search.prune_histogram.values().sum();
+    assert_eq!(
+        trace.counter_sum_prefix("prune.reject."),
+        histogram_total as u128,
+        "per-rule counters disagree with prune_histogram"
+    );
+    let prune = trace.find("prune").unwrap();
+    assert_eq!(
+        prune.counter("prune.checked"),
+        Some(kernel.search.enumerated as u128)
+    );
+}
+
+#[test]
+fn trace_round_trips_through_json() {
+    let (_, trace) = traced_generate("abcd-aebf-dfce", 16);
+    let json = trace.to_json_string();
+    let back = PipelineTrace::from_json_str(&json).unwrap();
+    assert_eq!(back, trace);
+    assert!(json.contains("\"schema\":\"cogent.trace.v1\""));
+}
+
+#[test]
+fn simulate_spans_nest_under_lower() {
+    let (_, trace) = traced_generate("abcd-aebf-dfce", 16);
+    let lower = trace.find("lower").unwrap();
+    // The refinement loop simulates each top-k candidate, so the lower
+    // span owns at least one simulate child with traced transactions.
+    let mut sims = Vec::new();
+    lower.find_all("simulate", &mut sims);
+    assert!(!sims.is_empty(), "no simulate spans under lower");
+    assert!(sims
+        .iter()
+        .any(|s| s.counter("sim.transactions.load_a").unwrap_or(0) > 0));
+}

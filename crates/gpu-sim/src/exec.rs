@@ -166,6 +166,15 @@ pub fn execute_plan_into<T: Element>(
     b: &DenseTensor<T>,
     c: &mut DenseTensor<T>,
 ) {
+    let _span = cogent_obs::span("exec");
+    // Phase timing is only collected while tracing is enabled so the hot
+    // loops stay branch-cheap in normal runs.
+    let timing = cogent_obs::enabled();
+    let mut stage_ns = 0u128;
+    let mut compute_ns = 0u128;
+    let mut store_ns = 0u128;
+    let mut stage_oob = 0u128;
+    let mut store_oob = 0u128;
     let tc = plan.contraction();
     let acc_a = TensorAccess::new(plan, tc.a());
     let acc_b = TensorAccess::new(plan, tc.b());
@@ -249,10 +258,15 @@ pub fn execute_plan_into<T: Element>(
             }
 
             // (1) Stage tiles of A and B into shared memory (guarded).
-            stage_tile(&acc_a, &base, a.as_slice(), &mut smem_a);
-            stage_tile(&acc_b, &base, b.as_slice(), &mut smem_b);
+            let stage_start = timing.then(std::time::Instant::now);
+            stage_oob += stage_tile(&acc_a, &base, a.as_slice(), &mut smem_a);
+            stage_oob += stage_tile(&acc_b, &base, b.as_slice(), &mut smem_b);
+            if let Some(t) = stage_start {
+                stage_ns += t.elapsed().as_nanos();
+            }
 
             // (2)+(3) Each thread: SMEM→REG vectors, outer product.
+            let compute_start = timing.then(std::time::Instant::now);
             for ty in 0..tby {
                 for tx in 0..tbx {
                     let thread = tx + tbx * ty;
@@ -275,18 +289,43 @@ pub fn execute_plan_into<T: Element>(
                     }
                 }
             }
+            if let Some(t) = compute_start {
+                compute_ns += t.elapsed().as_nanos();
+            }
         }
 
         // (4) Store register tiles to global memory (guarded).
-        store_output(plan, &acc_c, &base, c, &reg_c, tbx, tby, regx, regy);
+        let store_start = timing.then(std::time::Instant::now);
+        store_oob += store_output(plan, &acc_c, &base, c, &reg_c, tbx, tby, regx, regy);
+        if let Some(t) = store_start {
+            store_ns += t.elapsed().as_nanos();
+        }
+    }
+
+    if timing {
+        // SMEM staging vs compute vs store host-time breakdown, plus how
+        // often the tail guards fired (zero-filled loads / skipped stores).
+        cogent_obs::counter("exec.stage_ns", stage_ns.max(1));
+        cogent_obs::counter("exec.compute_ns", compute_ns.max(1));
+        cogent_obs::counter("exec.store_ns", store_ns.max(1));
+        cogent_obs::counter("exec.blocks", plan.num_blocks() as u128);
+        cogent_obs::counter("exec.steps_per_block", plan.steps() as u128);
+        cogent_obs::counter("exec.tail_guard.stage_zero_fills", stage_oob);
+        cogent_obs::counter("exec.tail_guard.store_skips", store_oob);
     }
 }
 
 /// Stages one tile into a shared buffer, zero-filling out-of-bounds
-/// positions.
-fn stage_tile<T: Element>(acc: &TensorAccess, base: &[usize], global: &[T], smem: &mut [T]) {
+/// positions. Returns how many positions the bounds guard zero-filled.
+fn stage_tile<T: Element>(
+    acc: &TensorAccess,
+    base: &[usize],
+    global: &[T],
+    smem: &mut [T],
+) -> u128 {
     let rank = acc.dims.len();
     let mut coords = vec![0usize; rank];
+    let mut zero_fills = 0u128;
     for slot in smem.iter_mut() {
         let mut off = 0usize;
         let mut in_bounds = true;
@@ -298,7 +337,12 @@ fn stage_tile<T: Element>(acc: &TensorAccess, base: &[usize], global: &[T], smem
             }
             off += g * d.global_stride;
         }
-        *slot = if in_bounds { global[off] } else { T::ZERO };
+        *slot = if in_bounds {
+            global[off]
+        } else {
+            zero_fills += 1;
+            T::ZERO
+        };
         // Advance in-tile coords (mixed radix over tile sizes).
         for (d, c) in acc.dims.iter().zip(coords.iter_mut()) {
             *c += 1;
@@ -308,6 +352,7 @@ fn stage_tile<T: Element>(acc: &TensorAccess, base: &[usize], global: &[T], smem
             *c = 0;
         }
     }
+    zero_fills
 }
 
 /// Per-dimension output coordinate tables: `tables[d][lin]` is the
@@ -327,6 +372,7 @@ pub(crate) fn output_coord_tables(plan: &KernelPlan, acc_c: &TensorAccess) -> Ve
 }
 
 /// Stores every thread's register tile, skipping out-of-bounds elements.
+/// Returns how many stores the bounds guard skipped.
 #[allow(clippy::too_many_arguments)]
 fn store_output<T: Element>(
     plan: &KernelPlan,
@@ -338,7 +384,8 @@ fn store_output<T: Element>(
     tby: usize,
     regx: usize,
     regy: usize,
-) {
+) -> u128 {
+    let mut skips = 0u128;
     let out = c.as_mut_slice();
     let tables = output_coord_tables(plan, acc_c);
     for ty in 0..tby {
@@ -375,11 +422,14 @@ fn store_output<T: Element>(
                                 out[off] += rc[rx + regx * ry];
                             }
                         }
+                    } else {
+                        skips += 1;
                     }
                 }
             }
         }
     }
+    skips
 }
 
 #[cfg(test)]

@@ -63,6 +63,7 @@ pub fn simulate_with(
     precision: Precision,
     options: TraceOptions,
 ) -> SimReport {
+    let _span = cogent_obs::span("simulate");
     let threads = plan.threads_per_block();
     let smem = plan.smem_bytes(precision.bytes());
     let occ = occupancy(
@@ -94,6 +95,16 @@ pub fn simulate_with(
         precision,
     };
     let time = predict_time_s(device, &profile);
+    // Per-tensor GMEM transactions plus launch shape, for comparison with
+    // the analytical model's `cost.*` counters on the same trace.
+    cogent_obs::counter("sim.transactions.load_a", trace.load_a);
+    cogent_obs::counter("sim.transactions.load_b", trace.load_b);
+    cogent_obs::counter("sim.transactions.store_c", trace.store_c);
+    cogent_obs::counter("sim.blocks", plan.num_blocks() as u128);
+    cogent_obs::counter("sim.occupancy_permille", (occ.fraction * 1000.0) as u128);
+    if time.total_s.is_finite() {
+        cogent_obs::counter("sim.predicted_ns", (time.total_s * 1e9) as u128);
+    }
     SimReport {
         trace,
         occupancy: occ,

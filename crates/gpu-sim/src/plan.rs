@@ -779,8 +779,16 @@ mod tests {
         p.step_base_offsets(5, &mut base);
         // SerialK group is [e (tile 4, 2 tiles), f (tile 2, 4 tiles)]:
         // step 5 → e tile 1, f tile 2.
-        let e_pos = p.bindings().iter().position(|b| b.name.as_str() == "e").unwrap();
-        let f_pos = p.bindings().iter().position(|b| b.name.as_str() == "f").unwrap();
+        let e_pos = p
+            .bindings()
+            .iter()
+            .position(|b| b.name.as_str() == "e")
+            .unwrap();
+        let f_pos = p
+            .bindings()
+            .iter()
+            .position(|b| b.name.as_str() == "f")
+            .unwrap();
         assert_eq!(base[e_pos], 4);
         assert_eq!(base[f_pos], 4);
     }

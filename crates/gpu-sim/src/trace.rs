@@ -68,6 +68,29 @@ impl TraceReport {
     }
 }
 
+/// Tail-guard and divergence statistics accumulated over the sampled
+/// warp accesses (not extrapolated to the full launch).
+#[derive(Debug, Default, Clone, Copy)]
+struct GuardCounters {
+    /// Warp-wide accesses inspected.
+    warp_accesses: u128,
+    /// Accesses where at least one lane was masked off by a bounds guard
+    /// (the partial-tile "tail" of a ragged extent) — divergent warps.
+    divergent_warps: u128,
+    /// Individual lanes masked off across all accesses.
+    oob_lane_skips: u128,
+}
+
+impl GuardCounters {
+    fn record(&mut self, lanes: usize, active: usize) {
+        self.warp_accesses += 1;
+        if active < lanes {
+            self.divergent_warps += 1;
+            self.oob_lane_skips += (lanes - active) as u128;
+        }
+    }
+}
+
 /// Evenly-spaced sample of `take` values from `0..n` (always non-empty,
 /// always starts at 0).
 fn sample_indices(n: usize, take: usize) -> Vec<usize> {
@@ -138,16 +161,25 @@ pub fn trace_transactions(
     let mut load_a_sum = 0u128;
     let mut load_b_sum = 0u128;
     let mut store_c_sum = 0u128;
+    let mut guards = GuardCounters::default();
 
     for &block in &blocks {
         plan.block_base_offsets(block, &mut base);
         for &step in &step_samples {
             plan.step_base_offsets(step, &mut base);
-            load_a_sum += trace_tile_load(plan, device, precision, &acc_a, &base);
-            load_b_sum += trace_tile_load(plan, device, precision, &acc_b, &base);
+            load_a_sum += trace_tile_load(plan, device, precision, &acc_a, &base, &mut guards);
+            load_b_sum += trace_tile_load(plan, device, precision, &acc_b, &base, &mut guards);
         }
-        store_c_sum += trace_store(plan, device, precision, &acc_c, &base);
+        store_c_sum += trace_store(plan, device, precision, &acc_c, &base, &mut guards);
     }
+
+    // Sample-scope statistics (no extrapolation): how much the bounds
+    // guards actually masked, and how divergent the warps were.
+    cogent_obs::counter("trace.sampled.warp_accesses", guards.warp_accesses);
+    cogent_obs::counter("trace.sampled.divergent_warps", guards.divergent_warps);
+    cogent_obs::counter("trace.sampled.oob_lane_skips", guards.oob_lane_skips);
+    cogent_obs::counter("trace.sampled.blocks", blocks.len() as u128);
+    cogent_obs::counter("trace.sampled.steps", step_samples.len() as u128);
 
     let scale_blocks = num_blocks as u128;
     let nb = blocks.len() as u128;
@@ -175,6 +207,7 @@ fn trace_tile_load(
     precision: Precision,
     acc: &TensorAccess,
     base: &[usize],
+    guards: &mut GuardCounters,
 ) -> u128 {
     let threads = plan.threads_per_block();
     let warp = device.warp_size;
@@ -209,6 +242,7 @@ fn trace_tile_load(
                     addrs.push(off * elem_bytes);
                 }
             }
+            guards.record(lanes, addrs.len());
             total += segments(device, &mut addrs) as u128;
         }
     }
@@ -223,6 +257,7 @@ fn trace_store(
     precision: Precision,
     acc_c: &TensorAccess,
     base: &[usize],
+    guards: &mut GuardCounters,
 ) -> u128 {
     let tbx = plan.group_size(MapDim::ThreadX);
     let tby = plan.group_size(MapDim::ThreadY);
@@ -265,6 +300,7 @@ fn trace_store(
                         addrs.push(off * elem_bytes);
                     }
                 }
+                guards.record(lanes, addrs.len());
                 total += segments(device, &mut addrs) as u128;
             }
         }

@@ -86,9 +86,9 @@ pub fn parse_tccg(s: &str) -> Result<Contraction, ParseContractionError> {
 pub fn parse_allowing_batch(s: &str) -> Result<Contraction, ParseContractionError> {
     let strict: Result<Contraction, ParseContractionError> = s.parse();
     match strict {
-        Err(ParseContractionError::Invalid(
-            crate::ValidateContractionError::BatchIndex { .. },
-        )) => {
+        Err(ParseContractionError::Invalid(crate::ValidateContractionError::BatchIndex {
+            ..
+        })) => {
             // Re-parse the tensor refs and rebuild permissively.
             let (c, a, b) = split_tensors(s)?;
             Contraction::with_batch(c, a, b).map_err(Into::into)
@@ -104,10 +104,14 @@ fn split_tensors(s: &str) -> Result<(TensorRef, TensorRef, TensorRef), ParseCont
         let accumulate = eq > 0 && s.as_bytes()[eq - 1] == b'+';
         let lhs = &s[..eq - usize::from(accumulate)];
         let rhs = &s[eq + 1..];
-        let (a_text, b_text) = rhs.split_once('*').ok_or_else(|| {
-            ParseContractionError::syntax("missing '*' on the right-hand side")
-        })?;
-        Ok((parse_tensor(lhs)?, parse_tensor(a_text)?, parse_tensor(b_text)?))
+        let (a_text, b_text) = rhs
+            .split_once('*')
+            .ok_or_else(|| ParseContractionError::syntax("missing '*' on the right-hand side"))?;
+        Ok((
+            parse_tensor(lhs)?,
+            parse_tensor(a_text)?,
+            parse_tensor(b_text)?,
+        ))
     } else {
         let parts: Vec<&str> = s.trim().split('-').collect();
         if parts.len() != 3 {
@@ -127,7 +131,11 @@ fn split_tensors(s: &str) -> Result<(TensorRef, TensorRef, TensorRef), ParseCont
                 .collect::<Result<_, _>>()?;
             TensorRef::try_new(name, indices).map_err(Into::into)
         };
-        Ok((group("C", parts[0])?, group("A", parts[1])?, group("B", parts[2])?))
+        Ok((
+            group("C", parts[0])?,
+            group("A", parts[1])?,
+            group("B", parts[2])?,
+        ))
     }
 }
 

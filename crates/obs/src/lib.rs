@@ -1,0 +1,638 @@
+//! Observability for the COGENT pipeline.
+//!
+//! This crate provides hierarchical wall-clock **spans** with attached
+//! **counters**, collected into a [`PipelineTrace`] that the generator
+//! attaches to every kernel it produces (and that `cogent explain`
+//! renders). It is deliberately dependency-free: timings come from
+//! [`std::time::Instant`], serialization is a hand-rolled JSON subset
+//! ([`json`]), and thread safety comes from [`std::sync`] atomics plus a
+//! thread-local span stack.
+//!
+//! # Model
+//!
+//! - Tracing is **globally opt-in** via [`set_enabled`] (or the
+//!   `COGENT_TRACE` environment variable through [`init_from_env`]).
+//!   While disabled, [`span`], [`counter`] and [`Capture::start`] are a
+//!   single relaxed atomic load and allocate nothing — verified by the
+//!   [`nodes_allocated`] statistic.
+//! - A [`Capture`] opens a trace on the **current thread**; [`span`]
+//!   guards opened underneath it nest into a tree, and [`counter`] calls
+//!   accumulate `phase.metric`-style counters on the innermost open span.
+//!   Per-thread collection means parallel pipeline runs (e.g. the bench
+//!   binaries) never interleave each other's spans.
+//! - Finished traces can be published to a process-wide [`registry`] so
+//!   worker threads can hand traces to a writer thread.
+//!
+//! # Example
+//!
+//! ```
+//! cogent_obs::set_enabled(true);
+//! let capture = cogent_obs::Capture::start("generate");
+//! {
+//!     let _s = cogent_obs::span("enumerate");
+//!     cogent_obs::counter("enumerate.configs", 1296);
+//! }
+//! let trace = capture.finish().expect("tracing is enabled");
+//! cogent_obs::set_enabled(false);
+//! assert_eq!(trace.root.name, "generate");
+//! assert_eq!(trace.root.children[0].counter("enumerate.configs"), Some(1296));
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+pub mod json;
+pub mod registry;
+mod render;
+
+/// Schema identifier embedded in every serialized trace.
+pub const TRACE_SCHEMA: &str = "cogent.trace.v1";
+
+/// Environment variable that enables tracing for the CLI and benches.
+pub const TRACE_ENV_VAR: &str = "COGENT_TRACE";
+
+// ---------------------------------------------------------------------------
+// Data model
+// ---------------------------------------------------------------------------
+
+/// One timed phase of the pipeline, with counters and nested child spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Phase name, e.g. `"enumerate"` or `"simulate"`.
+    pub name: String,
+    /// Start offset in nanoseconds relative to the capture's start.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (always at least 1 once closed).
+    pub duration_ns: u64,
+    /// `phase.metric`-named counters, in first-touch order.
+    pub counters: Vec<(String, u128)>,
+    /// Nested spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &str, start_ns: u64) -> Self {
+        NODES_ALLOCATED.fetch_add(1, Ordering::Relaxed);
+        Self {
+            name: name.to_string(),
+            start_ns,
+            duration_ns: 0,
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds `value` to the counter `name`, creating it at zero if absent.
+    pub fn add_counter(&mut self, name: &str, value: u128) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Returns the value of counter `name` on this span, if present.
+    pub fn counter(&self, name: &str) -> Option<u128> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Depth-first search for the first descendant (or self) named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Collects every span (self included) named `name`, depth-first.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a SpanNode>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for child in &self.children {
+            child.find_all(name, out);
+        }
+    }
+
+    /// Sums, over this subtree, every counter whose name starts with
+    /// `prefix`.
+    pub fn counter_sum_prefix(&self, prefix: &str) -> u128 {
+        let own: u128 = self
+            .counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum();
+        own + self
+            .children
+            .iter()
+            .map(|c| c.counter_sum_prefix(prefix))
+            .sum::<u128>()
+    }
+
+    fn rebase(&mut self, offset_ns: u64) {
+        self.start_ns = self.start_ns.saturating_sub(offset_ns);
+        for child in &mut self.children {
+            child.rebase(offset_ns);
+        }
+    }
+}
+
+/// A finished trace of one pipeline run: a tree of [`SpanNode`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineTrace {
+    /// The outermost span (usually `"generate"`).
+    pub root: SpanNode,
+}
+
+impl PipelineTrace {
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        self.root.find(name)
+    }
+
+    /// Collects every span named `name`, depth-first.
+    pub fn find_all(&self, name: &str) -> Vec<&SpanNode> {
+        let mut out = Vec::new();
+        self.root.find_all(name, &mut out);
+        out
+    }
+
+    /// Sums every counter in the trace whose name starts with `prefix`.
+    pub fn counter_sum_prefix(&self, prefix: &str) -> u128 {
+        self.root.counter_sum_prefix(prefix)
+    }
+
+    /// Renders an indented text tree with durations and counters.
+    pub fn render_text(&self) -> String {
+        render::render_text(self)
+    }
+
+    /// Serializes to the stable `cogent.trace.v1` JSON schema.
+    pub fn to_json(&self) -> json::Json {
+        fn node(span: &SpanNode) -> json::Json {
+            json::Json::Object(vec![
+                ("name".into(), json::Json::Str(span.name.clone())),
+                ("start_ns".into(), json::Json::UInt(span.start_ns.into())),
+                (
+                    "duration_ns".into(),
+                    json::Json::UInt(span.duration_ns.into()),
+                ),
+                (
+                    "counters".into(),
+                    json::Json::Object(
+                        span.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), json::Json::UInt(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "children".into(),
+                    json::Json::Array(span.children.iter().map(node).collect()),
+                ),
+            ])
+        }
+        json::Json::Object(vec![
+            ("schema".into(), json::Json::Str(TRACE_SCHEMA.into())),
+            ("root".into(), node(&self.root)),
+        ])
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a trace previously produced by [`Self::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON, the schema tag
+    /// is missing or unknown, or a span field has the wrong type.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let value = json::Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = value
+            .get("schema")
+            .and_then(json::Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != TRACE_SCHEMA {
+            return Err(format!("unknown trace schema {schema:?}"));
+        }
+        fn node(value: &json::Json) -> Result<SpanNode, String> {
+            let name = value
+                .get("name")
+                .and_then(json::Json::as_str)
+                .ok_or("span missing name")?
+                .to_string();
+            let start_ns = value
+                .get("start_ns")
+                .and_then(json::Json::as_u128)
+                .ok_or("span missing start_ns")? as u64;
+            let duration_ns = value
+                .get("duration_ns")
+                .and_then(json::Json::as_u128)
+                .ok_or("span missing duration_ns")? as u64;
+            let counters = value
+                .get("counters")
+                .and_then(json::Json::as_object)
+                .ok_or("span missing counters")?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u128()
+                        .map(|v| (k.clone(), v))
+                        .ok_or_else(|| format!("counter {k:?} is not an unsigned integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let children = value
+                .get("children")
+                .and_then(json::Json::as_array)
+                .ok_or("span missing children")?
+                .iter()
+                .map(node)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SpanNode {
+                name,
+                start_ns,
+                duration_ns,
+                counters,
+                children,
+            })
+        }
+        let root = node(value.get("root").ok_or("missing root span")?)?;
+        Ok(Self { root })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global switch and statistics
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NODES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+/// Turns tracing on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled. A single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables tracing when `COGENT_TRACE` is set to `1`, `true`, `on` or
+/// `yes` (case-insensitive). Returns the resulting enabled state.
+pub fn init_from_env() -> bool {
+    if let Ok(value) = std::env::var(TRACE_ENV_VAR) {
+        let v = value.to_ascii_lowercase();
+        if matches!(v.as_str(), "1" | "true" | "on" | "yes") {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+/// Total [`SpanNode`]s ever allocated by the tracing machinery. Used to
+/// assert that disabled tracing allocates nothing.
+pub fn nodes_allocated() -> usize {
+    NODES_ALLOCATED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local collection
+// ---------------------------------------------------------------------------
+
+struct Builder {
+    epoch: Instant,
+    /// Open spans, outermost first. Parallel with `starts`.
+    stack: Vec<SpanNode>,
+    starts: Vec<Instant>,
+}
+
+impl Builder {
+    fn push(&mut self, name: &str) {
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.stack.push(SpanNode::new(name, start_ns));
+        self.starts.push(Instant::now());
+    }
+
+    fn pop(&mut self) -> SpanNode {
+        let start = self.starts.pop().expect("span stack underflow");
+        let mut node = self.stack.pop().expect("span stack underflow");
+        node.duration_ns = (start.elapsed().as_nanos() as u64).max(1);
+        node
+    }
+}
+
+thread_local! {
+    static BUILDER: RefCell<Option<Builder>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for one pipeline phase; closing (dropping) it attaches the
+/// span to its parent.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+/// Opens a span named `name` under the current thread's capture.
+///
+/// Inert (no allocation, no timing) when tracing is disabled or when no
+/// [`Capture`] is open on this thread.
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    BUILDER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(builder) => {
+                builder.push(name);
+                SpanGuard { active: true }
+            }
+            None => SpanGuard { active: false },
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if let Some(builder) = slot.as_mut() {
+                let node = builder.pop();
+                if let Some(parent) = builder.stack.last_mut() {
+                    parent.children.push(node);
+                }
+                // A guard outliving its capture is a misuse; the node is
+                // silently discarded rather than panicking in a destructor.
+            }
+        });
+    }
+}
+
+/// Adds `value` to counter `name` on the innermost open span of the
+/// current thread. A no-op when tracing is disabled or no span is open.
+pub fn counter(name: &str, value: u128) {
+    if !enabled() {
+        return;
+    }
+    BUILDER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(builder) = slot.as_mut() {
+            if let Some(top) = builder.stack.last_mut() {
+                top.add_counter(name, value);
+            }
+        }
+    });
+}
+
+/// Opens (or nests into) a trace on the current thread.
+///
+/// The first `Capture` on a thread owns the trace; captures started while
+/// another is open become nested spans, and their [`finish`](Self::finish)
+/// returns a clone of just their subtree (with timestamps rebased to the
+/// subtree start). Either way, `finish` returns `Some` whenever tracing
+/// was enabled at start time.
+#[must_use = "dropping a capture discards its trace; call finish()"]
+pub struct Capture {
+    active: bool,
+    owns: bool,
+}
+
+impl Capture {
+    /// Starts a capture named `name`. Inert when tracing is disabled.
+    pub fn start(name: &str) -> Self {
+        if !enabled() {
+            return Self {
+                active: false,
+                owns: false,
+            };
+        }
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            match slot.as_mut() {
+                Some(builder) => {
+                    builder.push(name);
+                    Self {
+                        active: true,
+                        owns: false,
+                    }
+                }
+                None => {
+                    let mut builder = Builder {
+                        epoch: Instant::now(),
+                        stack: Vec::new(),
+                        starts: Vec::new(),
+                    };
+                    builder.push(name);
+                    *slot = Some(builder);
+                    Self {
+                        active: true,
+                        owns: true,
+                    }
+                }
+            }
+        })
+    }
+
+    /// Closes the capture and returns its trace (`None` when tracing was
+    /// disabled at [`start`](Self::start)).
+    pub fn finish(mut self) -> Option<PipelineTrace> {
+        self.close()
+    }
+
+    fn close(&mut self) -> Option<PipelineTrace> {
+        if !self.active {
+            return None;
+        }
+        self.active = false;
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let builder = slot.as_mut()?;
+            let node = builder.pop();
+            if self.owns {
+                *slot = None;
+                Some(PipelineTrace { root: node })
+            } else {
+                let mut subtree = node.clone();
+                if let Some(parent) = builder.stack.last_mut() {
+                    parent.children.push(node);
+                }
+                let offset = subtree.start_ns;
+                subtree.rebase(offset);
+                Some(PipelineTrace { root: subtree })
+            }
+        })
+    }
+}
+
+impl Drop for Capture {
+    fn drop(&mut self) {
+        // Keeps the thread-local stack balanced when a capture is dropped
+        // without finish() (e.g. on an early return); the trace (or, for a
+        // nested capture, its standalone clone) is discarded.
+        let _ = self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global flag.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_tracing<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn capture_builds_span_tree() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("generate");
+            {
+                let _a = span("enumerate");
+                counter("enumerate.configs", 10);
+                counter("enumerate.configs", 5);
+            }
+            {
+                let _b = span("prune");
+                {
+                    let _c = span("relax");
+                }
+            }
+            capture.finish().unwrap()
+        });
+        assert_eq!(trace.root.name, "generate");
+        assert_eq!(trace.root.children.len(), 2);
+        let enumerate = &trace.root.children[0];
+        assert_eq!(enumerate.counter("enumerate.configs"), Some(15));
+        assert!(enumerate.duration_ns >= 1);
+        assert_eq!(trace.root.children[1].children[0].name, "relax");
+        assert!(trace.find("relax").is_some());
+        assert!(trace.find("missing").is_none());
+    }
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        let before = nodes_allocated();
+        let capture = Capture::start("generate");
+        {
+            let _s = span("enumerate");
+            counter("enumerate.configs", 3);
+        }
+        assert!(capture.finish().is_none());
+        assert_eq!(nodes_allocated(), before);
+    }
+
+    #[test]
+    fn nested_capture_returns_subtree() {
+        let (outer, inner) = with_tracing(|| {
+            let outer = Capture::start("cli");
+            let inner = Capture::start("generate");
+            {
+                let _s = span("codegen");
+            }
+            let inner_trace = inner.finish().unwrap();
+            (outer.finish().unwrap(), inner_trace)
+        });
+        assert_eq!(inner.root.name, "generate");
+        assert_eq!(inner.root.start_ns, 0, "nested capture is rebased");
+        assert_eq!(inner.root.children[0].name, "codegen");
+        // The outer trace still contains the full tree.
+        assert_eq!(outer.root.name, "cli");
+        assert!(outer.find("codegen").is_some());
+    }
+
+    #[test]
+    fn counter_sum_prefix_walks_subtree() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("generate");
+            {
+                let _s = span("prune");
+                counter("prune.reject.smem", 7);
+                counter("prune.reject.regs", 3);
+                counter("prune.survivors", 100);
+            }
+            capture.finish().unwrap()
+        });
+        assert_eq!(trace.counter_sum_prefix("prune.reject."), 10);
+        assert_eq!(trace.counter_sum_prefix("prune."), 110);
+    }
+
+    #[test]
+    fn span_without_capture_is_inert() {
+        with_tracing(|| {
+            let before = nodes_allocated();
+            let _s = span("orphan");
+            counter("orphan.count", 1);
+            assert_eq!(nodes_allocated(), before);
+        });
+    }
+
+    #[test]
+    fn dropped_capture_keeps_stack_balanced() {
+        let trace = with_tracing(|| {
+            {
+                let _abandoned = Capture::start("abandoned");
+                let _s = span("child");
+            }
+            let capture = Capture::start("fresh");
+            capture.finish().unwrap()
+        });
+        assert_eq!(trace.root.name, "fresh");
+        assert!(trace.root.children.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_trace() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("generate");
+            {
+                let _s = span("simulate");
+                counter("sim.transactions.load_a", u128::from(u64::MAX) + 7);
+            }
+            capture.finish().unwrap()
+        });
+        let text = trace.to_json_string();
+        let back = PipelineTrace::from_json_str(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_schema() {
+        assert!(PipelineTrace::from_json_str("{}").is_err());
+        assert!(
+            PipelineTrace::from_json_str(r#"{"schema":"other.v9","root":{}}"#)
+                .unwrap_err()
+                .contains("unknown trace schema")
+        );
+    }
+
+    #[test]
+    fn env_var_enables_tracing() {
+        let _guard = LOCK.lock().unwrap();
+        // Only exercise the "unset" path deterministically; mutating the
+        // process environment would race other tests.
+        if std::env::var(TRACE_ENV_VAR).is_err() {
+            set_enabled(false);
+            assert!(!init_from_env());
+        }
+    }
+}

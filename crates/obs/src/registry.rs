@@ -1,0 +1,74 @@
+//! A process-wide, thread-safe collection point for finished traces.
+//!
+//! The bench binaries run pipelines from worker threads; each worker
+//! [`publish`]es its labelled trace here and the main thread [`drain`]s
+//! them for writing (e.g. as JSON lines next to the result tables).
+
+use std::sync::Mutex;
+
+use crate::PipelineTrace;
+
+static REGISTRY: Mutex<Vec<(String, PipelineTrace)>> = Mutex::new(Vec::new());
+
+/// Appends a labelled trace to the registry.
+pub fn publish(label: &str, trace: PipelineTrace) {
+    REGISTRY
+        .lock()
+        .expect("trace registry poisoned")
+        .push((label.to_string(), trace));
+}
+
+/// Removes and returns every published trace, in publish order.
+pub fn drain() -> Vec<(String, PipelineTrace)> {
+    std::mem::take(&mut *REGISTRY.lock().expect("trace registry poisoned"))
+}
+
+/// Number of traces currently queued.
+pub fn len() -> usize {
+    REGISTRY.lock().expect("trace registry poisoned").len()
+}
+
+/// Whether the registry is empty.
+pub fn is_empty() -> bool {
+    len() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanNode;
+
+    fn trace(name: &str) -> PipelineTrace {
+        PipelineTrace {
+            root: SpanNode {
+                name: name.to_string(),
+                start_ns: 0,
+                duration_ns: 1,
+                counters: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn publish_and_drain_from_threads() {
+        // Drain anything left over from other tests first.
+        let _ = drain();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    publish(&format!("job-{i}"), trace("generate"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(len(), 4);
+        let mut drained = drain();
+        drained.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(drained.len(), 4);
+        assert_eq!(drained[0].0, "job-0");
+        assert!(drain().is_empty());
+    }
+}

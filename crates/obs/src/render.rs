@@ -1,0 +1,81 @@
+//! Text rendering of a [`PipelineTrace`] as an indented tree.
+
+use crate::{PipelineTrace, SpanNode};
+
+/// Formats a nanosecond duration with a human-friendly unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+pub(crate) fn render_text(trace: &PipelineTrace) -> String {
+    let mut out = String::new();
+    render_span(&trace.root, 0, &mut out);
+    out
+}
+
+fn render_span(span: &SpanNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let name_width = 28usize.saturating_sub(indent.len()).max(1);
+    out.push_str(&format!(
+        "{indent}{:<name_width$} {:>10}",
+        span.name,
+        fmt_ns(span.duration_ns),
+    ));
+    if !span.counters.is_empty() {
+        let counters: Vec<String> = span
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        out.push_str(&format!("  [{}]", counters.join(" ")));
+    }
+    out.push('\n');
+    for child in &span.children {
+        render_span(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn renders_tree_with_counters() {
+        let trace = PipelineTrace {
+            root: SpanNode {
+                name: "generate".into(),
+                start_ns: 0,
+                duration_ns: 2_000_000,
+                counters: vec![],
+                children: vec![SpanNode {
+                    name: "prune".into(),
+                    start_ns: 10,
+                    duration_ns: 1_000,
+                    counters: vec![("prune.survivors".into(), 42)],
+                    children: vec![],
+                }],
+            },
+        };
+        let text = trace.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("generate"));
+        assert!(lines[1].starts_with("  prune"));
+        assert!(lines[1].contains("[prune.survivors=42]"));
+    }
+}

@@ -178,8 +178,16 @@ impl GettPlan {
     ///
     /// Panics when operand shapes do not match the plan's size map.
     pub fn execute<T: Element>(&self, a: &DenseTensor<T>, b: &DenseTensor<T>) -> DenseTensor<T> {
-        assert_eq!(a.layout().extents(), &self.a_extents[..], "A shape mismatch");
-        assert_eq!(b.layout().extents(), &self.b_extents[..], "B shape mismatch");
+        assert_eq!(
+            a.layout().extents(),
+            &self.a_extents[..],
+            "A shape mismatch"
+        );
+        assert_eq!(
+            b.layout().extents(),
+            &self.b_extents[..],
+            "B shape mismatch"
+        );
         let tc = &self.contraction;
         let c_extents: Vec<usize> = tc
             .c()
@@ -390,4 +398,3 @@ mod tests {
         assert!(got.approx_eq(&want, 1e-3));
     }
 }
-

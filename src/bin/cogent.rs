@@ -7,8 +7,12 @@
 //! cogent generate "C[i,j] = A[i,k] * B[k,j]" --sizes i=1024,j=1024,k=512 --opencl
 //! cogent search   "abcdef-gdab-efgc" --size 20 --top 8
 //! cogent bench    "abcd-aebf-dfce" --size 48 --device p100
+//! cogent explain  "abcd-aebf-dfce" --size 32 --json
 //! cogent suite
 //! ```
+//!
+//! Setting `COGENT_TRACE=1` makes every subcommand print its pipeline
+//! trace (span tree with timings and counters) to stderr on completion.
 
 use std::process::ExitCode;
 
@@ -19,7 +23,16 @@ use cogent::sim::plan::StoreMode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    // COGENT_TRACE=1 traces any subcommand; the tree goes to stderr so
+    // stdout (generated sources, tables) is unchanged.
+    let capture = cogent::obs::init_from_env()
+        .then(|| cogent::obs::Capture::start(&format!("cogent {}", args.join(" "))));
+    let result = run(&args);
+    if let Some(trace) = capture.and_then(cogent::obs::Capture::finish) {
+        eprintln!("--- pipeline trace ({}) ---", cogent::obs::TRACE_ENV_VAR);
+        eprint!("{}", trace.render_text());
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
@@ -35,10 +48,12 @@ const USAGE: &str = "usage:
                   [--device v100|p100] [--f32] [--accumulate] [--opencl] [-o FILE]
   cogent search   <contraction> [--size N | --sizes ...] [--device ...] [--top K]
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
+  cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32] [--json]
   cogent suite    [--group ml|aomo|ccsd|ccsdt]
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
-(\"C[i,j] = A[i,k] * B[k,j]\")";
+(\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
+pipeline trace to stderr";
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -47,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(rest),
         "search" => cmd_search(rest),
         "bench" => cmd_bench(rest),
+        "explain" => cmd_explain(rest),
         "suite" => cmd_suite(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -226,6 +242,44 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    println!("{}", explain_report(args)?);
+    Ok(())
+}
+
+/// Runs the full pipeline with tracing forced on and renders the
+/// resulting [`cogent::obs::PipelineTrace`] — as an indented span tree by
+/// default, or as `cogent.trace.v1` JSON with `--json`.
+fn explain_report(args: &[String]) -> Result<String, String> {
+    let tc = parse_contraction(args)?;
+    let sizes = parse_sizes(args, &tc)?;
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+
+    let was_enabled = cogent::obs::enabled();
+    cogent::obs::set_enabled(true);
+    let result = Cogent::new()
+        .device(device)
+        .precision(precision)
+        .generate(&tc, &sizes);
+    cogent::obs::set_enabled(was_enabled);
+    let generated = result.map_err(|e| format!("{e}"))?;
+    let trace = generated
+        .trace
+        .ok_or("pipeline finished without producing a trace")?;
+
+    if has_flag(args, "--json") {
+        Ok(trace.to_json_string())
+    } else {
+        Ok(format!(
+            "contraction:   {tc}\nconfiguration: {}\npredicted:     {:.1} GFLOPS at {sizes}\n\n{}",
+            generated.config,
+            generated.report.gflops,
+            trace.render_text().trim_end()
+        ))
+    }
+}
+
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let group = flag_value(args, "--group");
     for entry in cogent::tccg::suite() {
@@ -310,5 +364,41 @@ mod tests {
     #[test]
     fn bench_command_runs_small() {
         assert!(cmd_bench(&s(&["ij-ik-kj", "--size", "128"])).is_ok());
+    }
+
+    /// Every pipeline phase must show up as a span line in the rendered
+    /// `explain` tree (golden structure, not golden bytes: timings vary).
+    #[test]
+    fn explain_text_has_one_span_per_phase() {
+        let out = explain_report(&s(&["abcd-aebf-dfce", "--size", "16"])).unwrap();
+        for phase in ["enumerate", "prune", "rank", "lower", "codegen", "simulate"] {
+            let hits = out
+                .lines()
+                .filter(|l| l.trim_start().starts_with(phase))
+                .count();
+            assert!(hits >= 1, "phase {phase} missing from:\n{out}");
+        }
+        // Single-shot phases appear exactly once; `simulate` repeats (one
+        // span per refined candidate), which the tree makes visible.
+        for phase in ["enumerate", "prune", "rank", "codegen"] {
+            let hits = out
+                .lines()
+                .filter(|l| l.trim_start().starts_with(phase))
+                .count();
+            assert_eq!(hits, 1, "phase {phase} duplicated in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn explain_json_round_trips_with_required_spans() {
+        let out = explain_report(&s(&["abcd-aebf-dfce", "--size", "16", "--json"])).unwrap();
+        let trace = cogent::obs::PipelineTrace::from_json_str(&out).unwrap();
+        for phase in ["enumerate", "prune", "rank", "lower", "codegen", "simulate"] {
+            let span = trace
+                .find(phase)
+                .unwrap_or_else(|| panic!("span {phase} missing from JSON trace"));
+            assert!(span.duration_ns > 0, "{phase} has zero duration");
+            assert!(!span.counters.is_empty(), "{phase} has no counters");
+        }
     }
 }

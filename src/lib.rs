@@ -19,6 +19,7 @@
 //! | [`generator`] | `cogent-core` | **the paper**: enumeration, pruning, cost model, CUDA emission |
 //! | [`baselines`] | `cogent-baselines` | TTGT, NWChem-like, TC-like autotuner, naive floor |
 //! | [`tccg`] | `cogent-tccg` | the 48-entry benchmark suite |
+//! | [`obs`] | `cogent-obs` | pipeline tracing: spans, counters, trace JSON |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use cogent_core as generator;
 pub use cogent_gpu_model as gpu;
 pub use cogent_gpu_sim as sim;
 pub use cogent_ir as ir;
+pub use cogent_obs as obs;
 pub use cogent_tccg as tccg;
 pub use cogent_tensor as tensor;
 

@@ -1,0 +1,163 @@
+//! A workspace-local subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice its benches use: [`Criterion::bench_function`], benchmark
+//! groups with `sample_size`, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of criterion's
+//! statistical machinery, each benchmark runs a fixed number of samples
+//! after a warm-up and prints min/mean wall-clock times.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benched
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-sample durations, consumed by the caller.
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up round, unmeasured.
+        black_box(body());
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    println!(
+        "{name:<40} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        min,
+        mean,
+        durations.len()
+    );
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.default_samples,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        report(name, &bencher.durations);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            samples: self.default_samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.group), &bencher.durations);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0usize;
+        Criterion::default().bench_function("noop", |b| b.iter(|| calls += 1));
+        // Warm-up + default samples.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        let mut calls = 0usize;
+        group
+            .sample_size(3)
+            .bench_function("n", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,57 @@
+//! The deterministic generator driving strategies.
+
+/// Random generator handed to strategies (splitmix64).
+///
+/// Seeded per test from the test's module path so failures reproduce;
+/// set `PROPTEST_SEED=<u64>` to force a specific stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+
+    /// Creates the per-test generator: `PROPTEST_SEED` if set, otherwise a
+    /// hash of the test name.
+    pub fn for_test(name: &str) -> Self {
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            return Self::from_seed(seed);
+        }
+        // FNV-1a over the test name.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(hash)
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below: zero bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Splits off an independent generator (for `prop_perturb`).
+    pub fn fork(&mut self) -> Self {
+        Self::from_seed(self.next_u64())
+    }
+}

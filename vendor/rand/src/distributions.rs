@@ -1,0 +1,34 @@
+//! Value distributions.
+
+use crate::{RngCore, SampleUniform};
+
+/// A distribution that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Creates a uniform distribution over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new: empty range");
+        Self { low, high }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.low, self.high)
+    }
+}

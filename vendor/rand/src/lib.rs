@@ -1,0 +1,146 @@
+//! A workspace-local subset of the `rand 0.8` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice it uses: `StdRng` (here a xoshiro256++ generator — not the
+//! upstream ChaCha12, so streams differ from real `rand`, which is fine
+//! because callers only rely on determinism per seed), `SeedableRng`,
+//! `Rng::{gen_range, gen_bool}`, and `distributions::{Distribution,
+//! Uniform}` for floats.
+
+pub mod distributions;
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sample types for [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The successor value, for inclusive upper bounds.
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                ) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (low as i128 + v as i128) as $ty
+                }
+                fn successor(self) -> Self {
+                    self.checked_add(1).expect("gen_range: inclusive bound overflow")
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+/// User-facing random value generation.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range.
+    fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let (low, high) = range.clarify();
+        T::sample_half_open(self, low, high)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The two range shapes accepted by [`Rng::gen_range`].
+pub trait RangeBounds<T: SampleUniform> {
+    /// Converts to a half-open `(low, high)` pair.
+    fn clarify(self) -> (T, T);
+}
+
+impl<T: SampleUniform> RangeBounds<T> for std::ops::Range<T> {
+    fn clarify(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> RangeBounds<T> for std::ops::RangeInclusive<T> {
+    fn clarify(self) -> (T, T) {
+        let (start, end) = self.into_inner();
+        (start, end.successor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.gen_range(0..=4);
+            assert!(w <= 4);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! A workspace-local subset of the `serde` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of serde it actually uses: the `ser` data-model traits (deep
+//! enough to drive custom serializers such as the counting serializer in
+//! `tests/serde_roundtrip.rs`), `Serialize` impls for the std types that
+//! appear in workspace data structures, and a `Deserialize` marker trait.
+//! The derive macros live in the sibling `serde_derive` crate and are
+//! re-exported here under the `derive` feature, mirroring real serde.
+//!
+//! Deserialization is deliberately not implemented: the workspace's only
+//! textual format is the hand-rolled JSON in `cogent-obs`, which round-trips
+//! through its own parser.
+
+pub mod ser;
+
+pub mod de {
+    //! Deserialization marker trait.
+    //!
+    //! No code in the workspace drives a `Deserializer`; the trait exists so
+    //! `#[derive(serde::Deserialize)]` on public types keeps compiling and
+    //! documents the intent to support deserialization once a real registry
+    //! is reachable.
+
+    /// Marker trait standing in for `serde::de::Deserialize`.
+    pub trait Deserialize<'de>: Sized {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,320 @@
+//! Workspace-local `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The offline build environment cannot fetch `syn`/`quote`, so this crate
+//! parses the item token stream by hand. It supports the shapes the
+//! workspace actually derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype included),
+//! * unit structs,
+//! * enums whose variants are unit, tuple, or struct-like.
+//!
+//! `#[serde(...)]` attributes are not supported (none are used in the
+//! workspace); generics are rejected with a compile error rather than
+//! silently mis-expanding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field-less view of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// True for tokens that may precede the `struct`/`enum` keyword.
+fn is_visibility(tok: &TokenTree) -> bool {
+    match tok {
+        TokenTree::Ident(i) => i.to_string() == "pub",
+        TokenTree::Group(g) => g.delimiter() == Delimiter::Parenthesis,
+        _ => false,
+    }
+}
+
+/// Strips `#[...]` attributes (including doc comments) from the front of
+/// `toks` starting at `pos`, returning the new position.
+fn skip_attributes(toks: &[TokenTree], mut pos: usize) -> usize {
+    while pos + 1 < toks.len() {
+        match (&toks[pos], &toks[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    pos
+}
+
+/// Splits the tokens of a delimited group on top-level commas, dropping a
+/// trailing empty segment.
+fn split_top_level_commas(tokens: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    // Angle brackets do not form token groups, so `Vec<(A, B)>` style types
+    // need explicit depth tracking to avoid splitting on the inner comma.
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tok);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+/// Extracts the field names from the tokens of a `{ ... }` fields group.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for segment in split_top_level_commas(group) {
+        let seg = &segment[skip_attributes(&segment, 0)..];
+        // Skip visibility, then the next ident followed by `:` is the name.
+        let mut pos = 0;
+        while pos < seg.len() && is_visibility(&seg[pos]) {
+            pos += 1;
+        }
+        match seg.get(pos) {
+            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            _ => return Err("unsupported field syntax".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for segment in split_top_level_commas(group) {
+        let seg = &segment[skip_attributes(&segment, 0)..];
+        let name = match seg.first() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            _ => return Err("unsupported enum variant syntax".into()),
+        };
+        let shape = match seg.get(1) {
+            None => VariantShape::Unit,
+            // Explicit discriminant: `Name = expr`.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(split_top_level_commas(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(_) => return Err("unsupported enum variant syntax".into()),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attributes(&toks, 0);
+    while pos < toks.len() && is_visibility(&toks[pos]) {
+        pos += 1;
+    }
+    let kind = match &toks[pos..] {
+        [TokenTree::Ident(kw), ..] if kw.to_string() == "struct" || kw.to_string() == "enum" => {
+            kw.to_string()
+        }
+        _ => return Err("derive supports only structs and enums".into()),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        _ => return Err("missing item name".into()),
+    };
+    pos += 1;
+    if matches!(toks.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("generic types are not supported by the vendored serde derive".into());
+    }
+    match toks.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream())?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok(Item::TupleStruct {
+                name,
+                arity: split_top_level_commas(g.stream()).len(),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            Ok(Item::UnitStruct { name })
+        }
+        _ => Err("unsupported item body".into()),
+    }
+}
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, {field:?}, &self.{field})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(state)");
+            body
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::serde::Serializer::serialize_newtype_struct(serializer, {name:?}, &self.0)")
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let mut state = ::serde::Serializer::serialize_tuple_struct(serializer, {name:?}, {arity})?;\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{i})?;\n"
+                ));
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(state)");
+            body
+        }
+        Item::UnitStruct { name } => {
+            format!("::serde::Serializer::serialize_unit_struct(serializer, {name:?})")
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(serializer, {name:?}, {index}u32, {vname:?}),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Serializer::serialize_newtype_variant(serializer, {name:?}, {index}u32, {vname:?}, f0),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut state = ::serde::Serializer::serialize_tuple_variant(serializer, {name:?}, {index}u32, {vname:?}, {arity})?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut state = ::serde::Serializer::serialize_struct_variant(serializer, {name:?}, {index}u32, {vname:?}, {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut state, {field:?}, {field})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+/// Derives `serde::Serialize` by traversing every field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = serialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the `serde::Deserialize` marker (see the vendored `serde::de`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{}}"
+    )
+    .parse()
+    .unwrap()
+}
