@@ -19,6 +19,12 @@ run() {
 
 run cargo build --release $OFFLINE
 run cargo test -q --workspace $OFFLINE
+# The fault-injection suite on its own: a fast, named signal that the
+# guard layer's detection matrix (static faults → validator, dynamic
+# faults → divergence check) still holds.
+run cargo test -q -p cogent-gpu-sim $OFFLINE fault
+run cargo test -q -p cogent-core --test fault_matrix $OFFLINE
+run ./tools/unwrap_gate.sh
 run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
 run cargo fmt --all -- --check
 

@@ -220,7 +220,7 @@ mod tests {
         .unwrap();
         let sizes = SizeMap::from_pairs([("n", 4), ("i", 32), ("j", 32), ("k", 32)]);
         let plan = NwchemLikeGenerator::new().plan(&tc, &sizes);
-        assert_eq!(plan.binding("n").dim, MapDim::Grid);
+        assert_eq!(plan.binding("n").unwrap().dim, MapDim::Grid);
         // And the plan still computes the right answer.
         let (a, b) = random_inputs::<f64>(&tc.normalized(), &sizes.scaled_down(4), 1);
         let small = sizes.scaled_down(4);

@@ -1,43 +1,18 @@
 //! The COGENT front door.
 
-use std::error::Error;
-use std::fmt;
-
 use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_gpu_sim::plan::StoreMode;
-use cogent_gpu_sim::{KernelPlan, SimReport};
+use cogent_gpu_sim::{simulate, KernelPlan, SimReport};
 use cogent_ir::transform::merge_all;
-use cogent_ir::{Contraction, SizeMap};
+use cogent_ir::{Contraction, IndexName, SizeMap};
 
 use crate::codegen::{emit_opencl_kernel, emit_source};
 use crate::config::KernelConfig;
-use crate::lower::refine_with_simulator;
+use crate::guard::{
+    divergence_check, naive_config, naive_plan, record_violations, validate_generated, CogentError,
+    PlanSource, PlanViolation, Provenance, RejectReason, RejectedCandidate,
+};
 use crate::select::{search, SearchOptions, SearchOutcome};
-
-/// Error from [`Cogent::generate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum GenerateError {
-    /// The size map is missing an extent for some index.
-    IncompleteSizes,
-    /// No configuration survived enumeration (degenerate contraction).
-    NoConfiguration,
-}
-
-impl fmt::Display for GenerateError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            GenerateError::IncompleteSizes => {
-                write!(f, "size map does not cover every contraction index")
-            }
-            GenerateError::NoConfiguration => {
-                write!(f, "no kernel configuration could be enumerated")
-            }
-        }
-    }
-}
-
-impl Error for GenerateError {}
 
 /// Everything produced for one contraction: the chosen configuration, the
 /// executable plan, the CUDA source, the simulated performance report and
@@ -59,6 +34,10 @@ pub struct GeneratedKernel {
     pub report: SimReport,
     /// Search statistics (enumerated/pruned/ranked).
     pub search: SearchOutcome,
+    /// Where the plan came from: which ranked candidate won, which were
+    /// rejected and why, and whether the guard degraded to the naive
+    /// fallback.
+    pub provenance: Provenance,
     /// Pipeline trace of this generation run. Populated whenever tracing
     /// is enabled (see [`cogent_obs::set_enabled`]), `None` otherwise.
     pub trace: Option<cogent_obs::PipelineTrace>,
@@ -74,6 +53,8 @@ pub struct Cogent {
     options: SearchOptions,
     refine_top: usize,
     store_mode: StoreMode,
+    verify_numeric: bool,
+    divergence_tolerance: f64,
 }
 
 impl Default for Cogent {
@@ -92,6 +73,8 @@ impl Cogent {
             options: SearchOptions::default(),
             refine_top: 4,
             store_mode: StoreMode::Assign,
+            verify_numeric: false,
+            divergence_tolerance: 1e-8,
         }
     }
 
@@ -128,6 +111,23 @@ impl Cogent {
         self
     }
 
+    /// Enables the numeric divergence check: every candidate plan is
+    /// executed functionally on the representative sizes and compared to
+    /// the reference contraction before being returned. Off by default —
+    /// functional execution at representative sizes can cost far more than
+    /// the search itself.
+    pub fn verify_numeric(mut self, on: bool) -> Self {
+        self.verify_numeric = on;
+        self
+    }
+
+    /// Maximum absolute element difference tolerated by the divergence
+    /// check (default `1e-8`).
+    pub fn divergence_tolerance(mut self, tolerance: f64) -> Self {
+        self.divergence_tolerance = tolerance;
+        self
+    }
+
     /// The configured device.
     pub fn target_device(&self) -> &GpuDevice {
         &self.device
@@ -156,7 +156,7 @@ impl Cogent {
         &self,
         tc: &Contraction,
         sizes: &SizeMap,
-    ) -> Result<(GeneratedKernel, SizeMap), GenerateError> {
+    ) -> Result<(GeneratedKernel, SizeMap), CogentError> {
         let plain = self.generate(tc, sizes)?;
         let (merged_tc, merged_sizes) = merge_all(tc, sizes);
         if merged_tc.num_indices() == tc.num_indices() {
@@ -171,46 +171,162 @@ impl Cogent {
     }
 
     /// Runs the full pipeline for one contraction: enumerate → prune →
-    /// cost-rank → simulate the top few → lower the winner → emit CUDA.
+    /// cost-rank → lower, validate and simulate the top few → emit CUDA
+    /// for the winner.
+    ///
+    /// Every candidate plan passes [`validate_plan`](crate::guard::validate_plan) (and, when
+    /// [`Cogent::verify_numeric`] is on, the numeric divergence check
+    /// against the reference contraction) before it can win. Candidates
+    /// that fail are skipped and recorded in
+    /// [`GeneratedKernel::provenance`]; when every ranked candidate is
+    /// rejected, generation degrades to the guaranteed-safe naive plan
+    /// (one thread per output element) instead of failing.
     ///
     /// # Errors
     ///
-    /// Returns [`GenerateError::IncompleteSizes`] when `sizes` misses an
-    /// index and [`GenerateError::NoConfiguration`] when nothing could be
-    /// enumerated.
+    /// Returns [`CogentError::IncompleteSizes`] when `sizes` misses an
+    /// index, [`CogentError::NoConfiguration`] when nothing could be
+    /// enumerated, [`CogentError::BudgetExhausted`] when the enumeration
+    /// budget ran out before producing anything, and
+    /// [`CogentError::NoViablePlan`] when even the naive fallback fails
+    /// validation (e.g. the problem exceeds the device's launch limits).
     pub fn generate(
         &self,
         tc: &Contraction,
         sizes: &SizeMap,
-    ) -> Result<GeneratedKernel, GenerateError> {
+    ) -> Result<GeneratedKernel, CogentError> {
         if !sizes.covers(tc) {
-            return Err(GenerateError::IncompleteSizes);
+            let missing: Vec<IndexName> = tc
+                .all_indices()
+                .filter(|i| sizes.extent(i).is_none())
+                .cloned()
+                .collect();
+            return Err(CogentError::IncompleteSizes { missing });
         }
         // One capture per generation; when tracing is disabled this (and
         // every span below) is a single atomic load.
         let capture = cogent_obs::Capture::start("generate");
         let outcome = search(tc, sizes, &self.device, self.precision, &self.options);
         if outcome.ranked.is_empty() {
-            return Err(GenerateError::NoConfiguration);
+            if outcome.truncated && outcome.enumerated == 0 {
+                return Err(CogentError::BudgetExhausted {
+                    max_configs: self.options.max_configs,
+                    time_budget: self.options.time_budget,
+                });
+            }
+            return Err(CogentError::NoConfiguration);
         }
-        let refined = refine_with_simulator(
-            &outcome,
-            sizes,
-            &self.device,
-            self.precision,
-            self.refine_top,
-        );
-        let winner = refined.into_iter().next().expect("refinement is non-empty");
-        let config = outcome.ranked[winner.model_rank].config.clone();
-        let plan = winner.plan.with_store_mode(self.store_mode);
-        // Accumulating stores read the output before writing it; the
-        // report must reflect that extra traffic, so re-simulate the
-        // final plan rather than reusing the assign-mode refinement run.
-        let report = if self.store_mode == StoreMode::Assign {
-            winner.report
-        } else {
-            cogent_gpu_sim::simulate(&plan, &self.device, self.precision)
+
+        // Degradation ladder, stage 1: lower + validate + simulate the
+        // ranked candidates until `refine_top` viable ones are collected.
+        let mut rejected: Vec<RejectedCandidate> = Vec::new();
+        let mut viable: Vec<(usize, KernelPlan, SimReport)> = Vec::new();
+        let mut checked = 0usize;
+        {
+            let _span = cogent_obs::span("lower");
+            for (model_rank, ranked) in outcome.ranked.iter().enumerate() {
+                if viable.len() >= self.refine_top {
+                    break;
+                }
+                checked += 1;
+                let plan = match ranked.config.lower(&outcome.contraction, sizes) {
+                    Ok(plan) => plan.with_store_mode(self.store_mode),
+                    Err(e) => {
+                        cogent_obs::counter("guard.violation.lowering", 1);
+                        rejected.push(RejectedCandidate {
+                            model_rank,
+                            reason: RejectReason::Lowering(e),
+                        });
+                        continue;
+                    }
+                };
+                if let Err(violations) =
+                    validate_generated(&plan, &self.device, self.precision, self.store_mode)
+                {
+                    record_violations(&violations);
+                    rejected.push(RejectedCandidate {
+                        model_rank,
+                        reason: RejectReason::Invalid(violations),
+                    });
+                    continue;
+                }
+                let report = simulate(&plan, &self.device, self.precision);
+                viable.push((model_rank, plan, report));
+            }
+            cogent_obs::counter("lower.candidates", checked as u128);
+        }
+        viable.sort_by(|x, y| x.2.time.total_s.total_cmp(&y.2.time.total_s));
+
+        // Stage 2: numeric divergence gate (optional) — first passing
+        // candidate wins.
+        let mut winner: Option<(usize, KernelPlan, SimReport)> = None;
+        let mut numeric_verified = false;
+        for (model_rank, plan, report) in viable {
+            if !self.verify_numeric {
+                winner = Some((model_rank, plan, report));
+                break;
+            }
+            match divergence_check(&plan, 23, self.divergence_tolerance) {
+                Ok(()) => {
+                    numeric_verified = true;
+                    winner = Some((model_rank, plan, report));
+                    break;
+                }
+                Err(PlanViolation::NumericDivergence { max_abs_diff }) => {
+                    cogent_obs::counter("guard.violation.numeric_divergence", 1);
+                    rejected.push(RejectedCandidate {
+                        model_rank,
+                        reason: RejectReason::Divergence { max_abs_diff },
+                    });
+                }
+                Err(violation) => {
+                    record_violations(std::slice::from_ref(&violation));
+                    rejected.push(RejectedCandidate {
+                        model_rank,
+                        reason: RejectReason::Invalid(vec![violation]),
+                    });
+                }
+            }
+        }
+
+        // Stage 3: naive fallback. Exempt from the divergence gate — its
+        // one-element-per-step walk is the same order the reference uses,
+        // and a fallback that could itself be rejected for floating-point
+        // rounding would defeat graceful degradation; `numeric_verified`
+        // stays false to keep the exemption visible.
+        let (source, config, plan, report) = match winner {
+            Some((model_rank, plan, report)) => {
+                let config = outcome.ranked[model_rank].config.clone();
+                (PlanSource::Search { model_rank }, config, plan, report)
+            }
+            None => {
+                let plan = naive_plan(tc, sizes)?.with_store_mode(self.store_mode);
+                if let Err(violations) =
+                    validate_generated(&plan, &self.device, self.precision, self.store_mode)
+                {
+                    record_violations(&violations);
+                    cogent_obs::counter("guard.fallback.unviable", 1);
+                    return Err(CogentError::NoViablePlan { violations });
+                }
+                let report = simulate(&plan, &self.device, self.precision);
+                (PlanSource::NaiveFallback, naive_config(&plan), plan, report)
+            }
         };
+        {
+            let _span = cogent_obs::span("guard");
+            cogent_obs::counter("guard.candidates.checked", checked as u128);
+            cogent_obs::counter("guard.fallback.rejected", rejected.len() as u128);
+            cogent_obs::counter(
+                "guard.fallback.naive",
+                u128::from(source == PlanSource::NaiveFallback),
+            );
+        }
+        let provenance = Provenance {
+            source,
+            rejected,
+            numeric_verified,
+        };
+
         let (cuda_source, opencl_source) = {
             let _span = cogent_obs::span("codegen");
             let cuda = emit_source(&plan, self.precision);
@@ -228,6 +344,7 @@ impl Cogent {
             opencl_source,
             report,
             search: outcome,
+            provenance,
             trace,
         })
     }
@@ -260,10 +377,9 @@ mod tests {
     fn incomplete_sizes_error() {
         let tc: Contraction = "ij-ik-kj".parse().unwrap();
         let sizes = SizeMap::from_pairs([("i", 8)]);
-        assert_eq!(
-            Cogent::new().generate(&tc, &sizes).unwrap_err(),
-            GenerateError::IncompleteSizes
-        );
+        let err = Cogent::new().generate(&tc, &sizes).unwrap_err();
+        assert!(matches!(err, CogentError::IncompleteSizes { ref missing }
+            if missing.iter().map(|i| i.as_str()).collect::<Vec<_>>() == ["j", "k"]));
     }
 
     #[test]
@@ -341,8 +457,88 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(GenerateError::IncompleteSizes
-            .to_string()
-            .contains("size map"));
+        let err = CogentError::IncompleteSizes {
+            missing: vec!["j".into(), "k".into()],
+        };
+        assert!(err.to_string().contains("size map"));
+        assert!(err.to_string().contains('j'));
+    }
+
+    #[test]
+    fn clean_generation_has_undegraded_provenance() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let g = Cogent::new().generate(&tc, &sizes).unwrap();
+        assert!(!g.provenance.degraded(), "{}", g.provenance);
+        assert!(matches!(g.provenance.source, PlanSource::Search { .. }));
+        assert!(g.provenance.rejected.is_empty());
+    }
+
+    #[test]
+    fn numeric_verification_marks_provenance() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 12);
+        let g = Cogent::new()
+            .verify_numeric(true)
+            .generate(&tc, &sizes)
+            .unwrap();
+        assert!(g.provenance.numeric_verified);
+        assert!(!g.provenance.degraded());
+    }
+
+    #[test]
+    fn impossible_tolerance_degrades_to_naive_fallback() {
+        // A negative tolerance fails every candidate's divergence check,
+        // forcing the ladder all the way down to the naive plan — which is
+        // exempt from the gate, still executes correctly, and reports the
+        // degradation.
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 12);
+        let g = Cogent::new()
+            .verify_numeric(true)
+            .divergence_tolerance(-1.0)
+            .generate(&tc, &sizes)
+            .unwrap();
+        assert_eq!(g.provenance.source, PlanSource::NaiveFallback);
+        assert!(!g.provenance.numeric_verified);
+        assert!(!g.provenance.rejected.is_empty());
+        assert!(g
+            .provenance
+            .rejected
+            .iter()
+            .all(|r| matches!(r.reason, RejectReason::Divergence { .. })));
+        assert!(g.provenance.to_string().contains("naive fallback"));
+        // The fallback still computes the right answer.
+        let (a, b) = random_inputs::<f64>(&g.contraction, &sizes, 3);
+        let got = execute_plan(&g.plan, &a, &b);
+        let want = contract_reference(&g.contraction, &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-11));
+    }
+
+    #[test]
+    fn oversized_grid_is_no_viable_plan() {
+        // Externals so large that even one-thread-per-element exceeds the
+        // 2^31-1 block launch limit: every candidate and the naive
+        // fallback are rejected.
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::from_pairs([("i", 3_000_000), ("j", 3_000_000), ("k", 2)]);
+        let err = Cogent::new().generate(&tc, &sizes).unwrap_err();
+        assert!(matches!(err, CogentError::NoViablePlan { ref violations }
+            if violations.iter().any(|v| matches!(v, PlanViolation::GridExceeded { .. }))));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let opts = SearchOptions {
+            max_configs: 0,
+            ..SearchOptions::default()
+        };
+        let err = Cogent::new()
+            .search_options(opts)
+            .generate(&tc, &sizes)
+            .unwrap_err();
+        assert!(matches!(err, CogentError::BudgetExhausted { .. }));
     }
 }

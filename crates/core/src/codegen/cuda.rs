@@ -192,7 +192,9 @@ fn emit_stage(out: &mut String, _plan: &KernelPlan, tensor: &TensorRef, smem: &s
 /// (register loads and output stores): thread coordinates, register-slot
 /// coordinates, the serial in-tile coordinate, or 0 for grid-mapped tiles.
 fn compute_coord(plan: &KernelPlan, idx: &str, rx: &str, ry: &str) -> String {
-    let b = plan.binding(idx);
+    let b = plan
+        .binding(idx)
+        .expect("codegen runs on validated plans that bind every index");
     match b.dim {
         MapDim::ThreadX => format!("x_{idx}"),
         MapDim::ThreadY => format!("y_{idx}"),

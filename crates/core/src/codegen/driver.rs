@@ -44,7 +44,10 @@ pub fn emit_driver(plan: &KernelPlan, precision: Precision) -> String {
     let _ = writeln!(out, "\nint main(int argc, char** argv) {{");
     // Extents default to the representative sizes, overridable from argv.
     for (i, n) in names.iter().enumerate() {
-        let extent = plan.binding(n.as_str()).extent;
+        let extent = plan
+            .binding(n.as_str())
+            .expect("codegen runs on validated plans that bind every index")
+            .extent;
         let _ = writeln!(
             out,
             "    const int N_{n} = argc > {} ? atoi(argv[{}]) : {extent};",

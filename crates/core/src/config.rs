@@ -131,13 +131,26 @@ impl KernelConfig {
     /// # Errors
     ///
     /// Returns a [`PlanError`] when the configuration is inconsistent with
-    /// the contraction (e.g. maps a `B`-external on the X group).
+    /// the contraction (e.g. maps a `B`-external on the X group) or when
+    /// `sizes` has no extent for one of the contraction's indices.
     pub fn lower(&self, tc: &Contraction, sizes: &SizeMap) -> Result<KernelPlan, PlanError> {
-        let analysis = ContractionAnalysis::new(tc);
+        let extent_or = |name: &IndexName| {
+            sizes
+                .extent(name)
+                .ok_or_else(|| PlanError::BindingMismatch {
+                    detail: format!("size map has no extent for index {name}"),
+                })
+        };
         let mut bindings = Vec::with_capacity(tc.num_indices());
-        let mut push = |list: &[MappedIndex], dim: MapDim| {
-            for (name, tile) in list {
-                let extent = sizes.extent_of(name);
+        for (list, dim) in [
+            (&self.tbx, MapDim::ThreadX),
+            (&self.regx, MapDim::RegX),
+            (&self.tby, MapDim::ThreadY),
+            (&self.regy, MapDim::RegY),
+            (&self.tbk, MapDim::SerialK),
+        ] {
+            for (name, tile) in list.iter() {
+                let extent = extent_or(name)?;
                 bindings.push(IndexBinding::new(
                     name.clone(),
                     extent,
@@ -145,17 +158,12 @@ impl KernelConfig {
                     dim,
                 ));
             }
-        };
-        push(&self.tbx, MapDim::ThreadX);
-        push(&self.regx, MapDim::RegX);
-        push(&self.tby, MapDim::ThreadY);
-        push(&self.regy, MapDim::RegY);
-        push(&self.tbk, MapDim::SerialK);
+        }
         for idx in tc.output_indices() {
             if !self.maps(idx) {
                 bindings.push(IndexBinding::new(
                     idx.clone(),
-                    sizes.extent_of(idx),
+                    extent_or(idx)?,
                     1,
                     MapDim::Grid,
                 ));
@@ -166,13 +174,12 @@ impl KernelConfig {
             if !self.maps(idx) {
                 bindings.push(IndexBinding::new(
                     idx.clone(),
-                    sizes.extent_of(idx),
+                    extent_or(idx)?,
                     1,
                     MapDim::SerialK,
                 ));
             }
         }
-        let _ = analysis;
         KernelPlan::new(tc, bindings)
     }
 
@@ -297,7 +304,7 @@ mod tests {
         let tc = eq1();
         let sizes = SizeMap::uniform(&tc, 3); // smaller than tiles of 4
         let plan = fig2_config().lower(&tc, &sizes).unwrap();
-        assert_eq!(plan.binding("e").tile, 3);
+        assert_eq!(plan.binding("e").unwrap().tile, 3);
     }
 
     #[test]
@@ -312,8 +319,8 @@ mod tests {
             tbk: vec![("e".into(), 8), ("f".into(), 2)],
         };
         let plan = cfg.lower(&tc, &sizes).unwrap();
-        assert_eq!(plan.binding("b").tile, 1);
-        assert_eq!(plan.binding("d").tile, 1);
+        assert_eq!(plan.binding("b").unwrap().tile, 1);
+        assert_eq!(plan.binding("d").unwrap().tile, 1);
         assert_eq!(plan.num_blocks(), 64);
     }
 

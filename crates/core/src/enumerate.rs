@@ -18,10 +18,55 @@
 //! enumerations (§IV-A3), deduplicated.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use cogent_ir::{Contraction, ContractionAnalysis, IndexName, SizeMap};
 
 use crate::config::{KernelConfig, MappedIndex};
+
+/// Hard bounds on the enumeration, so pathological high-rank contractions
+/// truncate gracefully instead of exhausting memory or wall-clock time.
+///
+/// The bounds apply to the *enumeration* only: downstream pruning still
+/// sees every emitted configuration, so the prune-histogram invariants
+/// (`pruned + survivors == enumerated`) hold whether or not the space was
+/// truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationBudget {
+    /// Stop after this many configurations have been emitted.
+    pub max_configs: usize,
+    /// Stop when the wall clock passes this instant.
+    pub deadline: Option<Instant>,
+}
+
+impl EnumerationBudget {
+    /// No bounds.
+    pub fn unlimited() -> Self {
+        Self {
+            max_configs: usize::MAX,
+            deadline: None,
+        }
+    }
+
+    /// Whether `emitted` configurations exhaust the budget. The deadline
+    /// is only consulted every 128 configurations: `Instant::now` is two
+    /// orders of magnitude more expensive than one loop iteration.
+    fn exhausted(&self, emitted: usize) -> bool {
+        if emitted >= self.max_configs {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if emitted.is_multiple_of(128) => Instant::now() >= d,
+            _ => false,
+        }
+    }
+}
+
+impl Default for EnumerationBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
 
 /// Tunable menus for the enumeration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,6 +238,17 @@ pub fn enumerate_configs(
     sizes: &SizeMap,
     options: &EnumerationOptions,
 ) -> Vec<KernelConfig> {
+    enumerate_configs_bounded(tc, sizes, options, &EnumerationBudget::unlimited()).0
+}
+
+/// [`enumerate_configs`] under a budget. Returns the configurations and
+/// whether the budget truncated the space before it was exhausted.
+pub fn enumerate_configs_bounded(
+    tc: &Contraction,
+    sizes: &SizeMap,
+    options: &EnumerationOptions,
+    budget: &EnumerationBudget,
+) -> (Vec<KernelConfig>, bool) {
     let tc = tc.normalized();
     let analysis = ContractionAnalysis::new(&tc);
     let c_fvi = tc.c().fvi().clone();
@@ -237,7 +293,8 @@ pub fn enumerate_configs(
 
     let mut seen = BTreeSet::new();
     let mut out = Vec::new();
-    for tbx in &tbx_lists {
+    let mut truncated = false;
+    'space: for tbx in &tbx_lists {
         let used_x = names_in(tbx);
         let rem_a: Vec<(&IndexName, usize)> = ext_a
             .iter()
@@ -254,6 +311,10 @@ pub fn enumerate_configs(
                     .collect();
                 for regy in enum_reg(&rem_b, &options.reg_sizes) {
                     for tbk in &tbk_lists {
+                        if budget.exhausted(out.len()) {
+                            truncated = true;
+                            break 'space;
+                        }
                         let cfg = KernelConfig {
                             tbx: tbx.clone(),
                             regx: regx.clone(),
@@ -269,7 +330,10 @@ pub fn enumerate_configs(
             }
         }
     }
-    out
+    if truncated {
+        cogent_obs::counter("enumerate.truncated", 1);
+    }
+    (out, truncated)
 }
 
 #[cfg(test)]
@@ -400,6 +464,39 @@ mod tests {
         assert!(configs
             .iter()
             .all(|c| c.tby.is_empty() && c.regy.is_empty()));
+    }
+
+    #[test]
+    fn budget_truncates_and_reports() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let options = EnumerationOptions::default();
+        let (full, truncated) =
+            enumerate_configs_bounded(&tc, &sizes, &options, &EnumerationBudget::unlimited());
+        assert!(!truncated);
+        assert!(full.len() > 10);
+        let budget = EnumerationBudget {
+            max_configs: 10,
+            deadline: None,
+        };
+        let (bounded, truncated) = enumerate_configs_bounded(&tc, &sizes, &options, &budget);
+        assert!(truncated);
+        assert_eq!(bounded.len(), 10);
+        assert_eq!(&full[..10], &bounded[..]);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_immediately() {
+        let tc = eq1();
+        let sizes = SizeMap::uniform(&tc, 24);
+        let budget = EnumerationBudget {
+            max_configs: usize::MAX,
+            deadline: Some(Instant::now()),
+        };
+        let (configs, truncated) =
+            enumerate_configs_bounded(&tc, &sizes, &EnumerationOptions::default(), &budget);
+        assert!(truncated);
+        assert!(configs.is_empty());
     }
 
     #[test]

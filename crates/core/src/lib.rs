@@ -41,16 +41,23 @@ pub mod config;
 pub mod constraints;
 pub mod cost;
 pub mod enumerate;
+pub mod guard;
 pub mod learned;
 pub mod library;
 pub mod lower;
 pub mod select;
 
-pub use api::{Cogent, GenerateError, GeneratedKernel};
+pub use api::{Cogent, GeneratedKernel};
 pub use config::KernelConfig;
 pub use constraints::{PruneReason, PruneRules};
 pub use cost::transaction_cost;
-pub use enumerate::{enumerate_configs, EnumerationOptions};
+pub use enumerate::{
+    enumerate_configs, enumerate_configs_bounded, EnumerationBudget, EnumerationOptions,
+};
+pub use guard::{
+    validate_plan, CogentError, PlanSource, PlanViolation, Provenance, RejectReason,
+    RejectedCandidate,
+};
 pub use learned::LearnedRanker;
 pub use library::{KernelLibrary, KernelVersion};
 pub use select::{search, RankedConfig, SearchOutcome};

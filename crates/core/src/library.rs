@@ -14,7 +14,8 @@
 
 use cogent_ir::{Contraction, SizeMap};
 
-use crate::api::{Cogent, GenerateError, GeneratedKernel};
+use crate::api::{Cogent, GeneratedKernel};
+use crate::guard::CogentError;
 
 /// A set of generated kernel versions for one contraction, each targeted
 /// at a different representative problem size.
@@ -81,7 +82,7 @@ impl KernelLibrary {
         generator: &Cogent,
         tc: &Contraction,
         representatives: &[SizeMap],
-    ) -> Result<Self, GenerateError> {
+    ) -> Result<Self, CogentError> {
         assert!(
             !representatives.is_empty(),
             "at least one representative size is required"

@@ -27,10 +27,11 @@ pub struct RefinedCandidate {
 /// Lowers the `k` best-ranked configurations of `outcome` and orders them
 /// by *simulated* execution time (fastest first).
 ///
-/// # Panics
-///
-/// Panics when `outcome` has no ranked configurations or `sizes` does not
-/// cover the contraction.
+/// Never panics: an outcome with no ranked configurations yields an empty
+/// vector, and a candidate that fails to lower (e.g. `sizes` does not
+/// cover the contraction) is skipped. Callers needing per-candidate
+/// failure detail should lower through `KernelConfig::lower` themselves,
+/// as `Cogent::generate`'s degradation ladder does.
 ///
 /// # Examples
 ///
@@ -55,10 +56,6 @@ pub fn refine_with_simulator(
     precision: Precision,
     k: usize,
 ) -> Vec<RefinedCandidate> {
-    assert!(
-        !outcome.ranked.is_empty(),
-        "no ranked configurations to refine"
-    );
     let _span = cogent_obs::span("lower");
     cogent_obs::counter(
         "lower.candidates",
@@ -69,26 +66,17 @@ pub fn refine_with_simulator(
         .iter()
         .take(k.max(1))
         .enumerate()
-        .map(|(model_rank, ranked)| {
-            let plan = ranked
-                .config
-                .lower(&outcome.contraction, sizes)
-                .expect("ranked configurations lower cleanly");
+        .filter_map(|(model_rank, ranked)| {
+            let plan = ranked.config.lower(&outcome.contraction, sizes).ok()?;
             let report = simulate(&plan, device, precision);
-            RefinedCandidate {
+            Some(RefinedCandidate {
                 model_rank,
                 plan,
                 report,
-            }
+            })
         })
         .collect();
-    refined.sort_by(|x, y| {
-        x.report
-            .time
-            .total_s
-            .partial_cmp(&y.report.time.total_s)
-            .expect("simulated times are not NaN")
-    });
+    refined.sort_by(|x, y| x.report.time.total_s.total_cmp(&y.report.time.total_s));
     refined
 }
 
@@ -164,8 +152,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no ranked configurations")]
-    fn refinement_requires_candidates() {
+    fn empty_outcome_refines_to_nothing() {
         let tc: Contraction = "ij-ik-kj".parse().unwrap();
         let sizes = SizeMap::uniform(&tc, 64);
         let device = GpuDevice::v100();
@@ -176,8 +163,29 @@ mod tests {
             survivors: 0,
             prune_histogram: Default::default(),
             rules_relaxed: false,
+            truncated: false,
             ranked: Vec::new(),
         };
-        let _ = refine_with_simulator(&outcome, &sizes, &device, Precision::F64, 4);
+        let refined = refine_with_simulator(&outcome, &sizes, &device, Precision::F64, 4);
+        assert!(refined.is_empty());
+    }
+
+    #[test]
+    fn unlowerable_candidates_are_skipped() {
+        // Search against complete sizes, then refine with a size map that
+        // misses an index: every candidate fails to lower; no panic.
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 64);
+        let device = GpuDevice::v100();
+        let outcome = search(
+            &tc,
+            &sizes,
+            &device,
+            Precision::F64,
+            &SearchOptions::default(),
+        );
+        let incomplete = SizeMap::from_pairs([("i", 64)]);
+        let refined = refine_with_simulator(&outcome, &incomplete, &device, Precision::F64, 4);
+        assert!(refined.is_empty());
     }
 }

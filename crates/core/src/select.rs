@@ -1,6 +1,7 @@
 //! Model-driven configuration selection: enumerate → prune → rank.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_ir::{Contraction, SizeMap};
@@ -8,7 +9,7 @@ use cogent_ir::{Contraction, SizeMap};
 use crate::config::KernelConfig;
 use crate::constraints::{check_config, PruneRules};
 use crate::cost::{transaction_cost, CostBreakdown};
-use crate::enumerate::{enumerate_configs, EnumerationOptions};
+use crate::enumerate::{enumerate_configs_bounded, EnumerationBudget, EnumerationOptions};
 
 /// A configuration together with its modelled cost.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -36,6 +37,9 @@ pub struct SearchOutcome {
     /// Whether the thresholds had to be progressively relaxed because the
     /// strict rules pruned everything (tiny problems).
     pub rules_relaxed: bool,
+    /// Whether the enumeration budget truncated the configuration space
+    /// before it was exhausted (pathological high-rank contractions).
+    pub truncated: bool,
     /// Survivors ranked by modelled cost, best first (truncated to the
     /// requested `top_k`).
     pub ranked: Vec<RankedConfig>,
@@ -66,6 +70,14 @@ pub struct SearchOptions {
     pub rules: PruneRules,
     /// How many ranked survivors to keep.
     pub top_k: usize,
+    /// Enumeration budget: stop after this many configurations. The
+    /// default is far above any benchmark in the TCCG suite (Eq. 1
+    /// enumerates a few thousand) but bounds memory on pathological
+    /// high-rank contractions.
+    pub max_configs: usize,
+    /// Enumeration wall-clock budget, measured from the start of the
+    /// search. `None` (the default) means unbounded.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for SearchOptions {
@@ -74,6 +86,8 @@ impl Default for SearchOptions {
             enumeration: EnumerationOptions::default(),
             rules: PruneRules::default(),
             top_k: 16,
+            max_configs: 262_144,
+            time_budget: None,
         }
     }
 }
@@ -112,12 +126,17 @@ pub fn search(
     let norm = tc.normalized();
     let raw_space = EnumerationOptions::raw_space_size(&norm);
 
-    let configs = {
+    let budget = EnumerationBudget {
+        max_configs: options.max_configs,
+        deadline: options.time_budget.map(|t| Instant::now() + t),
+    };
+    let (configs, truncated) = {
         let _span = cogent_obs::span("enumerate");
-        let configs = enumerate_configs(&norm, sizes, &options.enumeration);
+        let (configs, truncated) =
+            enumerate_configs_bounded(&norm, sizes, &options.enumeration, &budget);
         cogent_obs::counter("enumerate.configs", configs.len() as u128);
         cogent_obs::counter("enumerate.raw_space", raw_space);
-        configs
+        (configs, truncated)
     };
     let enumerated = configs.len();
 
@@ -189,6 +208,7 @@ pub fn search(
         survivors: survivor_count,
         prune_histogram: histogram,
         rules_relaxed,
+        truncated,
         ranked,
     }
 }
@@ -277,6 +297,24 @@ mod tests {
         };
         let o = search(&tc, &sizes, &GpuDevice::v100(), Precision::F64, &opts);
         assert!(o.ranked.len() <= 3);
+    }
+
+    #[test]
+    fn enumeration_budget_truncates_search() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 48);
+        let opts = SearchOptions {
+            max_configs: 64,
+            ..SearchOptions::default()
+        };
+        let o = search(&tc, &sizes, &GpuDevice::v100(), Precision::F64, &opts);
+        assert!(o.truncated);
+        assert_eq!(o.enumerated, 64);
+        // Histogram consistency holds for the truncated space too.
+        if !o.rules_relaxed {
+            let pruned: usize = o.prune_histogram.values().sum();
+            assert_eq!(pruned + o.survivors, o.enumerated);
+        }
     }
 
     #[test]

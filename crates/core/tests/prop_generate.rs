@@ -89,6 +89,40 @@ proptest! {
         prop_assert!(ocl.is_empty(), "OpenCL: {ocl:?}");
     }
 
+    /// The no-panic guarantee: whatever `generate` thinks of the input —
+    /// including size maps with missing entries — it must return a typed
+    /// `CogentError`, never unwind.
+    #[test]
+    fn generate_never_panics((tc, sizes) in case_strategy(), drop in 0usize..4, verify in 0usize..2) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let verify = verify == 1;
+        // Sometimes drop an index to exercise the incomplete-sizes path.
+        let sizes = if drop == 0 {
+            let mut pruned = cogent_ir::SizeMap::new();
+            for (i, name) in tc.all_indices().enumerate() {
+                if i != 0 {
+                    pruned.set(name.clone(), sizes.extent_of(name));
+                }
+            }
+            pruned
+        } else {
+            sizes
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Cogent::new()
+                .verify_numeric(verify)
+                .generate(&tc, &sizes)
+                .map(|g| g.provenance.degraded())
+        }));
+        prop_assert!(outcome.is_ok(), "{tc}: generate panicked");
+        if drop == 0 {
+            prop_assert!(
+                matches!(outcome.unwrap(), Err(cogent_core::CogentError::IncompleteSizes { .. })),
+                "{tc}: missing extents must surface as IncompleteSizes"
+            );
+        }
+    }
+
     #[test]
     fn search_statistics_are_consistent((tc, sizes) in case_strategy()) {
         let generated = Cogent::new().generate(&tc, &sizes).expect("generates");

@@ -16,10 +16,55 @@
 //! emitted CUDA text from the same configuration, executing the plan
 //! functionally validates the index arithmetic of the generated kernel.
 
+use std::error::Error;
+use std::fmt;
+
 use cogent_ir::TensorRef;
 use cogent_tensor::{DenseTensor, Element};
 
+use crate::fault::ExecFaults;
 use crate::plan::{KernelPlan, MapDim};
+
+/// Error from the fallible execution entry points
+/// ([`try_execute_plan`], [`try_execute_plan_into`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// An operand's shape does not match the plan's binding extents.
+    ShapeMismatch {
+        /// Which tensor mismatched (`'A'`, `'B'` or `'C'`).
+        tensor: char,
+        /// The extents the plan expects, in storage order.
+        expected: Vec<usize>,
+        /// The extents the operand actually has.
+        got: Vec<usize>,
+    },
+    /// A tensor index has no binding in the plan.
+    UnboundIndex {
+        /// The index that has no binding.
+        index: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ShapeMismatch {
+                tensor,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{tensor} shape mismatch: plan expects {expected:?}, operand has {got:?}"
+            ),
+            ExecError::UnboundIndex { index } => {
+                write!(f, "plan has no binding for tensor index {index}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
 
 /// How one dimension of a tensor obtains its in-tile coordinate during
 /// kernel execution.
@@ -57,6 +102,10 @@ pub(crate) struct TensorAccess {
 
 impl TensorAccess {
     pub(crate) fn new(plan: &KernelPlan, tensor: &TensorRef) -> Self {
+        Self::try_new(plan, tensor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub(crate) fn try_new(plan: &KernelPlan, tensor: &TensorRef) -> Result<Self, ExecError> {
         let mut dims = Vec::with_capacity(tensor.rank());
         let mut global_stride = 1usize;
         let mut tile_stride = 1usize;
@@ -66,7 +115,9 @@ impl TensorAccess {
                 .iter()
                 .enumerate()
                 .find(|(_, b)| &b.name == idx)
-                .expect("plan covers all indices");
+                .ok_or_else(|| ExecError::UnboundIndex {
+                    index: idx.to_string(),
+                })?;
             let group_pos = plan
                 .group_bindings(binding.dim)
                 .position(|b| b.name == binding.name)
@@ -82,10 +133,10 @@ impl TensorAccess {
             global_stride *= binding.extent;
             tile_stride *= binding.tile;
         }
-        Self {
+        Ok(Self {
             dims,
             tile_elems: tile_stride,
-        }
+        })
     }
 
     /// The extents of the tensor in storage order.
@@ -147,10 +198,27 @@ pub fn execute_plan<T: Element>(
     a: &DenseTensor<T>,
     b: &DenseTensor<T>,
 ) -> DenseTensor<T> {
-    let acc_c = TensorAccess::new(plan, plan.contraction().c());
+    try_execute_plan(plan, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`execute_plan`]: shape and binding problems come
+/// back as an [`ExecError`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`ExecError::ShapeMismatch`] when an operand's extents differ
+/// from the plan's binding extents and [`ExecError::UnboundIndex`] when a
+/// tensor index has no binding (only possible for plans corrupted past
+/// [`KernelPlan::new`] validation).
+pub fn try_execute_plan<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+) -> Result<DenseTensor<T>, ExecError> {
+    let acc_c = TensorAccess::try_new(plan, plan.contraction().c())?;
     let mut c = DenseTensor::<T>::zeros(&acc_c.extents());
-    execute_plan_into(plan, a, b, &mut c);
-    c
+    try_execute_plan_into(plan, a, b, &mut c)?;
+    Ok(c)
 }
 
 /// Executes `plan` writing into an existing output tensor. With
@@ -166,6 +234,33 @@ pub fn execute_plan_into<T: Element>(
     b: &DenseTensor<T>,
     c: &mut DenseTensor<T>,
 ) {
+    try_execute_plan_into(plan, a, b, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`execute_plan_into`].
+///
+/// # Errors
+///
+/// Same as [`try_execute_plan`].
+pub fn try_execute_plan_into<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+    c: &mut DenseTensor<T>,
+) -> Result<(), ExecError> {
+    execute_faulted(plan, a, b, c, ExecFaults::NONE)
+}
+
+/// The executor core. `faults` selects deliberate misbehaviors for the
+/// fault-injection harness ([`crate::fault`]); normal execution passes
+/// [`ExecFaults::NONE`] and takes the unperturbed path everywhere.
+pub(crate) fn execute_faulted<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+    c: &mut DenseTensor<T>,
+    faults: ExecFaults,
+) -> Result<(), ExecError> {
     let _span = cogent_obs::span("exec");
     // Phase timing is only collected while tracing is enabled so the hot
     // loops stay branch-cheap in normal runs.
@@ -176,20 +271,23 @@ pub fn execute_plan_into<T: Element>(
     let mut stage_oob = 0u128;
     let mut store_oob = 0u128;
     let tc = plan.contraction();
-    let acc_a = TensorAccess::new(plan, tc.a());
-    let acc_b = TensorAccess::new(plan, tc.b());
-    let acc_c = TensorAccess::new(plan, tc.c());
+    let acc_a = TensorAccess::try_new(plan, tc.a())?;
+    let acc_b = TensorAccess::try_new(plan, tc.b())?;
+    let acc_c = TensorAccess::try_new(plan, tc.c())?;
 
-    assert_eq!(
-        a.layout().extents(),
-        &acc_a.extents()[..],
-        "A shape mismatch"
-    );
-    assert_eq!(
-        b.layout().extents(),
-        &acc_b.extents()[..],
-        "B shape mismatch"
-    );
+    let check_shape = |tensor: char, got: &[usize], expected: Vec<usize>| {
+        if got == expected {
+            Ok(())
+        } else {
+            Err(ExecError::ShapeMismatch {
+                tensor,
+                expected,
+                got: got.to_vec(),
+            })
+        }
+    };
+    check_shape('A', a.layout().extents(), acc_a.extents())?;
+    check_shape('B', b.layout().extents(), acc_b.extents())?;
 
     let tbx = plan.group_size(MapDim::ThreadX);
     let tby = plan.group_size(MapDim::ThreadY);
@@ -207,14 +305,42 @@ pub fn execute_plan_into<T: Element>(
     let b_ry = acc_b.tile_offset_table(plan, MapDim::RegY);
     let b_k = acc_b.tile_offset_table(plan, MapDim::SerialK);
 
-    assert_eq!(
-        c.layout().extents(),
-        &acc_c.extents()[..],
-        "C shape mismatch"
-    );
+    check_shape('C', c.layout().extents(), acc_c.extents())?;
 
     let mut smem_a = vec![T::ZERO; acc_a.tile_elems];
     let mut smem_b = vec![T::ZERO; acc_b.tile_elems];
+    // With the skipped-sync fault, tiles are staged into these side
+    // buffers and published only *after* the compute phase, so every step
+    // computes on the previous step's tiles (step 0 sees zeros) — the
+    // data hazard a missing `__syncthreads()` creates.
+    let mut incoming_a = vec![
+        T::ZERO;
+        if faults.skip_sync {
+            acc_a.tile_elems
+        } else {
+            0
+        }
+    ];
+    let mut incoming_b = vec![
+        T::ZERO;
+        if faults.skip_sync {
+            acc_b.tile_elems
+        } else {
+            0
+        }
+    ];
+    // The truncated-staging fault stops the cooperative copy halfway, as
+    // if half the threads never ran their staging loop iterations.
+    let a_limit = if faults.truncate_staging {
+        acc_a.tile_elems / 2
+    } else {
+        acc_a.tile_elems
+    };
+    let b_limit = if faults.truncate_staging {
+        acc_b.tile_elems / 2
+    } else {
+        acc_b.tile_elems
+    };
     let mut reg_c = vec![T::ZERO; threads * regx * regy];
     let mut reg_a = vec![T::ZERO; regx];
     let mut reg_b = vec![T::ZERO; regy];
@@ -259,19 +385,45 @@ pub fn execute_plan_into<T: Element>(
 
             // (1) Stage tiles of A and B into shared memory (guarded).
             let stage_start = timing.then(std::time::Instant::now);
-            stage_oob += stage_tile(&acc_a, &base, a.as_slice(), &mut smem_a);
-            stage_oob += stage_tile(&acc_b, &base, b.as_slice(), &mut smem_b);
+            {
+                let (dest_a, dest_b) = if faults.skip_sync {
+                    (&mut incoming_a, &mut incoming_b)
+                } else {
+                    (&mut smem_a, &mut smem_b)
+                };
+                stage_oob += stage_tile(
+                    &acc_a,
+                    &base,
+                    a.as_slice(),
+                    &mut dest_a[..a_limit],
+                    faults.drop_tail_guard,
+                );
+                stage_oob += stage_tile(
+                    &acc_b,
+                    &base,
+                    b.as_slice(),
+                    &mut dest_b[..b_limit],
+                    faults.drop_tail_guard,
+                );
+            }
             if let Some(t) = stage_start {
                 stage_ns += t.elapsed().as_nanos();
             }
 
-            // (2)+(3) Each thread: SMEM→REG vectors, outer product.
+            // (2)+(3) Each thread: SMEM→REG vectors, outer product. The
+            // corrupted-accumulation fault drops the last serial in-tile
+            // iteration, losing that slice's contribution.
+            let ktile_eff = if faults.corrupt_accumulation {
+                ktile.saturating_sub(1)
+            } else {
+                ktile
+            };
             let compute_start = timing.then(std::time::Instant::now);
             for ty in 0..tby {
                 for tx in 0..tbx {
                     let thread = tx + tbx * ty;
                     let rc = &mut reg_c[thread * regx * regy..(thread + 1) * regx * regy];
-                    for j in 0..ktile {
+                    for j in 0..ktile_eff {
                         let a_base = a_tx[tx] + a_k[j];
                         let b_base = b_ty[ty] + b_k[j];
                         for (rx, ra) in reg_a.iter_mut().enumerate() {
@@ -291,6 +443,10 @@ pub fn execute_plan_into<T: Element>(
             }
             if let Some(t) = compute_start {
                 compute_ns += t.elapsed().as_nanos();
+            }
+            if faults.skip_sync {
+                std::mem::swap(&mut smem_a, &mut incoming_a);
+                std::mem::swap(&mut smem_b, &mut incoming_b);
             }
         }
 
@@ -313,15 +469,22 @@ pub fn execute_plan_into<T: Element>(
         cogent_obs::counter("exec.tail_guard.stage_zero_fills", stage_oob);
         cogent_obs::counter("exec.tail_guard.store_skips", store_oob);
     }
+    Ok(())
 }
 
 /// Stages one tile into a shared buffer, zero-filling out-of-bounds
 /// positions. Returns how many positions the bounds guard zero-filled.
+///
+/// With `drop_tail_guard` (a fault-injection mode) the bounds check is
+/// disabled: out-of-bounds coordinates are clamped to the last valid
+/// position, so the tail reads duplicated boundary data instead of zeros —
+/// the wrong-answer mode an unguarded generated kernel would exhibit.
 fn stage_tile<T: Element>(
     acc: &TensorAccess,
     base: &[usize],
     global: &[T],
     smem: &mut [T],
+    drop_tail_guard: bool,
 ) -> u128 {
     let rank = acc.dims.len();
     let mut coords = vec![0usize; rank];
@@ -330,10 +493,14 @@ fn stage_tile<T: Element>(
         let mut off = 0usize;
         let mut in_bounds = true;
         for (d, &cd) in acc.dims.iter().zip(&coords) {
-            let g = base[d.binding] + cd;
+            let mut g = base[d.binding] + cd;
             if g >= d.extent {
-                in_bounds = false;
-                break;
+                if drop_tail_guard {
+                    g = d.extent - 1;
+                } else {
+                    in_bounds = false;
+                    break;
+                }
             }
             off += g * d.global_stride;
         }

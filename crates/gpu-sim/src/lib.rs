@@ -37,12 +37,14 @@
 //! ```
 
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod plan;
 pub mod smem;
 pub mod trace;
 
-pub use exec::execute_plan;
+pub use exec::{execute_plan, try_execute_plan, try_execute_plan_into, ExecError};
+pub use fault::{execute_plan_with_faults, ExecFaults, FaultInjector, FaultKind};
 pub use metrics::{simulate, SimReport};
 pub use plan::{IndexBinding, KernelPlan, MapDim, PlanError, StoreMode};
 pub use smem::{analyze_bank_conflicts, BankConflictReport};

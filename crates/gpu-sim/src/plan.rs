@@ -136,6 +136,11 @@ pub enum PlanError {
         /// The offending index.
         index: IndexName,
     },
+    /// An index was looked up that the plan does not bind.
+    UnboundIndex {
+        /// The index that has no binding.
+        index: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -157,6 +162,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::GridTileNotOne { index } => {
                 write!(f, "grid-mapped index {index} must have tile size 1")
+            }
+            PlanError::UnboundIndex { index } => {
+                write!(f, "plan has no binding for index {index}")
             }
         }
     }
@@ -344,15 +352,42 @@ impl KernelPlan {
 
     /// The binding of `index`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the plan does not bind `index`.
-    pub fn binding(&self, index: impl AsRef<str>) -> &IndexBinding {
+    /// Returns [`PlanError::UnboundIndex`] when the plan does not bind
+    /// `index`.
+    pub fn binding(&self, index: impl AsRef<str>) -> Result<&IndexBinding, PlanError> {
+        let index = index.as_ref();
+        self.bindings
+            .iter()
+            .find(|b| b.name.as_str() == index)
+            .ok_or_else(|| PlanError::UnboundIndex {
+                index: index.to_owned(),
+            })
+    }
+
+    /// Infallible binding lookup for callers whose index provably comes
+    /// from this plan's own contraction (coverage is validated at
+    /// construction, so the lookup cannot miss).
+    pub(crate) fn bound(&self, index: impl AsRef<str>) -> &IndexBinding {
         let index = index.as_ref();
         self.bindings
             .iter()
             .find(|b| b.name.as_str() == index)
             .unwrap_or_else(|| panic!("no binding for index {index}"))
+    }
+
+    /// Fault-injection backdoor (`crate::fault`): overwrite a binding's
+    /// tile size in place *without* re-validating, so detection layers can
+    /// be exercised on plans [`KernelPlan::new`] would reject.
+    pub(crate) fn set_tile_raw(&mut self, pos: usize, tile: usize) {
+        self.bindings[pos].tile = tile;
+    }
+
+    /// Fault-injection backdoor (`crate::fault`): rename a binding in
+    /// place without re-validating, creating a foreign/unbound index.
+    pub(crate) fn rename_binding_raw(&mut self, pos: usize, name: IndexName) {
+        self.bindings[pos].name = name;
     }
 
     fn group(&self, dim: MapDim) -> &[usize] {
@@ -418,7 +453,7 @@ impl KernelPlan {
     }
 
     fn tile_elements(&self, indices: &[IndexName]) -> usize {
-        indices.iter().map(|i| self.binding(i).tile).product()
+        indices.iter().map(|i| self.bound(i).tile).product()
     }
 
     /// Shared memory per block in bytes for the given element size.

@@ -21,6 +21,45 @@ use cogent::generator::select::{search, SearchOptions};
 use cogent::prelude::*;
 use cogent::sim::plan::StoreMode;
 
+/// A CLI failure, classified for the exit code: `2` for malformed
+/// invocations (bad flags, sizes, devices — one-line diagnostic), `1` for
+/// runtime failures (generation errors, I/O — diagnostic plus usage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliError {
+    message: String,
+    exit: u8,
+}
+
+impl CliError {
+    /// A malformed invocation: exits 2 with a one-line diagnostic.
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit: 2,
+        }
+    }
+
+    /// A runtime failure: exits 1 and also prints the usage text.
+    fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            exit: 1,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::runtime(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::runtime(message)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // COGENT_TRACE=1 traces any subcommand; the tree goes to stderr so
@@ -34,11 +73,15 @@ fn main() -> ExitCode {
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(e) if e.exit == 2 => {
+            eprintln!("cogent: {}", e.message);
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {}", e.message);
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit)
         }
     }
 }
@@ -55,7 +98,7 @@ contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
 pipeline trace to stderr";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let command = args.first().ok_or("missing command")?;
     let rest = &args[1..];
     match command.as_str() {
@@ -64,7 +107,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => cmd_bench(rest),
         "explain" => cmd_explain(rest),
         "suite" => cmd_suite(rest),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::runtime(format!("unknown command {other:?}"))),
     }
 }
 
@@ -80,55 +123,61 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-fn parse_contraction(args: &[String]) -> Result<Contraction, String> {
+fn parse_contraction(args: &[String]) -> Result<Contraction, CliError> {
     let spec = args
         .iter()
         .find(|a| !a.starts_with('-'))
-        .ok_or("missing contraction argument")?;
-    cogent::ir::parse::parse_allowing_batch(spec).map_err(|e| format!("{e}"))
+        .ok_or_else(|| CliError::usage("missing contraction argument"))?;
+    cogent::ir::parse::parse_allowing_batch(spec).map_err(|e| CliError::usage(format!("{e}")))
 }
 
 /// Builds the size map from `--size N` (uniform) or `--sizes i=4,j=8,...`.
-fn parse_sizes(args: &[String], tc: &Contraction) -> Result<SizeMap, String> {
+fn parse_sizes(args: &[String], tc: &Contraction) -> Result<SizeMap, CliError> {
     if let Some(list) = flag_value(args, "--sizes") {
         let mut sizes = SizeMap::new();
         for part in list.split(',') {
-            let (name, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("bad size entry {part:?} (want index=extent)"))?;
+            let (name, value) = part.split_once('=').ok_or_else(|| {
+                CliError::usage(format!("bad size entry {part:?} (want index=extent)"))
+            })?;
             let extent: usize = value
                 .parse()
-                .map_err(|_| format!("bad extent {value:?} for index {name}"))?;
+                .map_err(|_| CliError::usage(format!("bad extent {value:?} for index {name}")))?;
             if extent == 0 {
-                return Err(format!("extent for {name} must be positive"));
+                return Err(CliError::usage(format!(
+                    "extent for {name} must be positive"
+                )));
             }
             sizes.set(
                 cogent::ir::IndexName::try_new(name.trim())
-                    .ok_or_else(|| format!("bad index name {name:?}"))?,
+                    .ok_or_else(|| CliError::usage(format!("bad index name {name:?}")))?,
                 extent,
             );
         }
         if !sizes.covers(tc) {
-            return Err("--sizes does not cover every contraction index".into());
+            return Err(CliError::usage(
+                "--sizes does not cover every contraction index",
+            ));
         }
         Ok(sizes)
     } else {
         let n: usize = flag_value(args, "--size")
             .unwrap_or("32")
             .parse()
-            .map_err(|_| "bad --size value")?;
+            .map_err(|_| CliError::usage("bad --size value"))?;
         if n == 0 {
-            return Err("--size must be positive".into());
+            return Err(CliError::usage("--size must be positive"));
         }
         Ok(SizeMap::uniform(tc, n))
     }
 }
 
-fn parse_device(args: &[String]) -> Result<GpuDevice, String> {
+fn parse_device(args: &[String]) -> Result<GpuDevice, CliError> {
     match flag_value(args, "--device") {
         None | Some("v100") => Ok(GpuDevice::v100()),
         Some("p100") => Ok(GpuDevice::p100()),
-        Some(other) => Err(format!("unknown device {other:?} (want v100 or p100)")),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown device {other:?} (want v100 or p100)"
+        ))),
     }
 }
 
@@ -140,7 +189,7 @@ fn parse_precision(args: &[String]) -> Precision {
     }
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
@@ -155,6 +204,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 
     eprintln!("contraction:   {tc}");
     eprintln!("configuration: {}", generated.config);
+    eprintln!("provenance:    {}", generated.provenance);
     eprintln!(
         "predicted:     {:.1} GFLOPS at {sizes} ({} candidates enumerated, {:.1}% pruned)",
         generated.report.gflops,
@@ -176,7 +226,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), String> {
+fn cmd_search(args: &[String]) -> Result<(), CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
@@ -184,7 +234,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let top: usize = flag_value(args, "--top")
         .unwrap_or("8")
         .parse()
-        .map_err(|_| "bad --top")?;
+        .map_err(|_| CliError::usage("bad --top value"))?;
 
     let options = SearchOptions {
         top_k: top,
@@ -224,7 +274,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
@@ -242,7 +292,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     println!("{}", explain_report(args)?);
     Ok(())
 }
@@ -250,7 +300,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 /// Runs the full pipeline with tracing forced on and renders the
 /// resulting [`cogent::obs::PipelineTrace`] — as an indented span tree by
 /// default, or as `cogent.trace.v1` JSON with `--json`.
-fn explain_report(args: &[String]) -> Result<String, String> {
+fn explain_report(args: &[String]) -> Result<String, CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
@@ -272,15 +322,16 @@ fn explain_report(args: &[String]) -> Result<String, String> {
         Ok(trace.to_json_string())
     } else {
         Ok(format!(
-            "contraction:   {tc}\nconfiguration: {}\npredicted:     {:.1} GFLOPS at {sizes}\n\n{}",
+            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\npredicted:     {:.1} GFLOPS at {sizes}\n\n{}",
             generated.config,
+            generated.provenance,
             generated.report.gflops,
             trace.render_text().trim_end()
         ))
     }
 }
 
-fn cmd_suite(args: &[String]) -> Result<(), String> {
+fn cmd_suite(args: &[String]) -> Result<(), CliError> {
     let group = flag_value(args, "--group");
     for entry in cogent::tccg::suite() {
         let tag = match entry.group {
@@ -354,6 +405,32 @@ mod tests {
     fn run_rejects_unknown_command() {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&[])).is_err());
+    }
+
+    /// Malformed invocations classify as usage errors (exit 2) with the
+    /// exact one-line diagnostic; runtime failures stay exit 1.
+    #[test]
+    fn errors_classify_by_exit_code() {
+        // "j=" splits into ("j", "") — an empty, unparsable extent.
+        let e = run(&s(&["generate", "ij-ik-kj", "--sizes", "i=4,j="])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert_eq!(e.message, "bad extent \"\" for index j");
+
+        // "j" has no '=' at all — a malformed entry.
+        let e = run(&s(&["generate", "ij-ik-kj", "--sizes", "i=4,j"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert_eq!(e.message, "bad size entry \"j\" (want index=extent)");
+
+        let e = run(&s(&["generate", "ij-ik-kj", "--sizes", "i=4,j=x,k=4"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert_eq!(e.message, "bad extent \"x\" for index j");
+
+        let e = run(&s(&["generate", "ij-ik-kj", "--device", "h100"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert_eq!(e.message, "unknown device \"h100\" (want v100 or p100)");
+
+        // Runtime failures (here: unknown command) keep exit 1.
+        assert_eq!(run(&s(&["frobnicate"])).unwrap_err().exit, 1);
     }
 
     #[test]

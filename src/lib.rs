@@ -54,7 +54,7 @@ pub use cogent_tensor as tensor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cogent_core::{Cogent, GeneratedKernel, KernelConfig};
+    pub use cogent_core::{Cogent, CogentError, GeneratedKernel, KernelConfig, Provenance};
     pub use cogent_gpu_model::{GpuDevice, Precision};
     pub use cogent_gpu_sim::{execute_plan, simulate, KernelPlan};
     pub use cogent_ir::{Contraction, SizeMap, TensorRef};

@@ -58,8 +58,8 @@ fn cogent_generates_and_executes_batched_contraction() {
     let sizes = SizeMap::from_pairs([("i", 24), ("j", 20), ("k", 16), ("n", 6)]);
     let g = Cogent::new().generate(&tc, &sizes).unwrap();
     // The batch index must end up grid-mapped with tile 1.
-    assert_eq!(g.plan.binding("n").tile, 1);
-    assert_eq!(g.plan.binding("n").dim, cogent::sim::MapDim::Grid,);
+    assert_eq!(g.plan.binding("n").unwrap().tile, 1);
+    assert_eq!(g.plan.binding("n").unwrap().dim, cogent::sim::MapDim::Grid,);
     let (a, b) = random_inputs::<f64>(&g.contraction, &sizes, 2);
     let got = execute_plan(&g.plan, &a, &b);
     let want = contract_reference(&g.contraction, &sizes, &a, &b);

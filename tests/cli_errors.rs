@@ -1,0 +1,84 @@
+//! Golden tests for CLI failure behavior: malformed invocations must
+//! produce a one-line `cogent: ...` diagnostic on stderr and exit with
+//! code 2 — never a panic, never a backtrace.
+
+use std::process::Command;
+
+fn cogent(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cogent"))
+        .args(args)
+        .output()
+        .expect("spawning the cogent binary")
+}
+
+#[test]
+fn malformed_sizes_exits_2_with_one_line_diagnostic() {
+    // "j=" splits into an empty extent; "j" alone is a malformed entry —
+    // both must exit 2 with one diagnostic line.
+    let out = cogent(&["generate", "ij-ik-kj", "--sizes", "i=4,j="]);
+    assert_eq!(out.status.code(), Some(2), "expected exit code 2");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stderr, "cogent: bad extent \"\" for index j\n",
+        "stderr must be exactly one diagnostic line"
+    );
+    assert!(out.stdout.is_empty(), "no source on stdout after a failure");
+
+    let out = cogent(&["generate", "ij-ik-kj", "--sizes", "i=4,j"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr, "cogent: bad size entry \"j\" (want index=extent)\n");
+}
+
+#[test]
+fn unparsable_extent_exits_2() {
+    let out = cogent(&["generate", "ij-ik-kj", "--sizes", "i=4,j=banana,k=4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(stderr, "cogent: bad extent \"banana\" for index j\n");
+}
+
+#[test]
+fn unknown_device_exits_2_with_one_line_diagnostic() {
+    let out = cogent(&["generate", "ij-ik-kj", "--size", "8", "--device", "h100"]);
+    assert_eq!(out.status.code(), Some(2), "expected exit code 2");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stderr, "cogent: unknown device \"h100\" (want v100 or p100)\n",
+        "stderr must be exactly one diagnostic line"
+    );
+}
+
+#[test]
+fn incomplete_sizes_exits_2() {
+    let out = cogent(&["generate", "ij-ik-kj", "--sizes", "i=4,j=8"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stderr,
+        "cogent: --sizes does not cover every contraction index\n"
+    );
+}
+
+#[test]
+fn unknown_command_exits_1_and_prints_usage() {
+    let out = cogent(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error: unknown command \"frobnicate\""));
+    assert!(
+        stderr.contains("usage:"),
+        "runtime failures still show usage"
+    );
+}
+
+#[test]
+fn successful_generate_reports_provenance() {
+    let out = cogent(&["generate", "ij-ik-kj", "--size", "16"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("provenance:    search candidate (model rank "),
+        "generate must report where the kernel came from, got:\n{stderr}"
+    );
+}
