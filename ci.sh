@@ -24,6 +24,15 @@ run cargo test -q --workspace $OFFLINE
 # faults → divergence check) still holds.
 run cargo test -q -p cogent-gpu-sim $OFFLINE fault
 run cargo test -q -p cogent-core --test fault_matrix $OFFLINE
+# Determinism sweep under both thread settings: serial and chunked
+# parallel search must emit byte-identical kernels for every TCCG entry.
+run env COGENT_THREADS=1 cargo test -q --test determinism $OFFLINE
+run env COGENT_THREADS=4 cargo test -q --test determinism $OFFLINE
+# search_bench smoke: the serial/parallel/warm-cache sweep must agree
+# byte-for-byte (the binary asserts it) and produce a report.
+run cargo run --release $OFFLINE -p cogent-bench --bin search_bench -- \
+    --quick --out target/search_bench_smoke.json
+test -s target/search_bench_smoke.json
 run ./tools/unwrap_gate.sh
 run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
 run cargo fmt --all -- --check

@@ -1,0 +1,213 @@
+//! End-to-end benchmark of the search-performance layer: sweeps the TCCG
+//! suite three ways — serial search, `COGENT_THREADS`-style parallel
+//! search via `Cogent::generate_many`, and a warm `KernelCache` — and
+//! verifies the emitted CUDA is byte-identical across all three paths
+//! before reporting any speedup.
+//!
+//! Usage: `cargo run --release -p cogent-bench --bin search_bench
+//! [--quick] [--threads N] [--out FILE]`
+//!
+//! Writes `results/search_bench.json` (override with `--out`) with
+//! per-entry cold/warm timings, sweep totals, and the two headline
+//! ratios: `speedup_warm` (cold search vs cached lookup, same thread) and
+//! `speedup_parallel` (N-thread sweep vs serial sweep — bounded by the
+//! machine's available parallelism, which is recorded alongside).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cogent_bench::quick_mode;
+use cogent_core::select::SearchOptions;
+use cogent_core::{Cogent, KernelCache};
+use cogent_ir::{Contraction, SizeMap};
+use cogent_obs::json::Json;
+use cogent_tccg::suite;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn generator_with_threads(threads: usize) -> Cogent {
+    Cogent::new().search_options(SearchOptions {
+        threads,
+        ..SearchOptions::default()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = flag_value(&args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or("results/search_bench.json")
+        .to_string();
+
+    let entries = suite();
+    let entries: Vec<_> = if quick_mode(&args) {
+        entries.into_iter().step_by(8).collect()
+    } else {
+        entries
+    };
+    let jobs: Vec<(Contraction, SizeMap)> = entries
+        .iter()
+        .map(|e| (e.contraction(), e.sizes()))
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "search_bench: {} TCCG entries | {} worker thread(s) | {} core(s) visible",
+        entries.len(),
+        threads,
+        cores
+    );
+
+    // Pass 1: serial sweep, one generate per entry, timed individually.
+    let serial_gen = generator_with_threads(1);
+    let mut cold_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut serial_kernels = Vec::with_capacity(jobs.len());
+    let serial_started = Instant::now();
+    for (tc, sizes) in &jobs {
+        let t0 = Instant::now();
+        let kernel = serial_gen
+            .generate(tc, sizes)
+            .unwrap_or_else(|e| panic!("serial generate failed for {tc}: {e}"));
+        cold_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        serial_kernels.push(kernel);
+    }
+    let serial_total_s = serial_started.elapsed().as_secs_f64();
+    println!("serial sweep:      {serial_total_s:.2}s");
+
+    // Pass 2: parallel sweep through generate_many (shared thread pool).
+    let parallel_gen = generator_with_threads(threads);
+    let parallel_started = Instant::now();
+    let parallel_kernels: Vec<_> = parallel_gen
+        .generate_many(&jobs)
+        .into_iter()
+        .zip(&entries)
+        .map(|(r, e)| {
+            r.unwrap_or_else(|err| panic!("parallel generate failed for {}: {err}", e.name))
+        })
+        .collect();
+    let parallel_total_s = parallel_started.elapsed().as_secs_f64();
+    println!("parallel sweep:    {parallel_total_s:.2}s ({threads} threads)");
+
+    // Pass 3: warm cache. Fill it cold, then time the all-hits pass. One
+    // shard sized to the suite, so retention is exact (no hash-skew
+    // evictions) and every warm lookup must hit.
+    let cache = Arc::new(KernelCache::with_shards(jobs.len().max(1), 1));
+    let cached_gen = generator_with_threads(1).cache(Arc::clone(&cache));
+    for (tc, sizes) in &jobs {
+        cached_gen
+            .generate(tc, sizes)
+            .unwrap_or_else(|e| panic!("cache-fill generate failed for {tc}: {e}"));
+    }
+    let mut warm_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut warm_kernels = Vec::with_capacity(jobs.len());
+    let warm_started = Instant::now();
+    for (tc, sizes) in &jobs {
+        let t0 = Instant::now();
+        let kernel = cached_gen
+            .generate(tc, sizes)
+            .unwrap_or_else(|e| panic!("warm generate failed for {tc}: {e}"));
+        warm_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        warm_kernels.push(kernel);
+    }
+    let warm_total_s = warm_started.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits as usize,
+        jobs.len(),
+        "warm pass must hit on every entry (stats: {stats:?})"
+    );
+
+    // Correctness gate: all three paths emit byte-identical sources.
+    let mut rows = Vec::with_capacity(entries.len());
+    let mut all_identical = true;
+    for (i, entry) in entries.iter().enumerate() {
+        let identical = serial_kernels[i].cuda_source == parallel_kernels[i].cuda_source
+            && serial_kernels[i].cuda_source == warm_kernels[i].cuda_source
+            && serial_kernels[i].opencl_source == parallel_kernels[i].opencl_source
+            && serial_kernels[i].opencl_source == warm_kernels[i].opencl_source;
+        if !identical {
+            all_identical = false;
+            eprintln!(
+                "MISMATCH: {} emits different sources across paths",
+                entry.name
+            );
+        }
+        rows.push(Json::Object(vec![
+            ("name".to_string(), Json::Str(entry.name.to_string())),
+            ("spec".to_string(), Json::Str(entry.spec.to_string())),
+            ("cold_ms".to_string(), Json::Float(cold_ms[i])),
+            ("warm_ms".to_string(), Json::Float(warm_ms[i])),
+            (
+                "warm_speedup".to_string(),
+                Json::Float(cold_ms[i] / warm_ms[i].max(1e-9)),
+            ),
+            ("byte_identical".to_string(), Json::Bool(identical)),
+        ]));
+    }
+    assert!(all_identical, "serial/parallel/cached sources diverged");
+
+    let cold_total_s: f64 = cold_ms.iter().sum::<f64>() / 1e3;
+    let speedup_warm = cold_total_s / warm_total_s.max(1e-12);
+    let speedup_parallel = serial_total_s / parallel_total_s.max(1e-12);
+    println!("warm-cache sweep:  {warm_total_s:.4}s ({speedup_warm:.0}x vs cold)");
+    println!("parallel speedup:  {speedup_parallel:.2}x (on {cores} core(s))");
+
+    let report = Json::Object(vec![
+        (
+            "suite_entries".to_string(),
+            Json::UInt(entries.len() as u128),
+        ),
+        ("threads".to_string(), Json::UInt(threads as u128)),
+        ("cores_visible".to_string(), Json::UInt(cores as u128)),
+        ("serial_total_s".to_string(), Json::Float(serial_total_s)),
+        (
+            "parallel_total_s".to_string(),
+            Json::Float(parallel_total_s),
+        ),
+        ("cold_total_s".to_string(), Json::Float(cold_total_s)),
+        ("warm_total_s".to_string(), Json::Float(warm_total_s)),
+        (
+            "speedup_parallel".to_string(),
+            Json::Float(speedup_parallel),
+        ),
+        ("speedup_warm".to_string(), Json::Float(speedup_warm)),
+        (
+            "note".to_string(),
+            Json::Str(
+                "speedup_parallel is bounded by cores_visible; on a single-core host \
+                 4 worker threads time-slice one CPU and the ratio drops below 1"
+                    .to_string(),
+            ),
+        ),
+        ("byte_identical".to_string(), Json::Bool(all_identical)),
+        (
+            "cache".to_string(),
+            Json::Object(vec![
+                ("capacity".to_string(), Json::UInt(stats.capacity as u128)),
+                ("hits".to_string(), Json::UInt(u128::from(stats.hits))),
+                ("misses".to_string(), Json::UInt(u128::from(stats.misses))),
+                (
+                    "evictions".to_string(),
+                    Json::UInt(u128::from(stats.evictions)),
+                ),
+            ]),
+        ),
+        ("entries".to_string(), Json::Array(rows)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut text = String::new();
+    report.write(&mut text);
+    text.push('\n');
+    std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

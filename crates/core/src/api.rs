@@ -1,11 +1,15 @@
 //! The COGENT front door.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
 use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_gpu_sim::plan::StoreMode;
 use cogent_gpu_sim::{simulate, KernelPlan, SimReport};
 use cogent_ir::transform::merge_all;
 use cogent_ir::{Contraction, IndexName, SizeMap};
 
+use crate::cache::{CacheKey, KernelCache};
 use crate::codegen::{emit_opencl_kernel, emit_source};
 use crate::config::KernelConfig;
 use crate::guard::{
@@ -55,6 +59,7 @@ pub struct Cogent {
     store_mode: StoreMode,
     verify_numeric: bool,
     divergence_tolerance: f64,
+    cache: Option<Arc<KernelCache>>,
 }
 
 impl Default for Cogent {
@@ -75,6 +80,7 @@ impl Cogent {
             store_mode: StoreMode::Assign,
             verify_numeric: false,
             divergence_tolerance: 1e-8,
+            cache: None,
         }
     }
 
@@ -126,6 +132,47 @@ impl Cogent {
     pub fn divergence_tolerance(mut self, tolerance: f64) -> Self {
         self.divergence_tolerance = tolerance;
         self
+    }
+
+    /// Attaches a kernel cache. `generate` consults it before searching
+    /// and stores fresh results in it; a warm hit skips the entire
+    /// pipeline. The cache is behind an [`Arc`], so several generators
+    /// (or threads — see [`Cogent::generate_many`]) can share one.
+    pub fn cache(mut self, cache: Arc<KernelCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a fresh cache sized by the `COGENT_CACHE_CAP` environment
+    /// variable (see [`KernelCache::from_env`]).
+    pub fn with_default_cache(self) -> Self {
+        self.cache(Arc::new(KernelCache::from_env()))
+    }
+
+    /// The attached cache, if any (e.g. to read
+    /// [`stats`](KernelCache::stats) after a sweep).
+    pub fn kernel_cache(&self) -> Option<&Arc<KernelCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Flattens every generator knob that can change the emitted kernel
+    /// into a stable string for the cache key. `threads` is deliberately
+    /// excluded: the search result is identical for every thread count
+    /// (see [`crate::select::search`]), so serial and parallel runs share
+    /// cache entries.
+    pub fn options_fingerprint(&self) -> String {
+        format!(
+            "enum={:?};rules={:?};top_k={};max_configs={};time_budget={:?};refine_top={};store={:?};verify={};tol={:e}",
+            self.options.enumeration,
+            self.options.rules,
+            self.options.top_k,
+            self.options.max_configs,
+            self.options.time_budget,
+            self.refine_top,
+            self.store_mode,
+            self.verify_numeric,
+            self.divergence_tolerance,
+        )
     }
 
     /// The configured device.
@@ -206,6 +253,44 @@ impl Cogent {
         // One capture per generation; when tracing is disabled this (and
         // every span below) is a single atomic load.
         let capture = cogent_obs::Capture::start("generate");
+        let key = self.cache.as_ref().map(|cache| {
+            (
+                cache,
+                CacheKey::new(
+                    tc,
+                    sizes,
+                    &self.device,
+                    self.precision,
+                    &self.options_fingerprint(),
+                ),
+            )
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(mut hit) = cache.get(key) {
+                // Cached kernels carry no trace; attach this lookup's own
+                // (it records the cache.hit counter above).
+                hit.trace = capture.finish();
+                return Ok(hit);
+            }
+        }
+        let mut kernel = self.generate_uncached(tc, sizes)?;
+        if let Some((cache, key)) = key {
+            // Store without the trace: it describes this particular run,
+            // not the kernel, and would pin every span buffer in memory.
+            cache.insert(key, kernel.clone());
+        }
+        kernel.trace = capture.finish();
+        Ok(kernel)
+    }
+
+    /// The uncached pipeline behind [`Cogent::generate`]: search → lower /
+    /// validate / simulate → guard ladder → emit. Assumes `sizes` covers
+    /// `tc` and that the caller owns the obs capture.
+    fn generate_uncached(
+        &self,
+        tc: &Contraction,
+        sizes: &SizeMap,
+    ) -> Result<GeneratedKernel, CogentError> {
         let outcome = search(tc, sizes, &self.device, self.precision, &self.options);
         if outcome.ranked.is_empty() {
             if outcome.truncated && outcome.enumerated == 0 {
@@ -335,7 +420,6 @@ impl Cogent {
             cogent_obs::counter("codegen.opencl_bytes", opencl.len() as u128);
             (cuda, opencl)
         };
-        let trace = capture.finish();
         Ok(GeneratedKernel {
             contraction: outcome.contraction.clone(),
             config,
@@ -345,8 +429,72 @@ impl Cogent {
             report,
             search: outcome,
             provenance,
-            trace,
+            trace: None,
         })
+    }
+
+    /// Generates kernels for a whole slate of contractions, sharing this
+    /// generator's cache (when attached) and spreading the jobs over
+    /// [`SearchOptions::threads`] worker threads. Results come back in
+    /// job order, one `Result` per job — a failed job does not abort the
+    /// rest of the slate.
+    ///
+    /// With more than one worker, each job's *inner* search runs serially
+    /// (job-level parallelism replaces candidate-level parallelism, so a
+    /// 4-thread batch does not fan out into 16 threads). The emitted
+    /// kernels are byte-identical to one-at-a-time [`Cogent::generate`]
+    /// calls: the search is deterministic for every thread count, and
+    /// cache entries are keyed by everything that affects the output.
+    ///
+    /// Worker threads cannot reach a thread-local obs capture on the
+    /// caller's thread, so parallel batches record no per-kernel traces
+    /// ([`GeneratedKernel::trace`] is `None`); serial batches behave like
+    /// plain `generate` calls.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries the same errors as [`Cogent::generate`] for its
+    /// job.
+    pub fn generate_many(
+        &self,
+        jobs: &[(Contraction, SizeMap)],
+    ) -> Vec<Result<GeneratedKernel, CogentError>> {
+        let workers = self.options.threads.max(1).min(jobs.len().max(1));
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|(tc, sizes)| self.generate(tc, sizes))
+                .collect();
+        }
+        let mut inner = self.clone();
+        inner.options.threads = 1;
+        let inner = &inner;
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<GeneratedKernel, CogentError>>>> =
+            Mutex::new((0..jobs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((tc, sizes)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = inner.generate(tc, sizes);
+                    slots.lock().unwrap_or_else(|poison| poison.into_inner())[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .into_iter()
+            .map(|slot| match slot {
+                Some(result) => result,
+                // Unreachable: the scope joins every worker, and each
+                // claimed index is filled before the next claim.
+                None => Err(CogentError::NoConfiguration),
+            })
+            .collect()
     }
 }
 
@@ -525,6 +673,95 @@ mod tests {
         let err = Cogent::new().generate(&tc, &sizes).unwrap_err();
         assert!(matches!(err, CogentError::NoViablePlan { ref violations }
             if violations.iter().any(|v| matches!(v, PlanViolation::GridExceeded { .. }))));
+    }
+
+    #[test]
+    fn cached_generate_is_byte_identical_to_cold() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let gen = Cogent::new().cache(Arc::new(KernelCache::new(8)));
+        let cold = gen.generate(&tc, &sizes).unwrap();
+        let warm = gen.generate(&tc, &sizes).unwrap();
+        assert_eq!(cold.cuda_source, warm.cuda_source);
+        assert_eq!(cold.opencl_source, warm.opencl_source);
+        assert_eq!(cold.config, warm.config);
+        assert_eq!(cold.search, warm.search);
+        let stats = gen.kernel_cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn options_fingerprint_separates_cache_entries() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 32);
+        let cache = Arc::new(KernelCache::new(8));
+        let assign = Cogent::new().cache(Arc::clone(&cache));
+        let accumulate = Cogent::new()
+            .store_mode(StoreMode::Accumulate)
+            .cache(Arc::clone(&cache));
+        assign.generate(&tc, &sizes).unwrap();
+        let g = accumulate.generate(&tc, &sizes).unwrap();
+        // Different store mode must not hit the assign entry.
+        assert_eq!(g.plan.store_mode(), StoreMode::Accumulate);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn threads_are_excluded_from_the_fingerprint() {
+        let serial = Cogent::new();
+        let opts = SearchOptions {
+            threads: 4,
+            ..SearchOptions::default()
+        };
+        let parallel = Cogent::new().search_options(opts);
+        assert_eq!(serial.options_fingerprint(), parallel.options_fingerprint());
+    }
+
+    #[test]
+    fn generate_many_matches_one_at_a_time() {
+        let specs = ["abcd-aebf-dfce", "ij-ik-kj", "abc-bda-dc"];
+        let jobs: Vec<(Contraction, SizeMap)> = specs
+            .iter()
+            .map(|s| {
+                let tc: Contraction = s.parse().unwrap();
+                let sizes = SizeMap::uniform(&tc, 12);
+                (tc, sizes)
+            })
+            .collect();
+        let opts = SearchOptions {
+            threads: 3,
+            ..SearchOptions::default()
+        };
+        let batch = Cogent::new()
+            .search_options(opts)
+            .cache(Arc::new(KernelCache::new(8)))
+            .generate_many(&jobs);
+        assert_eq!(batch.len(), jobs.len());
+        for ((tc, sizes), result) in jobs.iter().zip(&batch) {
+            let one = Cogent::new().generate(tc, sizes).unwrap();
+            let many = result.as_ref().unwrap();
+            assert_eq!(one.cuda_source, many.cuda_source);
+            assert_eq!(one.config, many.config);
+        }
+    }
+
+    #[test]
+    fn generate_many_reports_per_job_errors_in_order() {
+        let good: Contraction = "ij-ik-kj".parse().unwrap();
+        let bad_sizes = SizeMap::from_pairs([("i", 8)]);
+        let good_sizes = SizeMap::uniform(&good, 8);
+        let jobs = vec![
+            (good.clone(), bad_sizes),
+            (good.clone(), good_sizes.clone()),
+        ];
+        let opts = SearchOptions {
+            threads: 2,
+            ..SearchOptions::default()
+        };
+        let batch = Cogent::new().search_options(opts).generate_many(&jobs);
+        assert!(matches!(batch[0], Err(CogentError::IncompleteSizes { .. })));
+        assert!(batch[1].is_ok());
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! A sharded, LRU-evicting cache of generated kernels.
+//!
+//! Model-driven search is deliberately exhaustive: for a CCSD(T)-like
+//! contraction the generator checks and costs thousands of candidate
+//! configurations before one kernel wins. The inputs that determine the
+//! winner are few and hashable, so a process that generates kernels for
+//! recurring (contraction, sizes, device, precision, options) tuples —
+//! `KernelLibrary::build`, the `cogent batch` subcommand, a service
+//! fronting many users — should pay the search once. [`KernelCache`]
+//! stores the full [`GeneratedKernel`] (including its
+//! [`SearchOutcome`](crate::select::SearchOutcome) summary) behind a key
+//! that captures everything `Cogent::generate` consults; a warm hit is a
+//! hash lookup instead of a search.
+//!
+//! The map is split into shards, each behind its own mutex, so a batched
+//! generation sweep with `COGENT_THREADS` workers does not serialize on
+//! one lock. Eviction is least-recently-used per shard, bounded by
+//! [`KernelCache::capacity`] entries overall (the `COGENT_CACHE_CAP`
+//! environment variable seeds [`KernelCache::from_env`]). A capacity of 0
+//! disables the cache entirely: lookups miss without recording
+//! statistics and inserts are dropped.
+//!
+//! Hits, misses and evictions feed both the lock-free [`CacheStats`]
+//! accessors and the `cache.hit` / `cache.miss` / `cache.evict`
+//! observability counters (surfaced by `cogent explain`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+
+use crate::api::GeneratedKernel;
+
+/// Environment variable seeding [`KernelCache::from_env`]'s capacity.
+/// Unset, empty or unparsable values mean [`DEFAULT_CAPACITY`]; `0`
+/// disables caching.
+pub const CACHE_CAP_ENV_VAR: &str = "COGENT_CACHE_CAP";
+
+/// Capacity used by [`KernelCache::from_env`] when `COGENT_CACHE_CAP` is
+/// not set: generous next to the TCCG suite's 48 entries, small next to
+/// the kernels themselves.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Everything that determines the output of `Cogent::generate`, flattened
+/// to strings so equality is exact and the hash is stable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Normalized contraction spec (`abcd-aebf-dfce` style).
+    contraction: String,
+    /// Extents of the contraction's indices, in contraction order.
+    sizes: String,
+    /// Full device description (all modelled limits, not just the name).
+    device: String,
+    /// Arithmetic precision.
+    precision: Precision,
+    /// Fingerprint of the search/generation options
+    /// ([`Cogent::options_fingerprint`](crate::Cogent::options_fingerprint)).
+    options: String,
+}
+
+impl CacheKey {
+    /// Builds the key for one generation request. `options` must capture
+    /// every generator knob that can change the emitted kernel (see
+    /// [`Cogent::options_fingerprint`](crate::Cogent::options_fingerprint)).
+    pub fn new(
+        tc: &Contraction,
+        sizes: &SizeMap,
+        device: &GpuDevice,
+        precision: Precision,
+        options: &str,
+    ) -> Self {
+        let norm = tc.normalized();
+        let mut sig = String::new();
+        for idx in norm.all_indices() {
+            // Missing extents become `?`; `generate` rejects those before
+            // consulting the cache, so such keys never collide with real ones.
+            match sizes.extent(idx) {
+                Some(extent) => sig.push_str(&format!("{idx}={extent},")),
+                None => sig.push_str(&format!("{idx}=?,")),
+            }
+        }
+        Self {
+            contraction: norm.to_string(),
+            sizes: sig,
+            device: format!("{device:?}"),
+            precision,
+            options: options.to_string(),
+        }
+    }
+
+    fn shard_index(&self, shards: usize) -> usize {
+        let mut hasher = DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() as usize) % shards
+    }
+}
+
+struct Entry {
+    kernel: GeneratedKernel,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a kernel.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+    /// Kernels currently stored.
+    pub entries: usize,
+    /// Maximum kernels stored across all shards.
+    pub capacity: usize,
+}
+
+/// A thread-safe, sharded, LRU-evicting map from [`CacheKey`] to
+/// [`GeneratedKernel`]. See the [module documentation](self).
+pub struct KernelCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity: usize,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl KernelCache {
+    /// A cache holding at most `capacity` kernels, sharded across up to 8
+    /// locks (one shard per ~8 entries of capacity, so small caches are
+    /// not split into shards too small to absorb hash skew).
+    /// `capacity == 0` disables the cache.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, (capacity / 8).clamp(1, 8))
+    }
+
+    /// Like [`KernelCache::new`] with an explicit shard count (tests use a
+    /// single shard so the LRU order is globally observable). The shard
+    /// count is clamped to at least 1; each shard holds at most
+    /// `capacity.div_ceil(shards)` entries, so the total never exceeds
+    /// `capacity` rounded up to a multiple of the shard count.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity,
+            per_shard: capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache sized by the `COGENT_CACHE_CAP` environment variable
+    /// ([`CACHE_CAP_ENV_VAR`]), defaulting to [`DEFAULT_CAPACITY`].
+    pub fn from_env() -> Self {
+        let capacity = std::env::var(CACHE_CAP_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        Self::new(capacity)
+    }
+
+    /// The configured total capacity (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    fn lock_shard(&self, key: &CacheKey) -> std::sync::MutexGuard<'_, Shard> {
+        let shard = &self.shards[key.shard_index(self.shards.len())];
+        // A poisoned shard only means another thread panicked mid-insert;
+        // the map itself is still structurally sound.
+        shard.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Looks up a kernel, refreshing its LRU position. Returns a clone;
+    /// cached kernels are immutable. Counts a hit or miss (except when the
+    /// cache is disabled, which counts nothing).
+    pub fn get(&self, key: &CacheKey) -> Option<GeneratedKernel> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.lock_shard(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let kernel = entry.kernel.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cogent_obs::counter("cache.hit", 1);
+                Some(kernel)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cogent_obs::counter("cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a kernel, evicting the shard's least-recently-used entry
+    /// when the shard is full. A no-op when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, kernel: GeneratedKernel) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.lock_shard(&key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            // Evict the least-recently-used entry. Ties on `last_used`
+            // cannot happen (the tick is bumped on every touch).
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                cogent_obs::counter("cache.evict", 1);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                kernel,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current hit/miss/eviction/occupancy numbers.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .map
+                    .len()
+            })
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .map
+                .clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cogent;
+
+    fn kernel_for(spec: &str, n: usize) -> (Contraction, SizeMap, GeneratedKernel) {
+        let tc: Contraction = spec.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        let kernel = Cogent::new().generate(&tc, &sizes).unwrap();
+        (tc, sizes, kernel)
+    }
+
+    fn key_for(tc: &Contraction, sizes: &SizeMap, options: &str) -> CacheKey {
+        CacheKey::new(tc, sizes, &GpuDevice::v100(), Precision::F64, options)
+    }
+
+    #[test]
+    fn hit_after_insert_returns_identical_kernel() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::new(4);
+        let key = key_for(&tc, &sizes, "opts");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), kernel.clone());
+        let hit = cache.get(&key).expect("warm hit");
+        assert_eq!(hit.cuda_source, kernel.cuda_source);
+        assert_eq!(hit.config, kernel.config);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_sizes_do_not_collide() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::new(4);
+        cache.insert(key_for(&tc, &sizes, "opts"), kernel);
+        let other = SizeMap::uniform(&tc, 48);
+        assert!(cache.get(&key_for(&tc, &other, "opts")).is_none());
+    }
+
+    #[test]
+    fn options_fingerprint_isolates_entries() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::new(4);
+        cache.insert(key_for(&tc, &sizes, "top_k=16"), kernel.clone());
+        assert!(cache.get(&key_for(&tc, &sizes, "top_k=1")).is_none());
+        assert!(cache.get(&key_for(&tc, &sizes, "top_k=16")).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_displaces_the_coldest_entry() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        // One shard so the LRU order is global.
+        let cache = KernelCache::with_shards(2, 1);
+        let k1 = key_for(&tc, &sizes, "one");
+        let k2 = key_for(&tc, &sizes, "two");
+        let k3 = key_for(&tc, &sizes, "three");
+        cache.insert(k1.clone(), kernel.clone());
+        cache.insert(k2.clone(), kernel.clone());
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), kernel);
+        assert!(cache.get(&k2).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&k1).is_some());
+        assert!(cache.get(&k3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::with_shards(2, 1);
+        let k1 = key_for(&tc, &sizes, "one");
+        let k2 = key_for(&tc, &sizes, "two");
+        cache.insert(k1.clone(), kernel.clone());
+        cache.insert(k2.clone(), kernel.clone());
+        cache.insert(k1, kernel);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get(&k2).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::new(0);
+        assert!(!cache.enabled());
+        let key = key_for(&tc, &sizes, "opts");
+        cache.insert(key.clone(), kernel);
+        assert!(cache.get(&key).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn key_normalizes_the_contraction() {
+        let sizes = SizeMap::from_pairs([("i", 8), ("j", 8), ("k", 8)]);
+        let a: Contraction = "ij-ik-kj".parse().unwrap();
+        let key_a = key_for(&a, &sizes, "opts");
+        let key_b = key_for(&a.normalized(), &sizes, "opts");
+        assert_eq!(key_a, key_b);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::new(8);
+        let key = key_for(&tc, &sizes, "opts");
+        cache.insert(key.clone(), kernel);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert!(cache.get(&key).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 32);
+    }
+}

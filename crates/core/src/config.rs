@@ -17,6 +17,11 @@ pub type MappedIndex = (IndexName, usize);
 /// size 1 (the paper: "technically mapped on TBx or TBy with tile-size of
 /// 1").
 ///
+/// The derived [`Ord`] (lexicographic over the five lists) is a total
+/// order used by the search as a deterministic tie-break between
+/// equal-cost configurations: the winner never depends on enumeration or
+/// thread-interleaving order.
+///
 /// # Examples
 ///
 /// ```
@@ -38,7 +43,9 @@ pub type MappedIndex = (IndexName, usize);
 /// assert_eq!(plan.num_blocks(), 2 * 4 * 2 * 4);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct KernelConfig {
     /// External indices mapped on thread-block X (`l_TBx`), fastest first.
     pub tbx: Vec<MappedIndex>,

@@ -44,6 +44,22 @@ impl PruneReason {
             PruneReason::UncoalescedInputFvi => "prune.reject.uncoalesced_input_fvi",
         }
     }
+
+    /// The `prune.relaxed.reject.<rule>` counter name used when this
+    /// reason rejects a configuration during a progressive-relaxation
+    /// pass — kept distinct from [`counter_key`](Self::counter_key) so the
+    /// strict pass's tallies stay comparable across runs while relaxed
+    /// re-checks remain visible instead of vanishing.
+    pub fn relaxed_counter_key(&self) -> &'static str {
+        match self {
+            PruneReason::SharedMemoryExceeded => "prune.relaxed.reject.shared_memory_exceeded",
+            PruneReason::BadThreadCount => "prune.relaxed.reject.bad_thread_count",
+            PruneReason::TooManyRegisters => "prune.relaxed.reject.too_many_registers",
+            PruneReason::TooFewBlocks => "prune.relaxed.reject.too_few_blocks",
+            PruneReason::LowOccupancy => "prune.relaxed.reject.low_occupancy",
+            PruneReason::UncoalescedInputFvi => "prune.relaxed.reject.uncoalesced_input_fvi",
+        }
+    }
 }
 
 impl std::fmt::Display for PruneReason {

@@ -638,6 +638,9 @@ pub enum CogentError {
         /// The configured wall-clock budget, if any.
         time_budget: Option<Duration>,
     },
+    /// [`KernelLibrary::build`](crate::library::KernelLibrary::build) was
+    /// given an empty representative-size slate.
+    NoRepresentatives,
 }
 
 impl fmt::Display for CogentError {
@@ -671,6 +674,9 @@ impl fmt::Display for CogentError {
                     write!(f, ", time_budget={t:?}")?;
                 }
                 f.write_str(") exhausted before any configuration was produced")
+            }
+            CogentError::NoRepresentatives => {
+                f.write_str("kernel library needs at least one representative size")
             }
         }
     }

@@ -36,6 +36,7 @@
 //! [`KernelPlan`]: cogent_gpu_sim::KernelPlan
 
 pub mod api;
+pub mod cache;
 pub mod codegen;
 pub mod config;
 pub mod constraints;
@@ -48,6 +49,7 @@ pub mod lower;
 pub mod select;
 
 pub use api::{Cogent, GeneratedKernel};
+pub use cache::{CacheKey, CacheStats, KernelCache, CACHE_CAP_ENV_VAR};
 pub use config::KernelConfig;
 pub use constraints::{PruneReason, PruneRules};
 pub use cost::transaction_cost;
@@ -60,4 +62,6 @@ pub use guard::{
 };
 pub use learned::LearnedRanker;
 pub use library::{KernelLibrary, KernelVersion};
-pub use select::{search, RankedConfig, SearchOutcome};
+pub use select::{
+    search, threads_from_env, RankedConfig, SearchOptions, SearchOutcome, THREADS_ENV_VAR,
+};

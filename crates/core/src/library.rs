@@ -55,12 +55,14 @@ pub struct KernelVersion {
 }
 
 /// Squared log-space distance between two size maps over the contraction's
-/// indices.
+/// indices. Extents are clamped to ≥ 1 — a missing or zero extent (a
+/// deserialized `SizeMap` can hold zeros even though `set` rejects them)
+/// must not poison the ordering with `ln(0)` = −∞ or a NaN ratio.
 fn log_distance(tc: &Contraction, x: &SizeMap, y: &SizeMap) -> f64 {
     tc.all_indices()
         .map(|i| {
-            let a = x.extent_of(i) as f64;
-            let b = y.extent_of(i) as f64;
+            let a = x.extent(i).unwrap_or(1).max(1) as f64;
+            let b = y.extent(i).unwrap_or(1).max(1) as f64;
             let d = (a / b).ln();
             d * d
         })
@@ -68,29 +70,36 @@ fn log_distance(tc: &Contraction, x: &SizeMap, y: &SizeMap) -> f64 {
 }
 
 impl KernelLibrary {
-    /// Generates one kernel version per representative size.
+    /// Generates one kernel version per representative size. The versions
+    /// are built through [`Cogent::generate_many`], so a generator with
+    /// [`SearchOptions::threads`](crate::select::SearchOptions) > 1
+    /// searches the representatives concurrently, and an attached
+    /// [`KernelCache`](crate::cache::KernelCache) deduplicates repeated
+    /// representatives.
     ///
     /// # Errors
     ///
-    /// Returns the first generation error; `representatives` must be
-    /// non-empty and each must cover the contraction.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `representatives` is empty.
+    /// Returns [`CogentError::NoRepresentatives`] when `representatives`
+    /// is empty, otherwise the first generation error in representative
+    /// order (each representative must cover the contraction).
     pub fn build(
         generator: &Cogent,
         tc: &Contraction,
         representatives: &[SizeMap],
     ) -> Result<Self, CogentError> {
-        assert!(
-            !representatives.is_empty(),
-            "at least one representative size is required"
-        );
-        let versions = representatives
+        if representatives.is_empty() {
+            return Err(CogentError::NoRepresentatives);
+        }
+        let jobs: Vec<(Contraction, SizeMap)> = representatives
             .iter()
-            .map(|sizes| {
-                generator.generate(tc, sizes).map(|kernel| KernelVersion {
+            .map(|sizes| (tc.clone(), sizes.clone()))
+            .collect();
+        let versions = generator
+            .generate_many(&jobs)
+            .into_iter()
+            .zip(representatives)
+            .map(|(result, sizes)| {
+                result.map(|kernel| KernelVersion {
                     representative: sizes.clone(),
                     kernel,
                 })
@@ -124,7 +133,9 @@ impl KernelLibrary {
     }
 
     /// Selects the version whose representative is closest to `actual`
-    /// (log-space Euclidean distance over all index extents).
+    /// (log-space Euclidean distance over all index extents). Equidistant
+    /// representatives tie-break to the earliest in build order, so
+    /// selection is deterministic whatever the distance landscape.
     ///
     /// # Panics
     ///
@@ -136,11 +147,13 @@ impl KernelLibrary {
         );
         self.versions
             .iter()
-            .min_by(|x, y| {
+            .enumerate()
+            .min_by(|(ix, x), (iy, y)| {
                 let dx = log_distance(&self.contraction, actual, &x.representative);
                 let dy = log_distance(&self.contraction, actual, &y.representative);
-                dx.partial_cmp(&dy).expect("distances are not NaN")
+                dx.total_cmp(&dy).then(ix.cmp(iy))
             })
+            .map(|(_, version)| version)
             .expect("library is non-empty")
     }
 }
@@ -217,9 +230,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one representative")]
-    fn empty_representatives_panic() {
+    fn empty_representatives_is_a_typed_error() {
         let tc: Contraction = "ij-ik-kj".parse().unwrap();
-        let _ = KernelLibrary::build(&Cogent::new(), &tc, &[]);
+        let err = KernelLibrary::build(&Cogent::new(), &tc, &[]).unwrap_err();
+        assert!(matches!(err, CogentError::NoRepresentatives));
+        assert!(err.to_string().contains("representative"));
+    }
+
+    #[test]
+    fn log_distance_guards_missing_and_zero_extents() {
+        // A representative that misses an index (or, via deserialization,
+        // carries a zero) must yield a finite distance, not NaN/∞.
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let full = SizeMap::uniform(&tc, 64);
+        let missing = SizeMap::from_pairs([("i", 64), ("j", 64)]);
+        let d = log_distance(&tc, &missing, &full);
+        assert!(d.is_finite(), "distance is {d}");
+        // The guard treats the missing extent as 1.
+        let ones = SizeMap::from_pairs([("i", 64), ("j", 64), ("k", 1)]);
+        assert_eq!(d, log_distance(&tc, &ones, &full));
+    }
+
+    #[test]
+    fn equidistant_representatives_select_the_earliest() {
+        // Two representatives with identical extents on the contraction's
+        // indices (distinguished only by an extent the contraction never
+        // reads) are exactly equidistant from any query: the tie-break
+        // must deterministically pick the earlier one in build order.
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let mut first = SizeMap::uniform(&tc, 64);
+        first.set("z", 7);
+        let mut second = SizeMap::uniform(&tc, 64);
+        second.set("z", 9);
+        let lib =
+            KernelLibrary::build(&Cogent::new(), &tc, &[first.clone(), second.clone()]).unwrap();
+        let chosen = lib.select(&SizeMap::uniform(&tc, 96));
+        assert_eq!(chosen.representative, first);
+        // Reversed build order flips the winner.
+        let lib = KernelLibrary::build(&Cogent::new(), &tc, &[second.clone(), first]).unwrap();
+        let chosen = lib.select(&SizeMap::uniform(&tc, 96));
+        assert_eq!(chosen.representative, second);
+    }
+
+    #[test]
+    fn build_uses_generate_many_with_threads_and_cache() {
+        use crate::cache::KernelCache;
+        use crate::select::SearchOptions;
+        use std::sync::Arc;
+
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let opts = SearchOptions {
+            threads: 2,
+            ..SearchOptions::default()
+        };
+        let cache = Arc::new(KernelCache::new(8));
+        let gen = Cogent::new().search_options(opts).cache(Arc::clone(&cache));
+        // A duplicated representative is served from the cache.
+        let rep = SizeMap::uniform(&tc, 64);
+        let lib = KernelLibrary::build(&gen, &tc, &[rep.clone(), rep.clone(), rep]).unwrap();
+        assert_eq!(lib.len(), 3);
+        let v: Vec<_> = lib.iter().collect();
+        assert_eq!(v[0].kernel.cuda_source, v[1].kernel.cuda_source);
+        assert_eq!(v[1].kernel.cuda_source, v[2].kernel.cuda_source);
+        assert!(cache.stats().hits >= 1, "{:?}", cache.stats());
     }
 }

@@ -1,4 +1,14 @@
 //! Model-driven configuration selection: enumerate → prune → rank.
+//!
+//! Pruning and cost ranking are embarrassingly parallel — every
+//! configuration is checked and costed independently — so both phases can
+//! be chunked across [`SearchOptions::threads`] worker threads (the
+//! `COGENT_THREADS` environment variable seeds the default). The result
+//! is **bit-for-bit identical** to the serial search: chunks are merged
+//! in enumeration order, per-chunk prune histograms are folded
+//! deterministically, and the final ranking uses a stable sort keyed by
+//! `(model cost, total config order)` so equal-cost candidates never
+//! depend on enumeration or interleaving order.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -7,9 +17,23 @@ use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_ir::{Contraction, SizeMap};
 
 use crate::config::KernelConfig;
-use crate::constraints::{check_config, PruneRules};
+use crate::constraints::{check_config, PruneReason, PruneRules};
 use crate::cost::{transaction_cost, CostBreakdown};
 use crate::enumerate::{enumerate_configs_bounded, EnumerationBudget, EnumerationOptions};
+
+/// Environment variable seeding [`SearchOptions::threads`] (and the
+/// worker count of `Cogent::generate_many`). Unset, empty or unparsable
+/// values mean `1` (serial).
+pub const THREADS_ENV_VAR: &str = "COGENT_THREADS";
+
+/// Reads [`THREADS_ENV_VAR`], clamped to at least 1.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
 
 /// A configuration together with its modelled cost.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -31,8 +55,11 @@ pub struct SearchOutcome {
     pub enumerated: usize,
     /// Configurations surviving the hardware/performance pruning.
     pub survivors: usize,
-    /// How many configurations each pruning rule rejected (under the
-    /// strict rules, even when relaxation later re-admitted some).
+    /// How many configurations each pruning rule rejected. Strict-pass
+    /// rejections use the rule name alone; rejections during progressive
+    /// relaxation are folded in under distinct `relaxed(...)` keys, so a
+    /// configuration re-checked by a relaxed pass is counted once per
+    /// pass (the histogram tallies *work*, not unique configurations).
     pub prune_histogram: BTreeMap<String, usize>,
     /// Whether the thresholds had to be progressively relaxed because the
     /// strict rules pruned everything (tiny problems).
@@ -41,7 +68,9 @@ pub struct SearchOutcome {
     /// before it was exhausted (pathological high-rank contractions).
     pub truncated: bool,
     /// Survivors ranked by modelled cost, best first (truncated to the
-    /// requested `top_k`).
+    /// requested `top_k`). Equal costs are broken by the configuration's
+    /// total order, so the ranking is a pure function of the candidate
+    /// *set* — serial and parallel searches agree byte for byte.
     pub ranked: Vec<RankedConfig>,
 }
 
@@ -78,6 +107,11 @@ pub struct SearchOptions {
     /// Enumeration wall-clock budget, measured from the start of the
     /// search. `None` (the default) means unbounded.
     pub time_budget: Option<Duration>,
+    /// Worker threads for the prune and rank phases (1 = serial). The
+    /// default comes from the `COGENT_THREADS` environment variable
+    /// ([`threads_from_env`]). The search outcome is identical for every
+    /// thread count; only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for SearchOptions {
@@ -88,8 +122,119 @@ impl Default for SearchOptions {
             top_k: 16,
             max_configs: 262_144,
             time_budget: None,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// How many worker threads to actually use for `len` items.
+fn effective_threads(threads: usize, len: usize) -> usize {
+    threads.max(1).min(len.max(1))
+}
+
+/// Runs `work` over `items` split into at most `threads` contiguous
+/// chunks, returning the per-chunk results **in chunk order**. With one
+/// effective thread the work runs inline on the caller's thread (so
+/// observability counters fired inside `work` still attach to the open
+/// span); otherwise each chunk runs on its own scoped thread and the
+/// caller is responsible for folding any counters from the returned data.
+fn run_chunked<'e, T, R>(
+    items: &'e [T],
+    threads: usize,
+    work: impl Fn(&'e [T]) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return vec![work(items)];
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| work(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+/// Accumulated results of one pruning pass (strict or relaxed).
+#[derive(Default)]
+struct PrunePass {
+    /// Survivors in enumeration order.
+    survivors: Vec<KernelConfig>,
+    /// Human-readable rejection histogram contributions.
+    histogram: BTreeMap<String, usize>,
+    /// `prune[.relaxed].reject.*` counter contributions.
+    counters: BTreeMap<&'static str, usize>,
+    /// `check_config` invocations performed.
+    checked: usize,
+}
+
+impl PrunePass {
+    fn absorb(&mut self, other: PrunePass) {
+        self.survivors.extend(other.survivors);
+        for (key, count) in other.histogram {
+            *self.histogram.entry(key).or_default() += count;
+        }
+        for (key, count) in other.counters {
+            *self.counters.entry(key).or_default() += count;
+        }
+        self.checked += other.checked;
+    }
+}
+
+/// One full pass of `check_config` over `configs`, chunked across
+/// `threads` workers and merged in enumeration order. `relaxed_tag`
+/// labels rejections of a relaxation pass so they stay distinguishable
+/// from the strict pass in the histogram and counters.
+#[allow(clippy::too_many_arguments)]
+fn prune_pass(
+    norm: &Contraction,
+    configs: &[KernelConfig],
+    sizes: &SizeMap,
+    device: &GpuDevice,
+    precision: Precision,
+    rules: &PruneRules,
+    threads: usize,
+    relaxed_tag: Option<&str>,
+) -> PrunePass {
+    let counter_key = |reason: &PruneReason| match relaxed_tag {
+        None => reason.counter_key(),
+        Some(_) => reason.relaxed_counter_key(),
+    };
+    let chunks = run_chunked(configs, threads, |chunk: &[KernelConfig]| {
+        let mut pass = PrunePass::default();
+        for cfg in chunk {
+            pass.checked += 1;
+            match check_config(norm, cfg, sizes, device, precision, rules) {
+                Ok(()) => pass.survivors.push(cfg.clone()),
+                Err(reason) => {
+                    let key = match relaxed_tag {
+                        None => reason.to_string(),
+                        Some(tag) => format!("{tag}: {reason}"),
+                    };
+                    *pass.histogram.entry(key).or_default() += 1;
+                    *pass.counters.entry(counter_key(&reason)).or_default() += 1;
+                }
+            }
+        }
+        pass
+    });
+    let mut merged = PrunePass::default();
+    for chunk in chunks {
+        merged.absorb(chunk);
+    }
+    merged
 }
 
 /// Runs the full model-driven search for `tc` under the representative
@@ -99,6 +244,11 @@ impl Default for SearchOptions {
 /// rules are progressively relaxed — first the parallelism/occupancy
 /// floors, then the coalescing requirement — so a best-effort
 /// configuration is always produced if the enumeration is non-empty.
+///
+/// The search is deterministic: for a given input it returns the same
+/// [`SearchOutcome`] whatever [`SearchOptions::threads`] is set to, and
+/// equal-cost candidates are ordered by the configuration's total order
+/// rather than by enumeration position.
 ///
 /// # Examples
 ///
@@ -125,6 +275,7 @@ pub fn search(
 ) -> SearchOutcome {
     let norm = tc.normalized();
     let raw_space = EnumerationOptions::raw_space_size(&norm);
+    let threads = options.threads.max(1);
 
     let budget = EnumerationBudget {
         max_configs: options.max_configs,
@@ -141,42 +292,62 @@ pub fn search(
     let enumerated = configs.len();
 
     let prune_span = cogent_obs::span("prune");
-    let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
-    let mut counter_histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
-    let mut survivors: Vec<KernelConfig> = Vec::new();
-    for cfg in &configs {
-        match check_config(&norm, cfg, sizes, device, precision, &options.rules) {
-            Ok(()) => survivors.push(cfg.clone()),
-            Err(reason) => {
-                *histogram.entry(reason.to_string()).or_default() += 1;
-                *counter_histogram.entry(reason.counter_key()).or_default() += 1;
-            }
-        }
-    }
+    let mut pruned = prune_pass(
+        &norm,
+        &configs,
+        sizes,
+        device,
+        precision,
+        &options.rules,
+        threads,
+        None,
+    );
 
-    // Progressive relaxation for small problems.
+    // Progressive relaxation for small problems. Every relaxed
+    // `check_config` invocation is accounted: the passes add to `checked`
+    // and fold their rejections into the histogram/counters under
+    // distinct keys, so `cogent explain` reports the work actually done.
     let mut rules_relaxed = false;
-    if survivors.is_empty() {
+    if pruned.survivors.is_empty() {
         rules_relaxed = true;
         let mut relaxed = options.rules.clone();
         relaxed.min_blocks_per_sm = 0.0;
         relaxed.min_occupancy = 0.0;
         relaxed.min_threads = 1;
-        survivors = configs
-            .iter()
-            .filter(|c| check_config(&norm, c, sizes, device, precision, &relaxed).is_ok())
-            .cloned()
-            .collect();
-        if survivors.is_empty() {
+        let pass = prune_pass(
+            &norm,
+            &configs,
+            sizes,
+            device,
+            precision,
+            &relaxed,
+            threads,
+            Some("relaxed(parallelism)"),
+        );
+        let had_survivors = !pass.survivors.is_empty();
+        pruned.absorb(pass);
+        if !had_survivors {
             relaxed.require_input_fvi_coalescing = false;
-            survivors = configs
-                .iter()
-                .filter(|c| check_config(&norm, c, sizes, device, precision, &relaxed).is_ok())
-                .cloned()
-                .collect();
+            let pass = prune_pass(
+                &norm,
+                &configs,
+                sizes,
+                device,
+                precision,
+                &relaxed,
+                threads,
+                Some("relaxed(coalescing)"),
+            );
+            pruned.absorb(pass);
         }
     }
-    cogent_obs::counter("prune.checked", enumerated as u128);
+    let PrunePass {
+        survivors,
+        histogram,
+        counters: counter_histogram,
+        checked,
+    } = pruned;
+    cogent_obs::counter("prune.checked", checked as u128);
     cogent_obs::counter("prune.survivors", survivors.len() as u128);
     cogent_obs::counter("prune.relaxed", u128::from(rules_relaxed));
     for (key, count) in &counter_histogram {
@@ -186,14 +357,34 @@ pub fn search(
 
     let survivor_count = survivors.len();
     let rank_span = cogent_obs::span("rank");
-    let mut ranked: Vec<RankedConfig> = survivors
-        .into_iter()
-        .map(|config| {
-            let cost = transaction_cost(&norm, &config, sizes, device, precision);
-            RankedConfig { config, cost }
-        })
-        .collect();
-    ranked.sort_by_key(|r| r.cost.total());
+    let rank_threads = effective_threads(threads, survivor_count);
+    let scored = run_chunked(&survivors, threads, |chunk: &[KernelConfig]| {
+        chunk
+            .iter()
+            .map(|config| {
+                let cost = transaction_cost(&norm, config, sizes, device, precision);
+                RankedConfig {
+                    config: config.clone(),
+                    cost,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut ranked: Vec<RankedConfig> = scored.into_iter().flatten().collect();
+    if rank_threads > 1 {
+        // Worker-thread cost evaluations could not reach the (thread-local)
+        // trace; mirror them here so serial and parallel traces agree.
+        cogent_obs::counter("cost.model_evaluations", ranked.len() as u128);
+    }
+    // Deterministic ranking: stable sort on (modelled cost, config total
+    // order). Two entries compare equal only when they are the same
+    // configuration, so the result is independent of enumeration order.
+    ranked.sort_by(|x, y| {
+        x.cost
+            .total()
+            .cmp(&y.cost.total())
+            .then_with(|| x.config.cmp(&y.config))
+    });
     ranked.truncate(options.top_k);
     cogent_obs::counter("rank.kept", ranked.len() as u128);
     if let Some(best) = ranked.first() {
@@ -229,6 +420,16 @@ mod tests {
         )
     }
 
+    fn run_with_threads(tccg: &str, n: usize, threads: usize) -> SearchOutcome {
+        let tc: Contraction = tccg.parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, n);
+        let opts = SearchOptions {
+            threads,
+            ..SearchOptions::default()
+        };
+        search(&tc, &sizes, &GpuDevice::v100(), Precision::F64, &opts)
+    }
+
     #[test]
     fn eq1_search_finds_config() {
         let o = run("abcd-aebf-dfce", 48);
@@ -262,6 +463,55 @@ mod tests {
     fn tiny_problem_relaxation_still_yields_config() {
         let o = run("ij-ik-kj", 8);
         assert!(o.best().is_some(), "relaxation must keep a config");
+    }
+
+    #[test]
+    fn relaxed_pass_rejections_reach_the_histogram() {
+        let o = run("ij-ik-kj", 8);
+        assert!(o.rules_relaxed, "an 8^3 matmul must relax on a V100");
+        assert!(
+            o.prune_histogram.keys().any(|k| k.starts_with("relaxed(")),
+            "relaxed rejections missing from histogram: {:?}",
+            o.prune_histogram
+        );
+        // The strict pass rejected everything; its entries are intact.
+        let strict: usize = o
+            .prune_histogram
+            .iter()
+            .filter(|(k, _)| !k.starts_with("relaxed("))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(strict, o.enumerated);
+    }
+
+    #[test]
+    fn serial_and_parallel_searches_are_identical() {
+        for (tccg, n) in [
+            ("abcd-aebf-dfce", 48),
+            ("abcdef-gdab-efgc", 16),
+            ("ij-ik-kj", 8),
+        ] {
+            let serial = run_with_threads(tccg, n, 1);
+            for threads in [2, 4, 7] {
+                let parallel = run_with_threads(tccg, n, threads);
+                assert_eq!(serial, parallel, "{tccg} diverges at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_cost_ties_follow_config_order() {
+        let o = run("abcd-aebf-dfce", 48);
+        for pair in o.ranked.windows(2) {
+            if pair[0].cost.total() == pair[1].cost.total() {
+                assert!(
+                    pair[0].config < pair[1].config,
+                    "tie not broken by config order: {} vs {}",
+                    pair[0].config,
+                    pair[1].config
+                );
+            }
+        }
     }
 
     #[test]
@@ -322,5 +572,28 @@ mod tests {
         let o = run("abcd-aebf-dfce", 48);
         assert_eq!(o.raw_space, 3_981_312);
         assert!((o.enumerated as u128) < o.raw_space);
+    }
+
+    #[test]
+    fn run_chunked_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 4, 16] {
+            let doubled: Vec<usize> = run_chunked(&items, threads, |chunk: &[usize]| {
+                chunk.iter().map(|x| x * 2).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn threads_env_parsing_defaults_to_one() {
+        // The variable is read through SearchOptions::default(); exercise
+        // the parser's fallback directly without mutating the process
+        // environment (that would race other tests).
+        assert!(threads_from_env() >= 1);
+        assert!(SearchOptions::default().threads >= 1);
     }
 }

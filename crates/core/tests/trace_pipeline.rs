@@ -41,8 +41,10 @@ fn every_phase_has_a_span_with_counters() {
 #[test]
 fn prune_reject_counters_sum_to_histogram() {
     let (kernel, trace) = traced_generate("abcd-aebf-dfce", 48);
-    // Both are tallied in the strict pruning pass, so they must agree
-    // exactly — even when relaxation later re-admits configurations.
+    // This case needs no relaxation, so the histogram holds only
+    // strict-pass keys and must agree exactly with the `prune.reject.*`
+    // counters; `prune.checked` is exactly one pass over the enumeration.
+    assert!(!kernel.search.rules_relaxed);
     let histogram_total: usize = kernel.search.prune_histogram.values().sum();
     assert_eq!(
         trace.counter_sum_prefix("prune.reject."),
@@ -53,6 +55,61 @@ fn prune_reject_counters_sum_to_histogram() {
     assert_eq!(
         prune.counter("prune.checked"),
         Some(kernel.search.enumerated as u128)
+    );
+}
+
+#[test]
+fn relaxed_pruning_accounts_every_check() {
+    // An 8^3 matmul on a V100 forces progressive relaxation: the strict
+    // pass rejects everything, then one or two relaxed passes re-check
+    // the full enumeration. `prune.checked` must count every
+    // `check_config` invocation across all passes, and relaxed rejections
+    // must reach both the histogram (under `relaxed(...)` keys) and their
+    // own `prune.relaxed.reject.*` counters.
+    let (kernel, trace) = traced_generate("ij-ik-kj", 8);
+    assert!(kernel.search.rules_relaxed, "8^3 must relax on a V100");
+    let enumerated = kernel.search.enumerated as u128;
+    assert!(enumerated > 0);
+
+    let prune = trace.find("prune").unwrap();
+    let checked = prune.counter("prune.checked").unwrap();
+    assert!(
+        checked > enumerated,
+        "checked ({checked}) must exceed one pass ({enumerated})"
+    );
+    // Each pass covers the whole enumeration, no more, no less.
+    assert_eq!(
+        checked % enumerated,
+        0,
+        "checked is not a whole number of passes"
+    );
+
+    // The strict pass rejected everything (that is what triggered
+    // relaxation), and its counters say so.
+    assert_eq!(trace.counter_sum_prefix("prune.reject."), enumerated);
+
+    // Relaxed-pass rejections agree between counters and histogram.
+    let relaxed_hist: usize = kernel
+        .search
+        .prune_histogram
+        .iter()
+        .filter(|(key, _)| key.starts_with("relaxed("))
+        .map(|(_, count)| count)
+        .sum();
+    assert!(relaxed_hist > 0, "no relaxed keys in the histogram");
+    assert_eq!(
+        trace.counter_sum_prefix("prune.relaxed.reject."),
+        relaxed_hist as u128,
+        "relaxed counters disagree with the relaxed histogram keys"
+    );
+
+    // Full accounting: every check is either a survivor or a histogram
+    // entry (strict and relaxed passes alike).
+    let histogram_total: usize = kernel.search.prune_histogram.values().sum();
+    let survivors_across_passes = checked as usize - histogram_total;
+    assert!(
+        survivors_across_passes >= kernel.search.survivors,
+        "survivors unaccounted for"
     );
 }
 

@@ -6,6 +6,7 @@
 //! cogent generate "abcd-aebf-dfce" --size 32 -o kernel.cu
 //! cogent generate "C[i,j] = A[i,k] * B[k,j]" --sizes i=1024,j=1024,k=512 --opencl
 //! cogent search   "abcdef-gdab-efgc" --size 20 --top 8
+//! cogent batch    --suite --group ccsdt --threads 4 -o kernels/
 //! cogent bench    "abcd-aebf-dfce" --size 48 --device p100
 //! cogent explain  "abcd-aebf-dfce" --size 32 --json
 //! cogent suite
@@ -13,8 +14,12 @@
 //!
 //! Setting `COGENT_TRACE=1` makes every subcommand print its pipeline
 //! trace (span tree with timings and counters) to stderr on completion.
+//! `COGENT_THREADS` parallelizes the search (and `batch` jobs);
+//! `COGENT_CACHE_CAP` sizes the kernel cache used by `batch` and
+//! `explain`. Neither changes the emitted kernels.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use cogent::baselines::{measure_cogent, NwchemLikeGenerator, TtgtEngine};
 use cogent::generator::select::{search, SearchOptions};
@@ -90,13 +95,16 @@ const USAGE: &str = "usage:
   cogent generate <contraction> [--size N | --sizes i=N,j=M,...]
                   [--device v100|p100] [--f32] [--accumulate] [--opencl] [-o FILE]
   cogent search   <contraction> [--size N | --sizes ...] [--device ...] [--top K]
+  cogent batch    [<contraction>...] [--suite] [--group ml|aomo|ccsd|ccsdt]
+                  [--size N | --sizes ...] [--device ...] [--f32] [--threads N] [-o DIR]
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
   cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32] [--json]
   cogent suite    [--group ml|aomo|ccsd|ccsdt]
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
-pipeline trace to stderr";
+pipeline trace to stderr, COGENT_THREADS to parallelize the search, and
+COGENT_CACHE_CAP to size the kernel cache (0 disables it)";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let command = args.first().ok_or("missing command")?;
@@ -104,6 +112,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "generate" => cmd_generate(rest),
         "search" => cmd_search(rest),
+        "batch" => cmd_batch(rest),
         "bench" => cmd_bench(rest),
         "explain" => cmd_explain(rest),
         "suite" => cmd_suite(rest),
@@ -274,6 +283,165 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Flags whose following token is a value, not a positional argument.
+const VALUE_FLAGS: &[&str] = &[
+    "--size",
+    "--sizes",
+    "--device",
+    "--group",
+    "--threads",
+    "--top",
+    "-o",
+];
+
+/// Positional (non-flag) tokens, skipping every value that belongs to a
+/// flag in [`VALUE_FLAGS`].
+fn positional_specs(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+            continue;
+        }
+        if arg.starts_with('-') {
+            continue;
+        }
+        out.push(arg.as_str());
+    }
+    out
+}
+
+/// A file stem for a contraction spec (`abcd-aebf-dfce` stays readable,
+/// explicit forms lose their punctuation).
+fn spec_file_stem(spec: &str) -> String {
+    spec.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Generates kernels for a slate of contractions — positional specs, the
+/// TCCG suite (`--suite`, optionally `--group`-filtered), or both —
+/// through one shared cache and one `generate_many` thread pool.
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let explicit_sizes = has_flag(args, "--size") || has_flag(args, "--sizes");
+
+    // (label, contraction, sizes) per job.
+    let mut jobs: Vec<(String, Contraction, SizeMap)> = Vec::new();
+    if has_flag(args, "--suite") {
+        let group = flag_value(args, "--group");
+        for entry in cogent::tccg::suite() {
+            let tag = match entry.group {
+                cogent::tccg::BenchGroup::MachineLearning => "ml",
+                cogent::tccg::BenchGroup::AoToMo => "aomo",
+                cogent::tccg::BenchGroup::Ccsd => "ccsd",
+                cogent::tccg::BenchGroup::CcsdT => "ccsdt",
+            };
+            if group.is_some_and(|g| g != tag) {
+                continue;
+            }
+            let tc = entry.contraction();
+            let sizes = if explicit_sizes {
+                parse_sizes(args, &tc)?
+            } else {
+                entry.sizes()
+            };
+            jobs.push((entry.name.to_string(), tc, sizes));
+        }
+    }
+    for spec in positional_specs(args) {
+        let tc = cogent::ir::parse::parse_allowing_batch(spec)
+            .map_err(|e| CliError::usage(format!("{e}")))?;
+        let sizes = parse_sizes(args, &tc)?;
+        jobs.push((spec_file_stem(spec), tc, sizes));
+    }
+    if jobs.is_empty() {
+        return Err(CliError::usage(
+            "nothing to generate: pass contractions and/or --suite",
+        ));
+    }
+
+    let mut options = cogent::generator::SearchOptions::default();
+    if let Some(threads) = flag_value(args, "--threads") {
+        options.threads = threads
+            .parse()
+            .map_err(|_| CliError::usage("bad --threads value"))?;
+    }
+    let threads = options.threads.max(1);
+    let generator = Cogent::new()
+        .device(device)
+        .precision(precision)
+        .search_options(options)
+        .with_default_cache();
+
+    let out_dir = flag_value(args, "-o");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    }
+
+    let pairs: Vec<(Contraction, SizeMap)> = jobs
+        .iter()
+        .map(|(_, tc, sizes)| (tc.clone(), sizes.clone()))
+        .collect();
+    let started = Instant::now();
+    let results = generator.generate_many(&pairs);
+    let elapsed = started.elapsed();
+
+    let mut failures = 0usize;
+    for ((label, _, sizes), result) in jobs.iter().zip(&results) {
+        match result {
+            Ok(kernel) => {
+                println!(
+                    "ok    {label:<24} {:>8.1} GFLOPS at {sizes}",
+                    kernel.report.gflops
+                );
+                if let Some(dir) = out_dir {
+                    let path = format!("{dir}/{label}.cu");
+                    std::fs::write(&path, &kernel.cuda_source)
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("fail  {label:<24} {e}");
+            }
+        }
+    }
+    let stats = generator.kernel_cache().map(|cache| cache.stats());
+    eprintln!(
+        "generated {}/{} kernels in {:.2}s on {} thread(s)",
+        results.len() - failures,
+        results.len(),
+        elapsed.as_secs_f64(),
+        threads,
+    );
+    if let Some(stats) = stats {
+        eprintln!(
+            "cache: capacity {} | hits {} | misses {} | evictions {} | entries {}",
+            stats.capacity, stats.hits, stats.misses, stats.evictions, stats.entries
+        );
+    }
+    if failures > 0 {
+        return Err(CliError::runtime(format!(
+            "{failures} of {} generations failed",
+            results.len()
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
@@ -308,10 +476,11 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
 
     let was_enabled = cogent::obs::enabled();
     cogent::obs::set_enabled(true);
-    let result = Cogent::new()
+    let generator = Cogent::new()
         .device(device)
         .precision(precision)
-        .generate(&tc, &sizes);
+        .with_default_cache();
+    let result = generator.generate(&tc, &sizes);
     cogent::obs::set_enabled(was_enabled);
     let generated = result.map_err(|e| format!("{e}"))?;
     let trace = generated
@@ -321,8 +490,23 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
     if has_flag(args, "--json") {
         Ok(trace.to_json_string())
     } else {
+        let cache_line = match generator.kernel_cache() {
+            Some(cache) => {
+                let stats = cache.stats();
+                format!(
+                    "cache:         capacity {} ({}={}) | hits {} | misses {} | evictions {}\n",
+                    stats.capacity,
+                    cogent::generator::CACHE_CAP_ENV_VAR,
+                    stats.capacity,
+                    stats.hits,
+                    stats.misses,
+                    stats.evictions,
+                )
+            }
+            None => String::new(),
+        };
         Ok(format!(
-            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\npredicted:     {:.1} GFLOPS at {sizes}\n\n{}",
+            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\npredicted:     {:.1} GFLOPS at {sizes}\n{cache_line}\n{}",
             generated.config,
             generated.provenance,
             generated.report.gflops,
@@ -436,6 +620,76 @@ mod tests {
     #[test]
     fn suite_command_runs() {
         assert!(cmd_suite(&s(&["--group", "ccsdt"])).is_ok());
+    }
+
+    #[test]
+    fn positional_specs_skip_flag_values() {
+        let args = s(&[
+            "ij-ik-kj",
+            "--size",
+            "8",
+            "--device",
+            "v100",
+            "abc-bda-dc",
+            "--f32",
+        ]);
+        assert_eq!(positional_specs(&args), vec!["ij-ik-kj", "abc-bda-dc"]);
+    }
+
+    #[test]
+    fn spec_file_stems_are_filesystem_safe() {
+        assert_eq!(spec_file_stem("abcd-aebf-dfce"), "abcd-aebf-dfce");
+        assert_eq!(
+            spec_file_stem("C[i,j] = A[i,k] * B[k,j]"),
+            "C_i_j____A_i_k____B_k_j_"
+        );
+    }
+
+    #[test]
+    fn batch_command_generates_multiple_kernels() {
+        let dir = std::env::temp_dir().join("cogent_batch_test");
+        let dir_s = dir.to_str().unwrap().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = s(&[
+            "ij-ik-kj",
+            "abc-bda-dc",
+            "--size",
+            "12",
+            "--threads",
+            "2",
+            "-o",
+            &dir_s,
+        ]);
+        cmd_batch(&args).unwrap();
+        assert!(dir.join("ij-ik-kj.cu").exists());
+        assert!(dir.join("abc-bda-dc.cu").exists());
+        let src = std::fs::read_to_string(dir.join("ij-ik-kj.cu")).unwrap();
+        assert!(src.contains("__global__"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_without_jobs_is_a_usage_error() {
+        let e = cmd_batch(&s(&["--size", "8"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert!(e.message.contains("nothing to generate"));
+    }
+
+    #[test]
+    fn batch_rejects_bad_threads() {
+        let e = cmd_batch(&s(&["ij-ik-kj", "--threads", "zero"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+    }
+
+    #[test]
+    fn explain_mentions_the_cache() {
+        let out = explain_report(&s(&["ij-ik-kj", "--size", "8"])).unwrap();
+        assert!(out.contains("cache:"), "no cache line in:\n{out}");
+        assert!(out.contains("COGENT_CACHE_CAP"));
+        assert!(
+            out.contains("misses 1"),
+            "fresh cache must miss once:\n{out}"
+        );
     }
 
     #[test]
