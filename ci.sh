@@ -33,6 +33,16 @@ run env COGENT_THREADS=4 cargo test -q --test determinism $OFFLINE
 run cargo run --release $OFFLINE -p cogent-bench --bin search_bench -- \
     --quick --out target/search_bench_smoke.json
 test -s target/search_bench_smoke.json
+# Audit smoke + perf-regression gate: audit a TCCG subset (small K) and
+# compare it against the checked-in baseline. bench_diff matches entries
+# by name, prints every offending metric, and exits nonzero when rank
+# correlation drops or regret/relative error/search latency rise beyond
+# tolerance. Regenerate results/audit_baseline.json intentionally with:
+#   cargo run --release -p cogent-bench --bin audit_bench
+run cargo run --release $OFFLINE -p cogent-bench --bin audit_bench -- \
+    --quick --out target/audit_smoke.json
+run cargo run --release $OFFLINE -p cogent-bench-diff --bin bench_diff -- \
+    results/audit_baseline.json target/audit_smoke.json
 run ./tools/unwrap_gate.sh
 run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
 run cargo fmt --all -- --check

@@ -1,0 +1,73 @@
+//! Cost-model fidelity benchmark: audits the analytical transaction
+//! model against the `gpu-sim` address tracer over the TCCG suite and
+//! writes the `cogent.audit.v1` report that CI gates against.
+//!
+//! Usage: `cargo run --release -p cogent-bench --bin audit_bench
+//! [--quick] [--top K] [--device p100|v100] [--exhaustive] [--out FILE]`
+//!
+//! The default output is `results/audit_baseline.json` — the checked-in
+//! regression baseline. Regenerate it intentionally (after a deliberate
+//! model change) by running this binary on the full suite and committing
+//! the diff; `tools/bench_diff` compares fresh runs against it with
+//! per-metric tolerances. `--quick` audits every 8th suite entry, which
+//! is what the CI smoke uses (`bench_diff` matches entries by name, so a
+//! subset still gates against the full baseline).
+
+use std::time::Instant;
+
+use cogent_bench::{flag_value, quick_mode, write_json_report};
+use cogent_core::{audit_contraction, AuditOptions, AuditReport};
+use cogent_gpu_model::Precision;
+use cogent_gpu_sim::TraceOptions;
+use cogent_tccg::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let top: usize = flag_value(&args, "--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or("results/audit_baseline.json")
+        .to_string();
+    let device = cogent_bench::parse_device(&args);
+
+    let entries = suite();
+    let entries: Vec<_> = if quick_mode(&args) {
+        entries.into_iter().step_by(8).collect()
+    } else {
+        entries
+    };
+    println!(
+        "audit_bench: {} TCCG entries | top {} configs each | {}",
+        entries.len(),
+        top,
+        device,
+    );
+
+    let mut options = AuditOptions {
+        top_k: top,
+        ..AuditOptions::default()
+    };
+    if args.iter().any(|a| a == "--exhaustive") {
+        options.trace = TraceOptions::exhaustive();
+    }
+
+    let started = Instant::now();
+    let mut audits = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        let audit = audit_contraction(&entry.name, &tc, &sizes, &device, Precision::F64, &options)
+            .unwrap_or_else(|e| panic!("auditing {} failed: {e}", entry.name));
+        audits.push(audit);
+    }
+    let elapsed = started.elapsed();
+
+    let report = AuditReport::from_contractions(top, audits);
+    print!("{}", report.render_text());
+    println!("audited in {:.2}s", elapsed.as_secs_f64());
+
+    write_json_report(&out_path, &report.to_json())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

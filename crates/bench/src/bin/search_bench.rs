@@ -16,19 +16,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cogent_bench::quick_mode;
+use cogent_bench::{flag_value, quick_mode, write_json_report};
 use cogent_core::select::SearchOptions;
 use cogent_core::{Cogent, KernelCache};
 use cogent_ir::{Contraction, SizeMap};
 use cogent_obs::json::Json;
 use cogent_tccg::suite;
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
 
 fn generator_with_threads(threads: usize) -> Cogent {
     Cogent::new().search_options(SearchOptions {
@@ -138,16 +131,16 @@ fn main() {
                 entry.name
             );
         }
-        rows.push(Json::Object(vec![
-            ("name".to_string(), Json::Str(entry.name.to_string())),
-            ("spec".to_string(), Json::Str(entry.spec.to_string())),
-            ("cold_ms".to_string(), Json::Float(cold_ms[i])),
-            ("warm_ms".to_string(), Json::Float(warm_ms[i])),
+        rows.push(Json::obj([
+            ("name", Json::from(entry.name.clone())),
+            ("spec", Json::from(entry.spec.clone())),
+            ("cold_ms", Json::Float(cold_ms[i])),
+            ("warm_ms", Json::Float(warm_ms[i])),
             (
-                "warm_speedup".to_string(),
+                "warm_speedup",
                 Json::Float(cold_ms[i] / warm_ms[i].max(1e-9)),
             ),
-            ("byte_identical".to_string(), Json::Bool(identical)),
+            ("byte_identical", Json::from(identical)),
         ]));
     }
     assert!(all_identical, "serial/parallel/cached sources diverged");
@@ -158,56 +151,35 @@ fn main() {
     println!("warm-cache sweep:  {warm_total_s:.4}s ({speedup_warm:.0}x vs cold)");
     println!("parallel speedup:  {speedup_parallel:.2}x (on {cores} core(s))");
 
-    let report = Json::Object(vec![
+    let report = Json::obj([
+        ("suite_entries", Json::from(entries.len())),
+        ("threads", Json::from(threads)),
+        ("cores_visible", Json::from(cores)),
+        ("serial_total_s", Json::Float(serial_total_s)),
+        ("parallel_total_s", Json::Float(parallel_total_s)),
+        ("cold_total_s", Json::Float(cold_total_s)),
+        ("warm_total_s", Json::Float(warm_total_s)),
+        ("speedup_parallel", Json::Float(speedup_parallel)),
+        ("speedup_warm", Json::Float(speedup_warm)),
         (
-            "suite_entries".to_string(),
-            Json::UInt(entries.len() as u128),
-        ),
-        ("threads".to_string(), Json::UInt(threads as u128)),
-        ("cores_visible".to_string(), Json::UInt(cores as u128)),
-        ("serial_total_s".to_string(), Json::Float(serial_total_s)),
-        (
-            "parallel_total_s".to_string(),
-            Json::Float(parallel_total_s),
-        ),
-        ("cold_total_s".to_string(), Json::Float(cold_total_s)),
-        ("warm_total_s".to_string(), Json::Float(warm_total_s)),
-        (
-            "speedup_parallel".to_string(),
-            Json::Float(speedup_parallel),
-        ),
-        ("speedup_warm".to_string(), Json::Float(speedup_warm)),
-        (
-            "note".to_string(),
-            Json::Str(
+            "note",
+            Json::from(
                 "speedup_parallel is bounded by cores_visible; on a single-core host \
-                 4 worker threads time-slice one CPU and the ratio drops below 1"
-                    .to_string(),
+                 4 worker threads time-slice one CPU and the ratio drops below 1",
             ),
         ),
-        ("byte_identical".to_string(), Json::Bool(all_identical)),
+        ("byte_identical", Json::from(all_identical)),
         (
-            "cache".to_string(),
-            Json::Object(vec![
-                ("capacity".to_string(), Json::UInt(stats.capacity as u128)),
-                ("hits".to_string(), Json::UInt(u128::from(stats.hits))),
-                ("misses".to_string(), Json::UInt(u128::from(stats.misses))),
-                (
-                    "evictions".to_string(),
-                    Json::UInt(u128::from(stats.evictions)),
-                ),
+            "cache",
+            Json::obj([
+                ("capacity", Json::from(stats.capacity)),
+                ("hits", Json::from(stats.hits)),
+                ("misses", Json::from(stats.misses)),
+                ("evictions", Json::from(stats.evictions)),
             ]),
         ),
-        ("entries".to_string(), Json::Array(rows)),
+        ("entries", Json::Array(rows)),
     ]);
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    let mut text = String::new();
-    report.write(&mut text);
-    text.push('\n');
-    std::fs::write(&out_path, text).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    write_json_report(&out_path, &report).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path}");
 }

@@ -36,6 +36,7 @@
 //! [`KernelPlan`]: cogent_gpu_sim::KernelPlan
 
 pub mod api;
+pub mod audit;
 pub mod cache;
 pub mod codegen;
 pub mod config;
@@ -49,6 +50,10 @@ pub mod lower;
 pub mod select;
 
 pub use api::{Cogent, GeneratedKernel};
+pub use audit::{
+    audit_contraction, spearman, AuditOptions, AuditReport, ConfigAudit, ContractionAudit,
+    AUDIT_SCHEMA,
+};
 pub use cache::{CacheKey, CacheStats, KernelCache, CACHE_CAP_ENV_VAR};
 pub use config::KernelConfig;
 pub use constraints::{PruneReason, PruneRules};

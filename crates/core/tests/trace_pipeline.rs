@@ -119,7 +119,7 @@ fn trace_round_trips_through_json() {
     let json = trace.to_json_string();
     let back = PipelineTrace::from_json_str(&json).unwrap();
     assert_eq!(back, trace);
-    assert!(json.contains("\"schema\":\"cogent.trace.v1\""));
+    assert!(json.contains("\"schema\":\"cogent.trace.v2\""));
 }
 
 #[test]

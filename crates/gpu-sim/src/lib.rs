@@ -48,4 +48,4 @@ pub use fault::{execute_plan_with_faults, ExecFaults, FaultInjector, FaultKind};
 pub use metrics::{simulate, SimReport};
 pub use plan::{IndexBinding, KernelPlan, MapDim, PlanError, StoreMode};
 pub use smem::{analyze_bank_conflicts, BankConflictReport};
-pub use trace::{trace_transactions, TraceReport};
+pub use trace::{trace_transactions, TraceOptions, TraceReport};

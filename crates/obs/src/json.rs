@@ -52,6 +52,31 @@ impl Json {
         }
     }
 
+    /// The numeric payload, if this is a number. Integers convert (a
+    /// whole-valued float like `2.0` serializes as `2` and parses back as
+    /// [`Json::UInt`], so gauge readers must accept both).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cogent_obs::json::Json;
+    ///
+    /// let v = Json::obj([("n", Json::from(3u128)), ("ok", Json::from(true))]);
+    /// assert_eq!(v.to_string(), r#"{"n":3,"ok":true}"#);
+    /// ```
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
     /// The elements, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -125,6 +150,54 @@ impl Json {
             return Err(parser.error("trailing characters"));
         }
         Ok(value)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<u128> for Json {
+    fn from(v: u128) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v as u128)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u128)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Self {
+        Json::Array(items)
     }
 }
 
@@ -435,6 +508,31 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn as_f64_accepts_both_number_shapes() {
+        // 2.0 serializes as "2" and parses back as UInt; as_f64 bridges.
+        assert_eq!(Json::parse("2").unwrap().as_f64(), Some(2.0));
+        assert_eq!(Json::parse("-0.5").unwrap().as_f64(), Some(-0.5));
+        assert_eq!(Json::parse("\"2\"").unwrap().as_f64(), None);
+        let round = Json::Float(2.0).to_string();
+        assert_eq!(Json::parse(&round).unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn obj_builder_and_from_impls() {
+        let v = Json::obj([
+            ("s", Json::from("hi")),
+            ("n", Json::from(7u64)),
+            ("x", Json::from(1.25)),
+            ("b", Json::from(false)),
+            ("a", Json::from(vec![Json::from(0usize)])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"s":"hi","n":7,"x":1.25,"b":false,"a":[0]}"#
+        );
     }
 
     #[test]

@@ -42,12 +42,23 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod chrome;
 pub mod json;
+pub mod metrics;
 pub mod registry;
-mod render;
+pub mod render;
 
-/// Schema identifier embedded in every serialized trace.
-pub const TRACE_SCHEMA: &str = "cogent.trace.v1";
+use metrics::Histogram;
+
+/// Schema identifier embedded in every serialized trace. Version 2 adds
+/// per-span `histograms` and `gauges`; [`PipelineTrace::from_json_str`]
+/// still reads [`TRACE_SCHEMA_V1`] documents.
+pub const TRACE_SCHEMA: &str = "cogent.trace.v2";
+
+/// The previous schema (spans with counters only), accepted by the
+/// reader for compatibility with traces recorded before histograms and
+/// gauges existed.
+pub const TRACE_SCHEMA_V1: &str = "cogent.trace.v1";
 
 /// Environment variable that enables tracing for the CLI and benches.
 pub const TRACE_ENV_VAR: &str = "COGENT_TRACE";
@@ -56,8 +67,9 @@ pub const TRACE_ENV_VAR: &str = "COGENT_TRACE";
 // Data model
 // ---------------------------------------------------------------------------
 
-/// One timed phase of the pipeline, with counters and nested child spans.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One timed phase of the pipeline, with counters, histograms, gauges and
+/// nested child spans.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanNode {
     /// Phase name, e.g. `"enumerate"` or `"simulate"`.
     pub name: String,
@@ -67,6 +79,10 @@ pub struct SpanNode {
     pub duration_ns: u64,
     /// `phase.metric`-named counters, in first-touch order.
     pub counters: Vec<(String, u128)>,
+    /// `phase.metric`-named log-bucketed histograms, in first-touch order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// `phase.metric`-named last-value gauges, in first-touch order.
+    pub gauges: Vec<(String, f64)>,
     /// Nested spans, in open order.
     pub children: Vec<SpanNode>,
 }
@@ -79,6 +95,8 @@ impl SpanNode {
             start_ns,
             duration_ns: 0,
             counters: Vec::new(),
+            histograms: Vec::new(),
+            gauges: Vec::new(),
             children: Vec::new(),
         }
     }
@@ -90,6 +108,39 @@ impl SpanNode {
         } else {
             self.counters.push((name.to_string(), value));
         }
+    }
+
+    /// Records `value` into the histogram `name`, creating it if absent.
+    pub fn record_histogram(&mut self, name: &str, value: u128) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.push((name.to_string(), h));
+        }
+    }
+
+    /// Sets the gauge `name` to `value`, creating it if absent.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some((_, g)) = self.gauges.iter_mut().find(|(n, _)| n == name) {
+            *g = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Returns the histogram `name` on this span, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Returns the value of gauge `name` on this span, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Returns the value of counter `name` on this span, if present.
@@ -143,7 +194,7 @@ impl SpanNode {
 }
 
 /// A finished trace of one pipeline run: a tree of [`SpanNode`]s.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineTrace {
     /// The outermost span (usually `"generate"`).
     pub root: SpanNode,
@@ -172,8 +223,38 @@ impl PipelineTrace {
         render::render_text(self)
     }
 
-    /// Serializes to the stable `cogent.trace.v1` JSON schema.
+    /// Serializes to the stable `cogent.trace.v2` JSON schema. Histograms
+    /// carry their raw buckets plus derived `p50`/`p90`/`p99` summaries
+    /// (recomputable, but convenient for downstream consumers).
     pub fn to_json(&self) -> json::Json {
+        fn histogram(h: &Histogram) -> json::Json {
+            let mut members = vec![
+                ("count".into(), json::Json::UInt(h.count())),
+                ("sum".into(), json::Json::UInt(h.sum())),
+                ("min".into(), json::Json::UInt(h.min().unwrap_or(0))),
+                ("max".into(), json::Json::UInt(h.max().unwrap_or(0))),
+                (
+                    "buckets".into(),
+                    json::Json::Array(
+                        h.buckets()
+                            .iter()
+                            .map(|&(b, c)| {
+                                json::Json::Array(vec![
+                                    json::Json::UInt(b.into()),
+                                    json::Json::UInt(c),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ];
+            for (key, value) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+                if let Some(v) = value {
+                    members.push((key.into(), json::Json::UInt(v)));
+                }
+            }
+            json::Json::Object(members)
+        }
         fn node(span: &SpanNode) -> json::Json {
             json::Json::Object(vec![
                 ("name".into(), json::Json::Str(span.name.clone())),
@@ -188,6 +269,24 @@ impl PipelineTrace {
                         span.counters
                             .iter()
                             .map(|(k, v)| (k.clone(), json::Json::UInt(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms".into(),
+                    json::Json::Object(
+                        span.histograms
+                            .iter()
+                            .map(|(k, h)| (k.clone(), histogram(h)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".into(),
+                    json::Json::Object(
+                        span.gauges
+                            .iter()
+                            .map(|(k, v)| (k.clone(), json::Json::Float(*v)))
                             .collect(),
                     ),
                 ),
@@ -209,6 +308,9 @@ impl PipelineTrace {
     }
 
     /// Parses a trace previously produced by [`Self::to_json_string`].
+    /// Accepts both the current [`TRACE_SCHEMA`] and the counters-only
+    /// [`TRACE_SCHEMA_V1`] (whose spans parse with empty histogram and
+    /// gauge tables).
     ///
     /// # Errors
     ///
@@ -220,8 +322,40 @@ impl PipelineTrace {
             .get("schema")
             .and_then(json::Json::as_str)
             .ok_or("missing schema tag")?;
-        if schema != TRACE_SCHEMA {
+        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
             return Err(format!("unknown trace schema {schema:?}"));
+        }
+        fn histogram(value: &json::Json, key: &str) -> Result<Histogram, String> {
+            let field = |name: &str| {
+                value
+                    .get(name)
+                    .and_then(json::Json::as_u128)
+                    .ok_or_else(|| format!("histogram {key:?} missing {name}"))
+            };
+            let buckets = value
+                .get("buckets")
+                .and_then(json::Json::as_array)
+                .ok_or_else(|| format!("histogram {key:?} missing buckets"))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().unwrap_or(&[]);
+                    match (
+                        pair.first().and_then(json::Json::as_u128),
+                        pair.get(1).and_then(json::Json::as_u128),
+                    ) {
+                        (Some(b), Some(c)) if b < metrics::NUM_BUCKETS as u128 => Ok((b as u8, c)),
+                        _ => Err(format!("histogram {key:?} has a malformed bucket")),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Histogram::from_parts(
+                field("count")?,
+                field("sum")?,
+                field("min")?,
+                field("max")?,
+                buckets,
+            )
+            .map_err(|e| format!("histogram {key:?}: {e}"))
         }
         fn node(value: &json::Json) -> Result<SpanNode, String> {
             let name = value
@@ -248,6 +382,29 @@ impl PipelineTrace {
                         .ok_or_else(|| format!("counter {k:?} is not an unsigned integer"))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
+            // Absent in v1 documents: default to empty tables.
+            let histograms = match value.get("histograms") {
+                None => Vec::new(),
+                Some(h) => h
+                    .as_object()
+                    .ok_or("span histograms is not an object")?
+                    .iter()
+                    .map(|(k, v)| histogram(v, k).map(|h| (k.clone(), h)))
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            let gauges = match value.get("gauges") {
+                None => Vec::new(),
+                Some(g) => g
+                    .as_object()
+                    .ok_or("span gauges is not an object")?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|v| (k.clone(), v))
+                            .ok_or_else(|| format!("gauge {k:?} is not a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
             let children = value
                 .get("children")
                 .and_then(json::Json::as_array)
@@ -260,6 +417,8 @@ impl PipelineTrace {
                 start_ns,
                 duration_ns,
                 counters,
+                histograms,
+                gauges,
                 children,
             })
         }
@@ -391,6 +550,39 @@ pub fn counter(name: &str, value: u128) {
         if let Some(builder) = slot.as_mut() {
             if let Some(top) = builder.stack.last_mut() {
                 top.add_counter(name, value);
+            }
+        }
+    });
+}
+
+/// Records `value` into histogram `name` on the innermost open span of
+/// the current thread. A no-op when tracing is disabled or no span is
+/// open.
+pub fn histogram(name: &str, value: u128) {
+    if !enabled() {
+        return;
+    }
+    BUILDER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(builder) = slot.as_mut() {
+            if let Some(top) = builder.stack.last_mut() {
+                top.record_histogram(name, value);
+            }
+        }
+    });
+}
+
+/// Sets gauge `name` to `value` on the innermost open span of the current
+/// thread. A no-op when tracing is disabled or no span is open.
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    BUILDER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(builder) = slot.as_mut() {
+            if let Some(top) = builder.stack.last_mut() {
+                top.set_gauge(name, value);
             }
         }
     });
@@ -613,6 +805,80 @@ mod tests {
         let text = trace.to_json_string();
         let back = PipelineTrace::from_json_str(&text).unwrap();
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn histograms_and_gauges_attach_to_spans() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("audit");
+            {
+                let _s = span("contraction");
+                histogram("audit.rel_error_ppm", 12_000);
+                histogram("audit.rel_error_ppm", 45_000);
+                histogram("audit.rel_error_ppm", 3_000);
+                gauge("audit.spearman", 0.5);
+                gauge("audit.spearman", 0.97); // overwrites
+            }
+            capture.finish().unwrap()
+        });
+        let span = &trace.root.children[0];
+        let h = span.histogram("audit.rel_error_ppm").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(3_000));
+        assert_eq!(h.max(), Some(45_000));
+        assert_eq!(span.gauge("audit.spearman"), Some(0.97));
+        assert_eq!(span.gauge("missing"), None);
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_metrics() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("audit");
+            histogram("lat_ns", 1);
+            histogram("lat_ns", 900);
+            histogram("lat_ns", u128::from(u64::MAX) + 1);
+            gauge("occupancy", 0.75);
+            gauge("regret", 0.0);
+            capture.finish().unwrap()
+        });
+        let text = trace.to_json_string();
+        assert!(text.contains("\"schema\":\"cogent.trace.v2\""));
+        let back = PipelineTrace::from_json_str(&text).unwrap();
+        assert_eq!(back, trace);
+        let h = back.root.histogram("lat_ns").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p99(), Some(u128::from(u64::MAX) + 1));
+    }
+
+    #[test]
+    fn reads_v1_documents_without_metrics() {
+        // A document as PR 1's writer produced it: counters only.
+        let v1 = concat!(
+            r#"{"schema":"cogent.trace.v1","root":{"name":"generate","#,
+            r#""start_ns":0,"duration_ns":500,"#,
+            r#""counters":{"enumerate.configs":1296},"children":[]}}"#,
+        );
+        let trace = PipelineTrace::from_json_str(v1).unwrap();
+        assert_eq!(trace.root.name, "generate");
+        assert_eq!(trace.root.counter("enumerate.configs"), Some(1296));
+        assert!(trace.root.histograms.is_empty());
+        assert!(trace.root.gauges.is_empty());
+        // Re-serializing upgrades the document to v2.
+        assert!(trace
+            .to_json_string()
+            .contains("\"schema\":\"cogent.trace.v2\""));
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_histogram() {
+        let bad = concat!(
+            r#"{"schema":"cogent.trace.v2","root":{"name":"g","#,
+            r#""start_ns":0,"duration_ns":1,"counters":{},"#,
+            r#""histograms":{"h":{"count":5,"sum":9,"min":1,"max":8,"#,
+            r#""buckets":[[1,2]]}},"gauges":{},"children":[]}}"#,
+        );
+        let err = PipelineTrace::from_json_str(bad).unwrap_err();
+        assert!(err.contains("bucket counts sum to 2"), "{err}");
     }
 
     #[test]

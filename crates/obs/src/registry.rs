@@ -45,6 +45,8 @@ mod tests {
                 start_ns: 0,
                 duration_ns: 1,
                 counters: Vec::new(),
+                histograms: Vec::new(),
+                gauges: Vec::new(),
                 children: Vec::new(),
             },
         }

@@ -29,13 +29,22 @@ fn render_span(span: &SpanNode, depth: usize, out: &mut String) {
         span.name,
         fmt_ns(span.duration_ns),
     ));
-    if !span.counters.is_empty() {
-        let counters: Vec<String> = span
-            .counters
-            .iter()
-            .map(|(k, v)| format!("{k}={v}"))
-            .collect();
-        out.push_str(&format!("  [{}]", counters.join(" ")));
+    let mut metrics: Vec<String> = span
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    metrics.extend(span.gauges.iter().map(|(k, v)| format!("{k}={v}")));
+    metrics.extend(span.histograms.iter().map(|(k, h)| {
+        format!(
+            "{k}{{n={} p50={} p99={}}}",
+            h.count(),
+            h.p50().unwrap_or(0),
+            h.p99().unwrap_or(0),
+        )
+    }));
+    if !metrics.is_empty() {
+        out.push_str(&format!("  [{}]", metrics.join(" ")));
     }
     out.push('\n');
     for child in &span.children {
@@ -57,17 +66,24 @@ mod tests {
 
     #[test]
     fn renders_tree_with_counters() {
+        let mut lat = crate::metrics::Histogram::new();
+        lat.record(5);
+        lat.record(5);
         let trace = PipelineTrace {
             root: SpanNode {
                 name: "generate".into(),
                 start_ns: 0,
                 duration_ns: 2_000_000,
                 counters: vec![],
+                histograms: vec![],
+                gauges: vec![("audit.spearman".into(), 0.95)],
                 children: vec![SpanNode {
                     name: "prune".into(),
                     start_ns: 10,
                     duration_ns: 1_000,
                     counters: vec![("prune.survivors".into(), 42)],
+                    histograms: vec![("prune.lat_ns".into(), lat)],
+                    gauges: vec![],
                     children: vec![],
                 }],
             },
@@ -75,7 +91,9 @@ mod tests {
         let text = trace.render_text();
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[0].starts_with("generate"));
+        assert!(lines[0].contains("audit.spearman=0.95"));
         assert!(lines[1].starts_with("  prune"));
-        assert!(lines[1].contains("[prune.survivors=42]"));
+        assert!(lines[1].contains("prune.survivors=42"));
+        assert!(lines[1].contains("prune.lat_ns{n=2 p50=5 p99=5}"));
     }
 }

@@ -1,0 +1,69 @@
+//! Property tests for the log-bucketed histogram: for arbitrary sample
+//! streams, quantile estimates must stay inside the observed `[min, max]`,
+//! be monotone in the requested quantile, and merging must equal feeding
+//! one histogram the combined stream.
+
+use cogent_obs::metrics::Histogram;
+use proptest::prelude::*;
+
+/// The vendored proptest has no `u128` range strategy, so samples are
+/// generated as `u64` and widened — the histogram's bucketing logic is
+/// identical across the whole `u128` range (bit length of the value).
+fn samples() -> impl Strategy<Value = Vec<u128>> {
+    prop::collection::vec(0u64..=u64::MAX, 1..64)
+        .prop_map(|vs| vs.into_iter().map(|v| (v as u128) << (v % 7)).collect())
+}
+
+fn build(samples: &[u128]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn quantiles_bounded_by_min_and_max(samples in samples(), q_millis in 0u64..=1000) {
+        // The vendored proptest has no f64 strategy; derive q from an
+        // integer number of thousandths.
+        let q = q_millis as f64 / 1000.0;
+        let h = build(&samples);
+        let est = h.quantile(q).expect("non-empty");
+        let min = h.min().expect("non-empty");
+        let max = h.max().expect("non-empty");
+        prop_assert!(min <= est && est <= max, "q({q}) = {est} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn quantiles_monotone_in_q(samples in samples()) {
+        let h = build(&samples);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let ests: Vec<u128> = qs.iter().map(|&q| h.quantile(q).expect("non-empty")).collect();
+        for w in ests.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {ests:?} at {qs:?}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_stream(a in samples(), b in samples()) {
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+        let mut combined: Vec<u128> = a.clone();
+        combined.extend_from_slice(&b);
+        prop_assert_eq!(merged, build(&combined));
+    }
+
+    #[test]
+    fn serialized_parts_round_trip(samples in samples()) {
+        let h = build(&samples);
+        let rebuilt = Histogram::from_parts(
+            h.count(),
+            h.sum(),
+            h.min().expect("non-empty"),
+            h.max().expect("non-empty"),
+            h.buckets().to_vec(),
+        ).expect("own parts are consistent");
+        prop_assert_eq!(rebuilt, h);
+    }
+}

@@ -9,11 +9,14 @@
 //! cogent batch    --suite --group ccsdt --threads 4 -o kernels/
 //! cogent bench    "abcd-aebf-dfce" --size 48 --device p100
 //! cogent explain  "abcd-aebf-dfce" --size 32 --json
+//! cogent audit    --suite tccg --top 8 --json
 //! cogent suite
 //! ```
 //!
 //! Setting `COGENT_TRACE=1` makes every subcommand print its pipeline
-//! trace (span tree with timings and counters) to stderr on completion.
+//! trace (span tree with timings, counters, histograms and gauges) to
+//! stderr on completion; `--trace-out FILE` instead writes the trace as
+//! `cogent.trace.v2` JSON to a file (`-` keeps the stderr tree).
 //! `COGENT_THREADS` parallelizes the search (and `batch` jobs);
 //! `COGENT_CACHE_CAP` sizes the kernel cache used by `batch` and
 //! `explain`. Neither changes the emitted kernels.
@@ -67,14 +70,35 @@ impl From<&str> for CliError {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace-out` is stripped before dispatch (its value would otherwise
+    // be mistaken for a positional contraction spec); it implies tracing.
+    let (args, trace_out) = match split_trace_out(args) {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("cogent: {}", e.message);
+            return ExitCode::from(e.exit);
+        }
+    };
     // COGENT_TRACE=1 traces any subcommand; the tree goes to stderr so
     // stdout (generated sources, tables) is unchanged.
-    let capture = cogent::obs::init_from_env()
+    let env_on = cogent::obs::init_from_env();
+    if trace_out.is_some() {
+        cogent::obs::set_enabled(true);
+    }
+    let capture = (env_on || trace_out.is_some())
         .then(|| cogent::obs::Capture::start(&format!("cogent {}", args.join(" "))));
     let result = run(&args);
     if let Some(trace) = capture.and_then(cogent::obs::Capture::finish) {
-        eprintln!("--- pipeline trace ({}) ---", cogent::obs::TRACE_ENV_VAR);
-        eprint!("{}", trace.render_text());
+        match trace_out.as_deref() {
+            Some(path) if path != "-" => match std::fs::write(path, trace.to_json_string()) {
+                Ok(()) => eprintln!("wrote trace to {path}"),
+                Err(e) => eprintln!("cogent: writing trace to {path}: {e}"),
+            },
+            _ => {
+                eprintln!("--- pipeline trace ({}) ---", cogent::obs::TRACE_ENV_VAR);
+                eprint!("{}", trace.render_text());
+            }
+        }
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -99,7 +123,14 @@ const USAGE: &str = "usage:
                   [--size N | --sizes ...] [--device ...] [--f32] [--threads N] [-o DIR]
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
   cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32] [--json]
+                  [--chrome-trace FILE]
+  cogent audit    [<contraction>...] [--suite [tccg]] [--group ml|aomo|ccsd|ccsdt]
+                  [--size N | --sizes ...] [--device ...] [--f32] [--top K]
+                  [--exhaustive] [--json]
   cogent suite    [--group ml|aomo|ccsd|ccsdt]
+
+every command also accepts --trace-out FILE to write its pipeline trace
+as cogent.trace.v2 JSON (\"-\" prints the stderr tree instead)
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
@@ -115,8 +146,29 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "batch" => cmd_batch(rest),
         "bench" => cmd_bench(rest),
         "explain" => cmd_explain(rest),
+        "audit" => cmd_audit(rest),
         "suite" => cmd_suite(rest),
         other => Err(CliError::runtime(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Removes `--trace-out FILE` from the argument list, returning the
+/// remaining arguments and the requested destination.
+///
+/// # Errors
+///
+/// A usage error when the flag is present without a following value.
+fn split_trace_out(mut args: Vec<String>) -> Result<(Vec<String>, Option<String>), CliError> {
+    match args.iter().position(|a| a == "--trace-out") {
+        None => Ok((args, None)),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(CliError::usage("--trace-out needs a file argument"));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok((args, Some(value)))
+        }
     }
 }
 
@@ -291,8 +343,20 @@ const VALUE_FLAGS: &[&str] = &[
     "--group",
     "--threads",
     "--top",
+    "--trace-out",
+    "--chrome-trace",
     "-o",
 ];
+
+/// Short tag for a suite entry's group, as `--group` accepts it.
+fn group_tag(group: cogent::tccg::BenchGroup) -> &'static str {
+    match group {
+        cogent::tccg::BenchGroup::MachineLearning => "ml",
+        cogent::tccg::BenchGroup::AoToMo => "aomo",
+        cogent::tccg::BenchGroup::Ccsd => "ccsd",
+        cogent::tccg::BenchGroup::CcsdT => "ccsdt",
+    }
+}
 
 /// Positional (non-flag) tokens, skipping every value that belongs to a
 /// flag in [`VALUE_FLAGS`].
@@ -343,13 +407,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     if has_flag(args, "--suite") {
         let group = flag_value(args, "--group");
         for entry in cogent::tccg::suite() {
-            let tag = match entry.group {
-                cogent::tccg::BenchGroup::MachineLearning => "ml",
-                cogent::tccg::BenchGroup::AoToMo => "aomo",
-                cogent::tccg::BenchGroup::Ccsd => "ccsd",
-                cogent::tccg::BenchGroup::CcsdT => "ccsdt",
-            };
-            if group.is_some_and(|g| g != tag) {
+            if group.is_some_and(|g| g != group_tag(entry.group)) {
                 continue;
             }
             let tc = entry.contraction();
@@ -467,7 +525,9 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
 
 /// Runs the full pipeline with tracing forced on and renders the
 /// resulting [`cogent::obs::PipelineTrace`] — as an indented span tree by
-/// default, or as `cogent.trace.v1` JSON with `--json`.
+/// default, or as `cogent.trace.v2` JSON with `--json`. With
+/// `--chrome-trace FILE` the span timeline is also written in the Chrome
+/// trace-event format (load it in `chrome://tracing` or Perfetto).
 fn explain_report(args: &[String]) -> Result<String, CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
@@ -486,6 +546,12 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
     let trace = generated
         .trace
         .ok_or("pipeline finished without producing a trace")?;
+
+    if let Some(path) = flag_value(args, "--chrome-trace") {
+        let doc = cogent::obs::chrome::to_chrome_trace_string(&trace);
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
 
     if has_flag(args, "--json") {
         Ok(trace.to_json_string())
@@ -515,16 +581,94 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Audits the cost model against the `gpu-sim` transaction tracer: for
+/// each contraction, the model's top-K configurations are measured and
+/// summarized as relative-error percentiles, Spearman rank correlation,
+/// and the regret of the model's pick (see `cogent::generator::audit`).
+fn cmd_audit(args: &[String]) -> Result<(), CliError> {
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let explicit_sizes = has_flag(args, "--size") || has_flag(args, "--sizes");
+    let top: usize = flag_value(args, "--top")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| CliError::usage("bad --top value"))?;
+    if top == 0 {
+        return Err(CliError::usage("--top must be positive"));
+    }
+
+    // `--suite` optionally names the suite; only "tccg" exists. The name
+    // is removed before positional parsing so it isn't taken for a spec.
+    let mut args: Vec<String> = args.to_vec();
+    if let Some(i) = args.iter().position(|a| a == "--suite") {
+        if let Some(value) = args.get(i + 1) {
+            if !value.starts_with('-') && !value.contains('-') && !value.contains('[') {
+                if value != "tccg" {
+                    return Err(CliError::usage(format!(
+                        "unknown suite {value:?} (only tccg)"
+                    )));
+                }
+                args.remove(i + 1);
+            }
+        }
+    }
+    let args = &args[..];
+
+    let mut jobs: Vec<(String, Contraction, SizeMap)> = Vec::new();
+    if has_flag(args, "--suite") {
+        let group = flag_value(args, "--group");
+        for entry in cogent::tccg::suite() {
+            if group.is_some_and(|g| g != group_tag(entry.group)) {
+                continue;
+            }
+            let tc = entry.contraction();
+            let sizes = if explicit_sizes {
+                parse_sizes(args, &tc)?
+            } else {
+                entry.sizes()
+            };
+            jobs.push((entry.name.to_string(), tc, sizes));
+        }
+    }
+    for spec in positional_specs(args) {
+        let tc = cogent::ir::parse::parse_allowing_batch(spec)
+            .map_err(|e| CliError::usage(format!("{e}")))?;
+        let sizes = parse_sizes(args, &tc)?;
+        jobs.push((spec.to_string(), tc, sizes));
+    }
+    if jobs.is_empty() {
+        return Err(CliError::usage(
+            "nothing to audit: pass contractions and/or --suite",
+        ));
+    }
+
+    let mut options = cogent::generator::AuditOptions {
+        top_k: top,
+        ..cogent::generator::AuditOptions::default()
+    };
+    if has_flag(args, "--exhaustive") {
+        options.trace = cogent::sim::TraceOptions::exhaustive();
+    }
+    let mut audits = Vec::new();
+    for (name, tc, sizes) in &jobs {
+        let audit =
+            cogent::generator::audit_contraction(name, tc, sizes, &device, precision, &options)
+                .map_err(|e| format!("auditing {name}: {e}"))?;
+        audits.push(audit);
+    }
+    let report = cogent::generator::AuditReport::from_contractions(top, audits);
+    if has_flag(args, "--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
 fn cmd_suite(args: &[String]) -> Result<(), CliError> {
     let group = flag_value(args, "--group");
     for entry in cogent::tccg::suite() {
-        let tag = match entry.group {
-            cogent::tccg::BenchGroup::MachineLearning => "ml",
-            cogent::tccg::BenchGroup::AoToMo => "aomo",
-            cogent::tccg::BenchGroup::Ccsd => "ccsd",
-            cogent::tccg::BenchGroup::CcsdT => "ccsdt",
-        };
-        if group.is_some_and(|g| g != tag) {
+        if group.is_some_and(|g| g != group_tag(entry.group)) {
             continue;
         }
         println!("{entry}  ({:.2} GFLOP)", entry.flops() as f64 / 1e9);
@@ -690,6 +834,65 @@ mod tests {
             out.contains("misses 1"),
             "fresh cache must miss once:\n{out}"
         );
+    }
+
+    #[test]
+    fn split_trace_out_strips_flag_and_value() {
+        let (rest, out) =
+            split_trace_out(s(&["explain", "ij-ik-kj", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(rest, s(&["explain", "ij-ik-kj"]));
+        assert_eq!(out.as_deref(), Some("t.json"));
+        let (rest, out) = split_trace_out(s(&["suite"])).unwrap();
+        assert_eq!(rest, s(&["suite"]));
+        assert_eq!(out, None);
+        let e = split_trace_out(s(&["suite", "--trace-out"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+    }
+
+    #[test]
+    fn audit_command_reports_fidelity() {
+        // Ad-hoc spec path (no suite): must succeed and print a table.
+        assert!(cmd_audit(&s(&["ij-ik-kj", "--size", "24", "--top", "3"])).is_ok());
+        // JSON mode on the same contraction.
+        assert!(cmd_audit(&s(&["ij-ik-kj", "--size", "24", "--top", "3", "--json"])).is_ok());
+    }
+
+    #[test]
+    fn audit_suite_name_is_consumed_not_parsed_as_spec() {
+        // "--suite tccg" with a group filter: the word "tccg" must not be
+        // treated as a contraction spec.
+        assert!(cmd_audit(&s(&[
+            "--suite", "tccg", "--group", "ml", "--size", "8", "--top", "2"
+        ]))
+        .is_ok());
+        let e = cmd_audit(&s(&["--suite", "gett", "--top", "2"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert!(e.message.contains("unknown suite"));
+    }
+
+    #[test]
+    fn audit_without_jobs_or_bad_top_is_a_usage_error() {
+        let e = cmd_audit(&s(&["--top", "4"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert!(e.message.contains("nothing to audit"));
+        let e = cmd_audit(&s(&["ij-ik-kj", "--top", "0"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+    }
+
+    #[test]
+    fn explain_writes_chrome_trace_file() {
+        let path = std::env::temp_dir().join("cogent_chrome_test.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        explain_report(&s(&["ij-ik-kj", "--size", "8", "--chrome-trace", &path_s])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = cogent::obs::json::Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("enumerate")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! `bench_diff`: the perf-regression gate.
+//!
+//! Compares a fresh `cogent.audit.v1` report (from `audit_bench` or
+//! `cogent audit --json`) against the checked-in baseline
+//! (`results/audit_baseline.json`) with per-metric tolerances:
+//!
+//! * **rank-correlation floor** — each contraction's Spearman correlation
+//!   may not drop more than `--correlation-tol` below its baseline;
+//! * **regret ceiling** — each contraction's model-pick regret may not
+//!   rise more than `--regret-tol` above its baseline;
+//! * **relative-error ceiling** — each contraction's p99 relative error
+//!   may not rise more than `--rel-error-tol-ppm` above its baseline;
+//! * **search-latency ceiling** — total search time over the compared
+//!   entries may not exceed `--latency-ratio` × the baseline total (loose
+//!   by default: wall clock varies across machines, while the other three
+//!   metrics are fully deterministic).
+//!
+//! Entries are matched **by name**, and only the intersection is gated —
+//! so a `--quick` subset run (the CI smoke) still compares correctly
+//! against the full-suite baseline. Every violated metric is printed with
+//! its observed value, baseline, and tolerance before the nonzero exit.
+//!
+//! Usage: `bench_diff <baseline.json> <fresh.json> [--correlation-tol X]
+//! [--regret-tol X] [--rel-error-tol-ppm N] [--latency-ratio X]`
+
+use std::process::ExitCode;
+
+use cogent_obs::json::Json;
+
+/// Schema both inputs must declare.
+const AUDIT_SCHEMA: &str = "cogent.audit.v1";
+
+/// Per-metric tolerances. The defaults are tight for the deterministic
+/// fidelity metrics and loose for wall-clock latency.
+#[derive(Debug, Clone, Copy)]
+struct Tolerances {
+    /// Allowed per-contraction drop in Spearman correlation.
+    correlation: f64,
+    /// Allowed per-contraction rise in regret.
+    regret: f64,
+    /// Allowed per-contraction rise in p99 relative error (ppm).
+    rel_error_ppm: u128,
+    /// Allowed ratio of fresh total search latency to baseline.
+    latency_ratio: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            correlation: 0.02,
+            regret: 0.05,
+            rel_error_ppm: 10_000, // 1 percentage point
+            latency_ratio: 5.0,
+        }
+    }
+}
+
+/// One contraction's gated metrics, extracted from a report.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    spearman: f64,
+    regret: f64,
+    rel_error_p99_ppm: u128,
+    search_latency_ns: u128,
+}
+
+/// Parses a `cogent.audit.v1` document into its per-contraction entries.
+fn parse_report(doc: &Json, label: &str) -> Result<Vec<Entry>, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{label}: missing schema tag"))?;
+    if schema != AUDIT_SCHEMA {
+        return Err(format!(
+            "{label}: schema {schema:?} is not {AUDIT_SCHEMA:?}"
+        ));
+    }
+    let contractions = doc
+        .get("contractions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label}: missing contractions array"))?;
+    let mut entries = Vec::with_capacity(contractions.len());
+    for c in contractions {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: contraction without a name"))?
+            .to_string();
+        let field_f64 = |key: &str| {
+            c.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{label}: {name} missing {key}"))
+        };
+        let rel_error_p99_ppm = c
+            .get("rel_error_ppm")
+            .and_then(|h| h.get("p99"))
+            .and_then(Json::as_u128)
+            .ok_or_else(|| format!("{label}: {name} missing rel_error_ppm.p99"))?;
+        let search_latency_ns = c
+            .get("search_latency_ns")
+            .and_then(Json::as_u128)
+            .ok_or_else(|| format!("{label}: {name} missing search_latency_ns"))?;
+        entries.push(Entry {
+            spearman: field_f64("spearman")?,
+            regret: field_f64("regret")?,
+            name,
+            rel_error_p99_ppm,
+            search_latency_ns,
+        });
+    }
+    Ok(entries)
+}
+
+/// Gates `fresh` against `baseline` over their common entries. Returns a
+/// human-readable summary, or the list of violated metrics.
+fn compare(baseline: &[Entry], fresh: &[Entry], tol: &Tolerances) -> Result<String, Vec<String>> {
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    let mut base_latency: u128 = 0;
+    let mut fresh_latency: u128 = 0;
+    for f in fresh {
+        let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
+            // A new contraction has no baseline yet — report, don't gate.
+            continue;
+        };
+        compared += 1;
+        base_latency += b.search_latency_ns;
+        fresh_latency += f.search_latency_ns;
+        let floor = b.spearman - tol.correlation;
+        if f.spearman < floor {
+            violations.push(format!(
+                "{}: spearman {:.4} below floor {:.4} (baseline {:.4} - tol {})",
+                f.name, f.spearman, floor, b.spearman, tol.correlation
+            ));
+        }
+        let ceiling = b.regret + tol.regret;
+        if f.regret > ceiling {
+            violations.push(format!(
+                "{}: regret {:.4} above ceiling {:.4} (baseline {:.4} + tol {})",
+                f.name, f.regret, ceiling, b.regret, tol.regret
+            ));
+        }
+        let rel_ceiling = b.rel_error_p99_ppm + tol.rel_error_ppm;
+        if f.rel_error_p99_ppm > rel_ceiling {
+            violations.push(format!(
+                "{}: rel error p99 {} ppm above ceiling {} ppm (baseline {} + tol {})",
+                f.name, f.rel_error_p99_ppm, rel_ceiling, b.rel_error_p99_ppm, tol.rel_error_ppm
+            ));
+        }
+    }
+    if compared == 0 {
+        violations.push("no common contractions between baseline and fresh report".to_string());
+        return Err(violations);
+    }
+    let latency_ceiling = base_latency as f64 * tol.latency_ratio;
+    if fresh_latency as f64 > latency_ceiling {
+        violations.push(format!(
+            "total search latency {:.1} ms above ceiling {:.1} ms \
+             (baseline {:.1} ms x ratio {})",
+            fresh_latency as f64 / 1e6,
+            latency_ceiling / 1e6,
+            base_latency as f64 / 1e6,
+            tol.latency_ratio
+        ));
+    }
+    if violations.is_empty() {
+        Ok(format!(
+            "bench_diff: {compared} contraction(s) compared, all metrics within tolerance \
+             (latency {:.1} ms vs baseline {:.1} ms)",
+            fresh_latency as f64 / 1e6,
+            base_latency as f64 / 1e6,
+        ))
+    } else {
+        Err(violations)
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn load_entries(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    parse_report(&doc, path)
+}
+
+fn run(args: &[String]) -> Result<String, Vec<String>> {
+    let positional: Vec<&String> = {
+        // Every flag this tool accepts takes a value.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+            } else if a.starts_with("--") {
+                skip = true;
+            } else {
+                out.push(a);
+            }
+        }
+        out
+    };
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        return Err(vec![
+            "usage: bench_diff <baseline.json> <fresh.json> [--correlation-tol X] \
+             [--regret-tol X] [--rel-error-tol-ppm N] [--latency-ratio X]"
+                .to_string(),
+        ]);
+    };
+    let mut tol = Tolerances::default();
+    let parse_f64 = |flag: &str, into: &mut f64| -> Result<(), Vec<String>> {
+        if let Some(v) = flag_value(args, flag) {
+            *into = v
+                .parse()
+                .map_err(|_| vec![format!("bad {flag} value {v:?}")])?;
+        }
+        Ok(())
+    };
+    parse_f64("--correlation-tol", &mut tol.correlation)?;
+    parse_f64("--regret-tol", &mut tol.regret)?;
+    parse_f64("--latency-ratio", &mut tol.latency_ratio)?;
+    if let Some(v) = flag_value(args, "--rel-error-tol-ppm") {
+        tol.rel_error_ppm = v
+            .parse()
+            .map_err(|_| vec![format!("bad --rel-error-tol-ppm value {v:?}")])?;
+    }
+    let baseline = load_entries(baseline_path).map_err(|e| vec![e])?;
+    let fresh = load_entries(fresh_path).map_err(|e| vec![e])?;
+    compare(&baseline, &fresh, &tol)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            eprintln!("bench_diff: FAILED ({} violation(s))", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, spearman: f64, regret: f64, p99: u128, lat: u128) -> Entry {
+        Entry {
+            name: name.to_string(),
+            spearman,
+            regret,
+            rel_error_p99_ppm: p99,
+            search_latency_ns: lat,
+        }
+    }
+
+    fn doc(entries: &[(&str, f64, f64, u128, u128)]) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(n, s, r, p, l)| {
+                format!(
+                    r#"{{"name":"{n}","spec":"x","spearman":{s},"regret":{r},"rel_error_ppm":{{"count":8,"mean":0.0,"min":0,"max":{p},"p50":0,"p90":{p},"p99":{p}}},"search_latency_ns":{l},"audit_latency_ns":{l},"configs":[]}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"schema":"cogent.audit.v1","top_k":8,"contractions":[{}],"aggregate":{{}}}}"#,
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn parses_audit_documents() {
+        let text = doc(&[("a", 0.9, 0.01, 5000, 1_000_000)]);
+        let entries = parse_report(&Json::parse(&text).unwrap(), "test").unwrap();
+        assert_eq!(entries, vec![entry("a", 0.9, 0.01, 5000, 1_000_000)]);
+        assert!(parse_report(&Json::parse("{}").unwrap(), "t").is_err());
+        let wrong = r#"{"schema":"cogent.trace.v2","contractions":[]}"#;
+        assert!(parse_report(&Json::parse(wrong).unwrap(), "t")
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = vec![entry("a", 0.95, 0.02, 8000, 1_000_000)];
+        let summary = compare(&b, &b, &Tolerances::default()).unwrap();
+        assert!(summary.contains("1 contraction(s)"));
+    }
+
+    #[test]
+    fn correlation_drop_fails_with_named_metric() {
+        let b = vec![entry("a", 0.95, 0.02, 8000, 1_000_000)];
+        let f = vec![entry("a", 0.90, 0.02, 8000, 1_000_000)];
+        let violations = compare(&b, &f, &Tolerances::default()).unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("spearman 0.9000 below floor 0.9300"));
+        // Within tolerance: a 0.01 dip passes.
+        let f = vec![entry("a", 0.94, 0.02, 8000, 1_000_000)];
+        assert!(compare(&b, &f, &Tolerances::default()).is_ok());
+    }
+
+    #[test]
+    fn regret_and_rel_error_rises_fail() {
+        let b = vec![entry("a", 0.95, 0.02, 8000, 1_000_000)];
+        let f = vec![entry("a", 0.95, 0.10, 20_000, 1_000_000)];
+        let violations = compare(&b, &f, &Tolerances::default()).unwrap_err();
+        assert_eq!(violations.len(), 2);
+        assert!(violations[0].contains("regret"));
+        assert!(violations[1].contains("rel error p99"));
+    }
+
+    #[test]
+    fn latency_gate_uses_ratio_over_common_subset() {
+        let b = vec![
+            entry("a", 0.95, 0.0, 0, 1_000_000),
+            entry("b", 0.95, 0.0, 0, 1_000_000_000), // not in fresh
+        ];
+        // 4x the matched baseline latency passes at ratio 5.
+        let f = vec![entry("a", 0.95, 0.0, 0, 4_000_000)];
+        assert!(compare(&b, &f, &Tolerances::default()).is_ok());
+        // 6x fails, and the message names the metric.
+        let f = vec![entry("a", 0.95, 0.0, 0, 6_000_000)];
+        let violations = compare(&b, &f, &Tolerances::default()).unwrap_err();
+        assert!(violations[0].contains("total search latency"));
+    }
+
+    #[test]
+    fn subset_matching_by_name() {
+        // Fresh has a quick subset plus an unknown entry; only the match
+        // is gated.
+        let b = vec![
+            entry("a", 0.95, 0.02, 8000, 1_000_000),
+            entry("b", 0.90, 0.05, 9000, 2_000_000),
+        ];
+        let f = vec![
+            entry("b", 0.90, 0.05, 9000, 2_000_000),
+            entry("new", 0.10, 0.90, 500_000, 1),
+        ];
+        assert!(compare(&b, &f, &Tolerances::default()).is_ok());
+        // Disjoint sets are a failure, not a silent pass.
+        let f = vec![entry("only-new", 0.99, 0.0, 0, 1)];
+        let violations = compare(&b, &f, &Tolerances::default()).unwrap_err();
+        assert!(violations[0].contains("no common contractions"));
+    }
+
+    #[test]
+    fn run_end_to_end_with_files() {
+        let dir = std::env::temp_dir().join("cogent_bench_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, doc(&[("a", 0.95, 0.02, 8000, 1_000_000)])).unwrap();
+        std::fs::write(&fresh, doc(&[("a", 0.5, 0.02, 8000, 1_000_000)])).unwrap();
+        let args = vec![
+            base.to_str().unwrap().to_string(),
+            fresh.to_str().unwrap().to_string(),
+        ];
+        assert!(run(&args).is_err());
+        // A huge tolerance lets the same pair pass.
+        let mut relaxed = args.clone();
+        relaxed.extend(["--correlation-tol".to_string(), "0.9".to_string()]);
+        assert!(run(&relaxed).is_ok());
+        assert!(run(&[]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
