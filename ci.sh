@@ -43,6 +43,9 @@ run cargo run --release $OFFLINE -p cogent-bench --bin audit_bench -- \
     --quick --out target/audit_smoke.json
 run cargo run --release $OFFLINE -p cogent-bench-diff --bin bench_diff -- \
     results/audit_baseline.json target/audit_smoke.json
+# Emission gate: every TCCG entry x every backend dialect (CUDA, OpenCL,
+# HIP) must emit and pass both the text lint and the structural IR lint.
+run cargo run --release $OFFLINE -p cogent-emit-gate --bin emit_gate
 run ./tools/unwrap_gate.sh
 run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
 run cargo fmt --all -- --check

@@ -1,0 +1,110 @@
+//! Backend selection: one name for each dialect the generator can print.
+
+use std::fmt;
+use std::str::FromStr;
+
+use cogent_gpu_model::Precision;
+use cogent_gpu_sim::plan::KernelPlan;
+
+use super::{emit_hip_kernel, emit_kernel, emit_opencl_kernel};
+
+/// A code-generation backend (target dialect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// NVIDIA CUDA (`.cu`).
+    Cuda,
+    /// Portable OpenCL C (`.cl`).
+    OpenCl,
+    /// AMD HIP (`.hip.cpp`).
+    Hip,
+}
+
+impl Backend {
+    /// All backends, in emission order.
+    pub const ALL: [Backend; 3] = [Backend::Cuda, Backend::OpenCl, Backend::Hip];
+
+    /// The conventional source-file extension for the backend.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Backend::Cuda => "cu",
+            Backend::OpenCl => "cl",
+            Backend::Hip => "hip.cpp",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Cuda => "cuda",
+            Backend::OpenCl => "opencl",
+            Backend::Hip => "hip",
+        })
+    }
+}
+
+/// The error returned when parsing an unknown backend name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    given: String,
+}
+
+impl fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown backend '{}' (expected cuda, opencl, or hip)",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl FromStr for Backend {
+    type Err = ParseBackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cuda" => Ok(Backend::Cuda),
+            "opencl" => Ok(Backend::OpenCl),
+            "hip" => Ok(Backend::Hip),
+            _ => Err(ParseBackendError { given: s.into() }),
+        }
+    }
+}
+
+/// Emits the contraction kernel for `plan` in the chosen backend.
+pub fn emit_backend_kernel(plan: &KernelPlan, precision: Precision, backend: Backend) -> String {
+    match backend {
+        Backend::Cuda => emit_kernel(plan, precision),
+        Backend::OpenCl => emit_opencl_kernel(plan, precision),
+        Backend::Hip => emit_hip_kernel(plan, precision),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::testutil::eq1_plan;
+
+    #[test]
+    fn parse_round_trips_every_backend() {
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!("CUDA".parse::<Backend>().unwrap(), Backend::Cuda);
+        assert!("metal".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn dispatch_selects_the_right_dialect() {
+        let plan = eq1_plan();
+        let cuda = emit_backend_kernel(&plan, Precision::F64, Backend::Cuda);
+        let ocl = emit_backend_kernel(&plan, Precision::F64, Backend::OpenCl);
+        let hip = emit_backend_kernel(&plan, Precision::F64, Backend::Hip);
+        assert!(cuda.contains("__global__ void"));
+        assert!(ocl.contains("__kernel void"));
+        assert!(hip.starts_with("#include <hip/hip_runtime.h>"));
+    }
+}

@@ -1,209 +1,19 @@
-//! Emission of the tensor-contraction CUDA kernel (Algorithm 1).
-
-use std::fmt::Write as _;
+//! CUDA kernel emission: the thin dialect binding over the shared kernel
+//! IR in `cogent-kir`.
+//!
+//! Historically this module *was* the emitter — ~400 lines of string
+//! building that OpenCL reused through a dialect struct. The structural
+//! work (Algorithm 1's four phases, the mixed-radix index arithmetic, the
+//! guards) now lives in [`cogent_kir::lower_to_kir`], which builds a typed
+//! [`cogent_kir::KernelProgram`] consumed by the pretty-printer, the KIR
+//! interpreter, and the structural lint alike. What remains here is the
+//! CUDA-specific surface: picking [`cogent_kir::CUDA`].
 
 use cogent_gpu_model::Precision;
-use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
-use cogent_ir::TensorRef;
+use cogent_gpu_sim::plan::KernelPlan;
+use cogent_kir::{lower_to_kir, print_kernel, Dialect};
 
-fn ctype(precision: Precision) -> &'static str {
-    match precision {
-        Precision::F32 => "float",
-        Precision::F64 => "double",
-    }
-}
-
-/// The target-language surface of the emitted kernel. The kernel body —
-/// staging loops, index arithmetic, the outer product — is identical
-/// C-family code for CUDA and OpenCL; only qualifiers, thread builtins and
-/// the barrier differ.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Dialect {
-    /// Extra first lines (e.g. OpenCL's fp64 pragma).
-    pub preamble: &'static str,
-    /// Kernel function qualifier, e.g. `__global__ void`.
-    pub kernel_qualifier: &'static str,
-    /// Formats a global-memory pointer parameter.
-    pub global_param: fn(ty: &str, name: &str, is_const: bool) -> String,
-    /// Scratchpad qualifier: `__shared__` / `__local`.
-    pub smem_qualifier: &'static str,
-    /// Linear block/work-group id expression.
-    pub block_id: &'static str,
-    /// Thread/work-item id expressions.
-    pub tid_x: &'static str,
-    pub tid_y: &'static str,
-    /// Block-wide barrier statement.
-    pub barrier: &'static str,
-}
-
-pub(crate) const CUDA: Dialect = Dialect {
-    preamble: "",
-    kernel_qualifier: "__global__ void",
-    global_param: cuda_global_param,
-    smem_qualifier: "__shared__",
-    block_id: "blockIdx.x",
-    tid_x: "threadIdx.x",
-    tid_y: "threadIdx.y",
-    barrier: "__syncthreads();",
-};
-
-fn cuda_global_param(ty: &str, name: &str, is_const: bool) -> String {
-    if is_const {
-        format!("const {ty}* __restrict__ {name}")
-    } else {
-        format!("{ty}* __restrict__ {name}")
-    }
-}
-
-/// A deterministic kernel name derived from the contraction's TCCG string
-/// (or tensor names when indices are multi-character).
-pub fn kernel_name(plan: &KernelPlan) -> String {
-    let tc = plan.contraction();
-    match tc.to_tccg_string() {
-        Some(s) => format!("tc_{}", s.replace('-', "_")),
-        None => format!(
-            "tc_{}_{}_{}",
-            tc.c().name().to_lowercase(),
-            tc.a().name().to_lowercase(),
-            tc.b().name().to_lowercase()
-        ),
-    }
-}
-
-/// Emits `const int` tile-size constants for every bound index.
-fn emit_tile_constants(out: &mut String, plan: &KernelPlan) {
-    for b in plan.bindings() {
-        let _ = writeln!(out, "#define T_{} {}", b.name, b.tile);
-    }
-    let _ = writeln!(out, "#define TBX {}", plan.group_size(MapDim::ThreadX));
-    let _ = writeln!(out, "#define TBY {}", plan.group_size(MapDim::ThreadY));
-    let _ = writeln!(out, "#define REGX {}", plan.group_size(MapDim::RegX));
-    let _ = writeln!(out, "#define REGY {}", plan.group_size(MapDim::RegY));
-    let _ = writeln!(out, "#define KTILE {}", plan.group_size(MapDim::SerialK));
-    let _ = writeln!(out, "#define THREADS (TBX * TBY)");
-}
-
-/// Emits the mixed-radix decomposition of `var` over the group mapped to
-/// `dim`, producing one `const int <prefix>_<idx>` per index.
-fn emit_group_decomposition(
-    out: &mut String,
-    plan: &KernelPlan,
-    dim: MapDim,
-    var: &str,
-    prefix: &str,
-    indent: &str,
-) {
-    let group: Vec<&IndexBinding> = plan.group_bindings(dim).collect();
-    if group.is_empty() {
-        return;
-    }
-    let _ = writeln!(out, "{indent}int {prefix}_rem = {var};");
-    for (i, b) in group.iter().enumerate() {
-        if i + 1 < group.len() {
-            let _ = writeln!(
-                out,
-                "{indent}const int {prefix}_{} = {prefix}_rem % T_{}; {prefix}_rem /= T_{};",
-                b.name, b.name, b.name
-            );
-        } else {
-            let _ = writeln!(out, "{indent}const int {prefix}_{} = {prefix}_rem;", b.name);
-        }
-    }
-}
-
-/// The global-offset expression for `tensor` in Horner form, where the
-/// coordinate of index `i` is the expression `coord(i)`.
-fn global_offset_expr(tensor: &TensorRef, coord: impl Fn(&str) -> String) -> String {
-    let mut expr = String::new();
-    for idx in tensor.indices().iter().rev() {
-        let c = coord(idx.as_str());
-        if expr.is_empty() {
-            expr = c;
-        } else {
-            expr = format!("{c} + N_{idx} * ({expr})");
-        }
-    }
-    expr
-}
-
-/// The in-tile (shared memory) offset expression for `tensor`, with tile
-/// sizes as the radices.
-fn tile_offset_expr(tensor: &TensorRef, coord: impl Fn(&str) -> String) -> String {
-    let mut expr = String::new();
-    for idx in tensor.indices().iter().rev() {
-        let c = coord(idx.as_str());
-        if expr.is_empty() {
-            expr = c;
-        } else {
-            expr = format!("{c} + T_{idx} * ({expr})");
-        }
-    }
-    expr
-}
-
-/// The bounds-check expression `g_<i> < N_<i> && ...` for `tensor`.
-fn guard_expr(tensor: &TensorRef, coord: impl Fn(&str) -> String) -> String {
-    tensor
-        .indices()
-        .iter()
-        .map(|i| format!("{} < N_{i}", coord(i.as_str())))
-        .collect::<Vec<_>>()
-        .join(" && ")
-}
-
-/// Emits the cooperative GMEM→SMEM staging loop for one input tensor.
-fn emit_stage(out: &mut String, _plan: &KernelPlan, tensor: &TensorRef, smem: &str, gmem: &str) {
-    let elems: String = tensor
-        .indices()
-        .iter()
-        .map(|i| format!("T_{i}"))
-        .collect::<Vec<_>>()
-        .join(" * ");
-    let _ = writeln!(out, "        // cooperative load of the {gmem} tile");
-    let _ = writeln!(
-        out,
-        "        for (int p = tid; p < {elems}; p += THREADS) {{"
-    );
-    let _ = writeln!(out, "            int q = p;");
-    let n = tensor.rank();
-    for (i, idx) in tensor.indices().iter().enumerate() {
-        if i + 1 < n {
-            let _ = writeln!(
-                out,
-                "            const int c_{idx} = q % T_{idx}; q /= T_{idx};"
-            );
-        } else {
-            let _ = writeln!(out, "            const int c_{idx} = q;");
-        }
-    }
-    for idx in tensor.indices() {
-        let _ = writeln!(out, "            const int u_{idx} = base_{idx} + c_{idx};");
-    }
-    let guard = guard_expr(tensor, |i| format!("u_{i}"));
-    let offset = global_offset_expr(tensor, |i| format!("u_{i}"));
-    let _ = writeln!(
-        out,
-        "            {smem}[p] = ({guard}) ? {gmem}[{offset}] : 0;"
-    );
-    let _ = writeln!(out, "        }}");
-}
-
-/// The coordinate expression of index `idx` as seen from the compute phase
-/// (register loads and output stores): thread coordinates, register-slot
-/// coordinates, the serial in-tile coordinate, or 0 for grid-mapped tiles.
-fn compute_coord(plan: &KernelPlan, idx: &str, rx: &str, ry: &str) -> String {
-    let b = plan
-        .binding(idx)
-        .expect("codegen runs on validated plans that bind every index");
-    match b.dim {
-        MapDim::ThreadX => format!("x_{idx}"),
-        MapDim::ThreadY => format!("y_{idx}"),
-        MapDim::RegX => format!("{rx}_{idx}"),
-        MapDim::RegY => format!("{ry}_{idx}"),
-        MapDim::SerialK => format!("k_{idx}"),
-        MapDim::Grid => "0".to_owned(),
-    }
-}
+pub use cogent_kir::kernel_name;
 
 /// Emits the complete `__global__` kernel for `plan`.
 ///
@@ -227,193 +37,25 @@ fn compute_coord(plan: &KernelPlan, idx: &str, rx: &str, ry: &str) -> String {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn emit_kernel(plan: &KernelPlan, precision: Precision) -> String {
-    emit_kernel_dialect(plan, precision, &CUDA)
+    emit_kernel_dialect(plan, precision, &cogent_kir::CUDA)
 }
 
-/// Emits the kernel in the given dialect (CUDA or OpenCL).
+/// Lowers the plan to KIR and prints it in the given dialect.
 pub(crate) fn emit_kernel_dialect(
     plan: &KernelPlan,
     precision: Precision,
     dialect: &Dialect,
 ) -> String {
-    let tc = plan.contraction();
-    let ty = ctype(precision);
-    let name = kernel_name(plan);
-    let mut out = String::new();
-
-    if !dialect.preamble.is_empty() {
-        let _ = writeln!(out, "{}", dialect.preamble);
-    }
-    let _ = writeln!(out, "// generated by COGENT-RS");
-    let _ = writeln!(out, "// contraction: {tc}");
-    let _ = writeln!(out, "// {plan}");
-    emit_tile_constants(&mut out, plan);
-
-    // Parameter list: tensors + extents (sorted for determinism).
-    let mut extent_params: Vec<String> = plan
-        .bindings()
-        .iter()
-        .map(|b| format!("const int N_{}", b.name))
-        .collect();
-    extent_params.sort();
-    let _ = writeln!(
-        out,
-        "\n{} {name}(\n    {},\n    {},\n    {},\n    {})\n{{",
-        dialect.kernel_qualifier,
-        (dialect.global_param)(ty, "g_C", false),
-        (dialect.global_param)(ty, "g_A", true),
-        (dialect.global_param)(ty, "g_B", true),
-        extent_params.join(", ")
-    );
-
-    // Shared memory and registers (Algorithm 1 lines 2-6).
-    let a_elems: String = tc
-        .a()
-        .indices()
-        .iter()
-        .map(|i| format!("T_{i}"))
-        .collect::<Vec<_>>()
-        .join(" * ");
-    let b_elems: String = tc
-        .b()
-        .indices()
-        .iter()
-        .map(|i| format!("T_{i}"))
-        .collect::<Vec<_>>()
-        .join(" * ");
-    let _ = writeln!(out, "    {} {ty} s_A[{a_elems}];", dialect.smem_qualifier);
-    let _ = writeln!(out, "    {} {ty} s_B[{b_elems}];", dialect.smem_qualifier);
-    let _ = writeln!(out, "    {ty} r_A[REGX];");
-    let _ = writeln!(out, "    {ty} r_B[REGY];");
-    let _ = writeln!(out, "    {ty} r_C[REGY][REGX];");
-    let _ = writeln!(out, "    #pragma unroll");
-    let _ = writeln!(out, "    for (int ry = 0; ry < REGY; ++ry)");
-    let _ = writeln!(out, "        #pragma unroll");
-    let _ = writeln!(out, "        for (int rx = 0; rx < REGX; ++rx)");
-    let _ = writeln!(out, "            r_C[ry][rx] = 0;");
-
-    // Grid decomposition: per-external tile number and base offset.
-    let _ = writeln!(out, "\n    // block-tile origin (one tile of C per block)");
-    let _ = writeln!(out, "    int b_rem = {};", dialect.block_id);
-    for b in plan.external_bindings_c_order() {
-        let i = &b.name;
-        let _ = writeln!(
-            out,
-            "    const int nt_{i} = (N_{i} + T_{i} - 1) / T_{i};\n    const int base_{i} = (b_rem % nt_{i}) * T_{i}; b_rem /= nt_{i};"
-        );
-    }
-
-    // Thread coordinate decomposition.
-    let _ = writeln!(
-        out,
-        "\n    const int tid = {} + TBX * {};",
-        dialect.tid_x, dialect.tid_y
-    );
-    emit_group_decomposition(&mut out, plan, MapDim::ThreadX, dialect.tid_x, "x", "    ");
-    emit_group_decomposition(&mut out, plan, MapDim::ThreadY, dialect.tid_y, "y", "    ");
-
-    // Serial loop over k-tiles (Algorithm 1 line 9).
-    let steps_expr: String = {
-        let steps: Vec<String> = plan
-            .group_bindings(MapDim::SerialK)
-            .map(|b| format!("((N_{} + T_{} - 1) / T_{})", b.name, b.name, b.name))
-            .collect();
-        if steps.is_empty() {
-            "1".to_owned()
-        } else {
-            steps.join(" * ")
-        }
-    };
-    let _ = writeln!(out, "\n    const int num_steps = {steps_expr};");
-    let _ = writeln!(out, "    for (int step = 0; step < num_steps; ++step) {{");
-    // Internal tile bases for this step.
-    if plan.group_bindings(MapDim::SerialK).next().is_some() {
-        let _ = writeln!(out, "        int s_rem = step;");
-        for b in plan.group_bindings(MapDim::SerialK) {
-            let i = &b.name;
-            let _ = writeln!(
-                out,
-                "        const int snt_{i} = (N_{i} + T_{i} - 1) / T_{i};\n        const int base_{i} = (s_rem % snt_{i}) * T_{i}; s_rem /= snt_{i};"
-            );
-        }
-    }
-
-    // (1) GMEM -> SMEM.
-    emit_stage(&mut out, plan, tc.a(), "s_A", "g_A");
-    emit_stage(&mut out, plan, tc.b(), "s_B", "g_B");
-    let _ = writeln!(out, "        {}", dialect.barrier);
-
-    // (2)+(3) SMEM -> REG and outer product.
-    let _ = writeln!(out, "\n        for (int j = 0; j < KTILE; ++j) {{");
-    emit_group_decomposition(&mut out, plan, MapDim::SerialK, "j", "k", "            ");
-    // r_A loads.
-    let _ = writeln!(out, "            #pragma unroll");
-    let _ = writeln!(out, "            for (int rx = 0; rx < REGX; ++rx) {{");
-    emit_group_decomposition(&mut out, plan, MapDim::RegX, "rx", "rx", "                ");
-    let a_off = tile_offset_expr(tc.a(), |i| compute_coord(plan, i, "rx", "ry"));
-    let _ = writeln!(out, "                r_A[rx] = s_A[{a_off}];");
-    let _ = writeln!(out, "            }}");
-    // r_B loads.
-    let _ = writeln!(out, "            #pragma unroll");
-    let _ = writeln!(out, "            for (int ry = 0; ry < REGY; ++ry) {{");
-    emit_group_decomposition(&mut out, plan, MapDim::RegY, "ry", "ry", "                ");
-    let b_off = tile_offset_expr(tc.b(), |i| compute_coord(plan, i, "rx", "ry"));
-    let _ = writeln!(out, "                r_B[ry] = s_B[{b_off}];");
-    let _ = writeln!(out, "            }}");
-    // Outer product.
-    let _ = writeln!(out, "            #pragma unroll");
-    let _ = writeln!(out, "            for (int ry = 0; ry < REGY; ++ry)");
-    let _ = writeln!(out, "                #pragma unroll");
-    let _ = writeln!(out, "                for (int rx = 0; rx < REGX; ++rx)");
-    let _ = writeln!(out, "                    r_C[ry][rx] += r_A[rx] * r_B[ry];");
-    let _ = writeln!(out, "        }}");
-    let _ = writeln!(out, "        {}", dialect.barrier);
-    let _ = writeln!(out, "    }}");
-
-    // (4) REG -> GMEM store with guards.
-    let _ = writeln!(out, "\n    // store the output register tile");
-    let _ = writeln!(out, "    for (int ry = 0; ry < REGY; ++ry) {{");
-    emit_group_decomposition(&mut out, plan, MapDim::RegY, "ry", "ry", "        ");
-    let _ = writeln!(out, "        for (int rx = 0; rx < REGX; ++rx) {{");
-    emit_group_decomposition(&mut out, plan, MapDim::RegX, "rx", "rx", "            ");
-    for idx in tc.c().indices() {
-        let coord = compute_coord(plan, idx.as_str(), "rx", "ry");
-        let _ = writeln!(out, "            const int o_{idx} = base_{idx} + {coord};");
-    }
-    let guard = guard_expr(tc.c(), |i| format!("o_{i}"));
-    let offset = global_offset_expr(tc.c(), |i| format!("o_{i}"));
-    let op = match plan.store_mode() {
-        cogent_gpu_sim::plan::StoreMode::Assign => "=",
-        cogent_gpu_sim::plan::StoreMode::Accumulate => "+=",
-    };
-    let _ = writeln!(out, "            if ({guard})");
-    let _ = writeln!(out, "                g_C[{offset}] {op} r_C[ry][rx];");
-    let _ = writeln!(out, "        }}");
-    let _ = writeln!(out, "    }}");
-    let _ = writeln!(out, "}}");
-    out
+    let prog = lower_to_kir(plan).expect("a validated KernelPlan always lowers to KIR");
+    print_kernel(&prog, precision, dialect)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codegen::testutil::eq1_plan;
+    use cogent_gpu_sim::plan::{IndexBinding, MapDim};
     use cogent_ir::Contraction;
-
-    fn eq1_plan() -> KernelPlan {
-        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
-        KernelPlan::new(
-            &tc,
-            vec![
-                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
-                IndexBinding::new("b", 64, 4, MapDim::RegX),
-                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
-                IndexBinding::new("c", 64, 1, MapDim::Grid),
-                IndexBinding::new("e", 32, 8, MapDim::SerialK),
-                IndexBinding::new("f", 32, 2, MapDim::SerialK),
-            ],
-        )
-        .unwrap()
-    }
 
     #[test]
     fn kernel_structure() {
@@ -485,7 +127,17 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(kernel_name(&plan), "tc_t3_v2_t2");
+        // Non-TCCG contractions get case-preserving sanitized tensor names
+        // plus a content hash, so `T3` and a hypothetical `t3` cannot
+        // collide the way the old lowercasing scheme allowed.
+        let name = kernel_name(&plan);
+        assert!(
+            name.starts_with("tc_T3_V2_T2_"),
+            "unexpected kernel name {name}"
+        );
+        let suffix = &name["tc_T3_V2_T2_".len()..];
+        assert_eq!(suffix.len(), 8, "hash suffix should be 8 hex chars");
+        assert!(suffix.chars().all(|c| c.is_ascii_hexdigit()));
         let src = emit_kernel(&plan, Precision::F64);
         assert!(src.contains("N_h7"));
     }

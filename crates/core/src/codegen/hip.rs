@@ -1,0 +1,63 @@
+//! HIP kernel emission.
+//!
+//! AMD's HIP deliberately mirrors the CUDA programming surface —
+//! `__global__`, `__shared__`, `threadIdx`/`blockIdx`, `__syncthreads()`
+//! — so on top of the shared kernel IR this backend is a one-constant
+//! dialect: [`cogent_kir::HIP`] is the CUDA surface plus the
+//! `<hip/hip_runtime.h>` include `hipcc` requires in every translation
+//! unit. That near-zero marginal cost is the point of the KIR refactor:
+//! a new C-family backend is a `Dialect` value, not a new emitter.
+
+use cogent_gpu_model::Precision;
+use cogent_gpu_sim::plan::KernelPlan;
+
+use super::cuda::emit_kernel_dialect;
+
+/// Emits the contraction kernel as HIP C++.
+///
+/// # Examples
+///
+/// ```
+/// use cogent_core::codegen::emit_hip_kernel;
+/// use cogent_gpu_model::Precision;
+/// use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+/// use cogent_ir::Contraction;
+///
+/// let tc: Contraction = "ij-ik-kj".parse()?;
+/// let plan = KernelPlan::new(&tc, vec![
+///     IndexBinding::new("i", 512, 16, MapDim::ThreadX),
+///     IndexBinding::new("j", 512, 16, MapDim::ThreadY),
+///     IndexBinding::new("k", 512, 8, MapDim::SerialK),
+/// ])?;
+/// let src = emit_hip_kernel(&plan, Precision::F64);
+/// assert!(src.starts_with("#include <hip/hip_runtime.h>"));
+/// assert!(src.contains("__global__ void tc_ij_ik_kj"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn emit_hip_kernel(plan: &KernelPlan, precision: Precision) -> String {
+    emit_kernel_dialect(plan, precision, &cogent_kir::HIP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::testutil::eq1_plan;
+
+    #[test]
+    fn hip_surface_is_cuda_plus_runtime_header() {
+        let hip = emit_hip_kernel(&eq1_plan(), Precision::F64);
+        let cuda = super::super::cuda::emit_kernel(&eq1_plan(), Precision::F64);
+        assert!(hip.starts_with("#include <hip/hip_runtime.h>\n"));
+        // Everything after the include is byte-identical to CUDA.
+        assert_eq!(&hip["#include <hip/hip_runtime.h>\n".len()..], cuda);
+    }
+
+    #[test]
+    fn hip_f32_kernel_structure() {
+        let src = emit_hip_kernel(&eq1_plan(), Precision::F32);
+        assert!(src.contains("__global__ void tc_abcd_aebf_dfce"));
+        assert!(src.contains("__shared__ float s_A["));
+        assert_eq!(src.matches("__syncthreads();").count(), 2);
+        assert!(!src.contains("double"));
+    }
+}

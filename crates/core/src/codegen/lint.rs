@@ -1,4 +1,5 @@
-//! Structural linting of emitted kernel sources.
+//! Linting of emitted kernels: a text pass over the printed source and a
+//! structural pass over the kernel IR.
 //!
 //! No CUDA or OpenCL compiler exists in this environment, so emitted text
 //! cannot be compiled. This linter enforces the invariants a compiler
@@ -8,6 +9,9 @@
 //! over every kernel the generator produces for the TCCG suite.
 
 use std::collections::BTreeSet;
+
+use cogent_gpu_sim::plan::KernelPlan;
+use cogent_kir::{lint_kernel_program, lower_to_kir, IrLintReport, KirError};
 
 /// A lint finding (empty result = clean).
 pub type LintFindings = Vec<String>;
@@ -134,29 +138,24 @@ pub fn lint_kernel_source(source: &str) -> LintFindings {
     findings
 }
 
+/// Structural IR-level lint: lowers the plan to KIR and checks the tree
+/// invariants (symbol discipline, barrier placement, guard coverage)
+/// before any dialect printing happens.
+///
+/// # Errors
+///
+/// Propagates [`KirError`] when the plan cannot be lowered (e.g. a
+/// contraction index without a binding).
+pub fn lint_kernel_plan(plan: &KernelPlan) -> Result<IrLintReport, KirError> {
+    Ok(lint_kernel_program(&lower_to_kir(plan)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codegen::testutil::eq1_plan;
     use crate::codegen::{emit_kernel, emit_opencl_kernel, emit_source};
     use cogent_gpu_model::Precision;
-    use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
-    use cogent_ir::Contraction;
-
-    fn eq1_plan() -> KernelPlan {
-        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
-        KernelPlan::new(
-            &tc,
-            vec![
-                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
-                IndexBinding::new("b", 64, 4, MapDim::RegX),
-                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
-                IndexBinding::new("c", 64, 4, MapDim::RegY),
-                IndexBinding::new("e", 32, 8, MapDim::SerialK),
-                IndexBinding::new("f", 32, 2, MapDim::SerialK),
-            ],
-        )
-        .unwrap()
-    }
 
     #[test]
     fn emitted_cuda_is_clean() {
@@ -198,6 +197,12 @@ mod tests {
         assert!(lint_kernel_source(src)
             .iter()
             .any(|f| f.contains("N_a used but never declared")));
+    }
+
+    #[test]
+    fn ir_lint_accepts_every_backend_free_plan() {
+        let report = lint_kernel_plan(&eq1_plan()).unwrap();
+        assert!(report.is_clean(), "{:?}", report.findings);
     }
 
     #[test]

@@ -1,21 +1,30 @@
-//! CUDA code emission.
+//! Kernel code emission.
 //!
 //! Given a lowered [`KernelPlan`](cogent_gpu_sim::KernelPlan), emits the
-//! CUDA kernel of Algorithm 1 plus a host driver. Tile sizes and mappings
-//! are baked into the kernel as compile-time constants; tensor extents are
-//! runtime parameters, so one generated kernel supports arbitrary problem
-//! sizes (the representative size only drove the parameter selection).
+//! contraction kernel of Algorithm 1 plus a host driver. Tile sizes and
+//! mappings are baked into the kernel as compile-time constants; tensor
+//! extents are runtime parameters, so one generated kernel supports
+//! arbitrary problem sizes (the representative size only drove the
+//! parameter selection).
 //!
-//! The emitter and the functional executor in `cogent-gpu-sim` consume the
-//! same plan, so the executor's correctness checks exercise the same
-//! staging structure and index arithmetic the emitted text encodes.
+//! All backends share one pipeline: the plan is lowered once to the typed
+//! kernel IR in `cogent-kir`, and each backend ([`Backend`]) is a dialect
+//! pretty-print of that tree. The KIR interpreter and the structural lint
+//! consume the same tree, so the emitted text, the executed semantics,
+//! and the checked invariants cannot drift apart.
 
+mod backend;
 mod cuda;
 mod driver;
+mod hip;
 mod lint;
 mod opencl;
+#[cfg(test)]
+pub(crate) mod testutil;
 
+pub use backend::{emit_backend_kernel, Backend, ParseBackendError};
 pub use cuda::{emit_kernel, kernel_name};
 pub use driver::{emit_driver, emit_source};
-pub use lint::{lint_kernel_source, LintFindings};
+pub use hip::emit_hip_kernel;
+pub use lint::{lint_kernel_plan, lint_kernel_source, LintFindings};
 pub use opencl::emit_opencl_kernel;

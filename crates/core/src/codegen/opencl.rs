@@ -1,37 +1,17 @@
 //! OpenCL kernel emission — the portability extension the paper lists as
 //! future work ("OpenCL code generation is planned for the future").
 //!
-//! The kernel body is the same Algorithm 1 schema as the CUDA backend (the
-//! two share one emitter, parameterized by a dialect); only the surface
-//! syntax differs: `__kernel`/`__global`/`__local` qualifiers, work-item
-//! builtins in place of `threadIdx`/`blockIdx`, and
-//! `barrier(CLK_LOCAL_MEM_FENCE)` in place of `__syncthreads()`.
+//! The kernel body is the same Algorithm 1 schema as the CUDA backend
+//! (all backends print one shared [`cogent_kir::KernelProgram`]); only
+//! the surface syntax differs: `__kernel`/`__global`/`__local`
+//! qualifiers, work-item builtins in place of `threadIdx`/`blockIdx`,
+//! and `barrier(CLK_LOCAL_MEM_FENCE)` in place of `__syncthreads()`.
 
 use cogent_gpu_model::Precision;
 use cogent_gpu_sim::plan::KernelPlan;
+use cogent_kir::{Dialect, OPENCL, OPENCL_FP64_PREAMBLE};
 
-use super::cuda::{emit_kernel_dialect, Dialect};
-
-fn opencl_global_param(ty: &str, name: &str, is_const: bool) -> String {
-    if is_const {
-        format!("__global const {ty}* restrict {name}")
-    } else {
-        format!("__global {ty}* restrict {name}")
-    }
-}
-
-const OPENCL: Dialect = Dialect {
-    preamble: "",
-    kernel_qualifier: "__kernel void",
-    global_param: opencl_global_param,
-    smem_qualifier: "__local",
-    block_id: "(int)get_group_id(0)",
-    tid_x: "(int)get_local_id(0)",
-    tid_y: "(int)get_local_id(1)",
-    barrier: "barrier(CLK_LOCAL_MEM_FENCE);",
-};
-
-const OPENCL_FP64_PREAMBLE: &str = "#pragma OPENCL EXTENSION cl_khr_fp64 : enable";
+use super::cuda::emit_kernel_dialect;
 
 /// Emits the contraction kernel as OpenCL C.
 ///
@@ -70,24 +50,7 @@ pub fn emit_opencl_kernel(plan: &KernelPlan, precision: Precision) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cogent_gpu_sim::plan::{IndexBinding, MapDim};
-    use cogent_ir::Contraction;
-
-    fn eq1_plan() -> KernelPlan {
-        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
-        KernelPlan::new(
-            &tc,
-            vec![
-                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
-                IndexBinding::new("b", 64, 4, MapDim::RegX),
-                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
-                IndexBinding::new("c", 64, 1, MapDim::Grid),
-                IndexBinding::new("e", 32, 8, MapDim::SerialK),
-                IndexBinding::new("f", 32, 2, MapDim::SerialK),
-            ],
-        )
-        .unwrap()
-    }
+    use crate::codegen::testutil::eq1_plan;
 
     #[test]
     fn opencl_surface_syntax() {

@@ -1,0 +1,24 @@
+//! Shared test fixtures for the codegen backends.
+#![cfg(test)]
+
+use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+use cogent_ir::Contraction;
+
+/// The paper's running example (Equation 1, `abcd-aebf-dfce`) with the
+/// plan used throughout the backend tests: a 16×16 thread block, a 4-wide
+/// register tile on `b`, grid-mapped `c`, and two serial k indices.
+pub fn eq1_plan() -> KernelPlan {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    KernelPlan::new(
+        &tc,
+        vec![
+            IndexBinding::new("a", 64, 16, MapDim::ThreadX),
+            IndexBinding::new("b", 64, 4, MapDim::RegX),
+            IndexBinding::new("d", 64, 16, MapDim::ThreadY),
+            IndexBinding::new("c", 64, 1, MapDim::Grid),
+            IndexBinding::new("e", 32, 8, MapDim::SerialK),
+            IndexBinding::new("f", 32, 2, MapDim::SerialK),
+        ],
+    )
+    .unwrap()
+}

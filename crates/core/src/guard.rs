@@ -412,13 +412,19 @@ pub fn record_violations(violations: &[PlanViolation]) {
 }
 
 /// Executes `plan` functionally on small random inputs and compares
-/// against the reference contraction.
+/// against the reference contraction, in two layers:
+///
+/// 1. the fast plan-level executor at the plan's own extents, and
+/// 2. the kernel-IR interpreter at tile-clamped extents (each extent cut
+///    to `tile + 1`), which runs the *lowered program the emitters print*
+///    over deliberately ragged tiles — cheap, but it exercises every
+///    partial-tile guard in the emitted artifact.
 ///
 /// # Errors
 ///
-/// [`PlanViolation::ExecutionFailed`] when the executor rejects the
-/// operands, [`PlanViolation::NumericDivergence`] when the largest
-/// absolute element difference exceeds `tolerance`.
+/// [`PlanViolation::ExecutionFailed`] when the executor or the
+/// interpreter rejects the operands, [`PlanViolation::NumericDivergence`]
+/// when the largest absolute element difference exceeds `tolerance`.
 pub fn divergence_check(plan: &KernelPlan, seed: u64, tolerance: f64) -> Result<(), PlanViolation> {
     let sizes = SizeMap::from_pairs(plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
     let (a, b) = random_inputs::<f64>(plan.contraction(), &sizes, seed);
@@ -426,6 +432,34 @@ pub fn divergence_check(plan: &KernelPlan, seed: u64, tolerance: f64) -> Result<
         detail: e.to_string(),
     })?;
     let want = contract_reference(plan.contraction(), &sizes, &a, &b);
+    let max_abs_diff = got.max_abs_diff(&want);
+    if max_abs_diff > tolerance {
+        return Err(PlanViolation::NumericDivergence { max_abs_diff });
+    }
+
+    let clamped: Vec<IndexBinding> = plan
+        .bindings()
+        .iter()
+        .map(|b| IndexBinding::new(b.name.clone(), b.extent.min(b.tile + 1), b.tile, b.dim))
+        .collect();
+    let clamped = KernelPlan::new(plan.contraction(), clamped)
+        .map(|p| p.with_store_mode(plan.store_mode()))
+        .map_err(|e| PlanViolation::ExecutionFailed {
+            detail: format!("tile-clamped plan construction: {e}"),
+        })?;
+    let sizes = SizeMap::from_pairs(
+        clamped
+            .bindings()
+            .iter()
+            .map(|b| (b.name.as_str(), b.extent)),
+    );
+    let (a, b) = random_inputs::<f64>(clamped.contraction(), &sizes, seed.wrapping_add(1));
+    let got = cogent_kir::interpret_plan(&clamped, &a, &b).map_err(|e| {
+        PlanViolation::ExecutionFailed {
+            detail: format!("kernel IR interpreter: {e}"),
+        }
+    })?;
+    let want = contract_reference(clamped.contraction(), &sizes, &a, &b);
     let max_abs_diff = got.max_abs_diff(&want);
     if max_abs_diff > tolerance {
         Err(PlanViolation::NumericDivergence { max_abs_diff })

@@ -2,9 +2,12 @@
 //! detection layer that must flag it. Static faults (illegal plans) are
 //! rejected by the plan validator before anything executes; dynamic faults
 //! (misbehaving execution) produce answers that measurably diverge from
-//! the reference contraction. The invariant under test is *no silent
-//! wrong answers*: for each fault class at least one layer fires, and it
-//! is exactly the layer the taxonomy assigns.
+//! the reference contraction — at the plan level (`execute_plan_with_faults`)
+//! *and* at the IR level, where each fault is a rewrite of the lowered
+//! kernel tree caught by the KIR interpreter and/or the structural lint.
+//! The invariant under test is *no silent wrong answers*: for each fault
+//! class at least one layer fires, and it is exactly the layer the
+//! taxonomy assigns.
 
 use cogent_core::guard::validate_plan;
 use cogent_gpu_model::{GpuDevice, Precision};
@@ -82,6 +85,54 @@ fn every_fault_kind_is_caught_by_its_assigned_layer() {
                     kind.name()
                 );
             }
+        }
+    }
+}
+
+/// The IR-level detection layer: each dynamic fault, applied as a rewrite
+/// of the lowered kernel tree, is caught by the KIR interpreter (the
+/// faulted program computes a measurably wrong answer) and — for the two
+/// faults that break a *structural* invariant rather than just the
+/// numerics — by the structural lint as well.
+#[test]
+fn dynamic_faults_are_caught_at_the_ir_level() {
+    use cogent_kir::{apply_exec_faults, interpret, lint_kernel_program, lower_to_kir};
+
+    let (plan, sizes) = ragged_plan();
+    let prog = lower_to_kir(&plan).expect("ragged plan lowers");
+    let (a, b) = random_inputs::<f64>(plan.contraction(), &sizes, 13);
+    let want = contract_reference(plan.contraction(), &sizes, &a, &b);
+
+    let clean = interpret(&prog, &sizes, &a, &b).expect("clean program interprets");
+    assert!(
+        clean.approx_eq(&want, 1e-11),
+        "clean interpreter run diverges"
+    );
+    assert!(lint_kernel_program(&prog).is_clean());
+
+    for kind in FaultKind::ALL {
+        if kind.is_static() {
+            continue;
+        }
+        let faulted = apply_exec_faults(&prog, &ExecFaults::for_kind(kind));
+        let got = interpret(&faulted, &sizes, &a, &b)
+            .unwrap_or_else(|e| panic!("{}: faulted interpretation failed: {e}", kind.name()));
+        let diff = got.max_abs_diff(&want);
+        assert!(
+            diff > 1e-9,
+            "{}: IR-level silent wrong answer (diff {diff:e})",
+            kind.name()
+        );
+        // Guard-coverage and barrier-placement faults also violate the
+        // tree's structural invariants, so the lint fires before any
+        // execution happens at all.
+        if matches!(kind, FaultKind::DroppedTailGuard | FaultKind::SkippedSync) {
+            let report = lint_kernel_program(&faulted);
+            assert!(
+                !report.is_clean(),
+                "{}: structural lint missed the faulted tree",
+                kind.name()
+            );
         }
     }
 }

@@ -1,0 +1,288 @@
+//! The typed kernel AST.
+//!
+//! One [`KernelProgram`] describes the complete four-phase contraction
+//! kernel of Algorithm 1: cooperative GMEM→SMEM staging, SMEM→register
+//! loads, the register-tile outer product over serial k-tiles, and the
+//! guarded REG→GMEM store. The tree is built once from a validated
+//! `KernelPlan` by [`crate::lower_to_kir`] and then consumed by three
+//! independent clients — the dialect pretty-printers, the reference
+//! interpreter, and the structural lint — so the emitted text and the
+//! executed semantics can never drift apart.
+//!
+//! The expression grammar is deliberately small: integer index arithmetic
+//! over named symbols (tile constants `T_i`, runtime extents `N_i`,
+//! kernel-local scalars), comparisons and conjunctions for bounds guards,
+//! a conditional for guarded loads, and array element access. Grouping is
+//! explicit ([`Expr::Paren`]) so a printed program is byte-stable: the
+//! printer never has to guess parenthesization.
+
+use cogent_ir::IndexName;
+
+/// A scalar or array-element expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A named scalar: a `#define`d constant, a runtime extent parameter,
+    /// or a kernel-local `int`.
+    Sym(String),
+    /// The linear block / work-group id (dialect builtin).
+    BlockId,
+    /// The X thread / work-item id (dialect builtin).
+    TidX,
+    /// The Y thread / work-item id (dialect builtin).
+    TidY,
+    /// A binary operation, printed without implicit grouping.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Explicit grouping: prints as `(inner)`.
+    Paren(Box<Expr>),
+    /// The conditional `cond ? then : else`. Only the taken branch is
+    /// evaluated by the interpreter (a guarded load must not touch the
+    /// out-of-bounds branch).
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// An element load `array[i0][i1]…` from a tensor parameter, a
+    /// shared-memory tile, or a register array.
+    Index(String, Vec<Expr>),
+    /// Integer minimum. Never produced by lowering; used by the fault
+    /// transforms to model clamped (guard-dropped) accesses.
+    Min(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a named symbol.
+    pub fn sym(name: impl Into<String>) -> Self {
+        Expr::Sym(name.into())
+    }
+
+    /// Explicitly grouped expression.
+    pub fn paren(inner: Expr) -> Self {
+        Expr::Paren(Box::new(inner))
+    }
+
+    /// A binary operation node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+/// Binary operators of the index arithmetic and guard grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    /// Less-than comparison (bounds guards).
+    Lt,
+    /// Logical conjunction (guard chains).
+    And,
+}
+
+impl BinOp {
+    /// The C token for the operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::And => "&&",
+        }
+    }
+}
+
+/// An assignment target: a kernel-local scalar or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named local `int`.
+    Var(String),
+    /// An element of a tensor parameter, shared tile, or register array.
+    Elem(String, Vec<Expr>),
+}
+
+/// Assignment operators appearing in the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` (register accumulation, accumulate-mode stores).
+    AddAssign,
+    /// `/=` (mixed-radix digit extraction).
+    DivAssign,
+}
+
+impl AssignOp {
+    /// The C token for the operator.
+    pub fn token(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::DivAssign => "/=",
+        }
+    }
+}
+
+/// A simple (one-line) statement. Several items may share one source line
+/// — the mixed-radix idiom `const int x_a = x_rem % T_a; x_rem /= T_a;`
+/// is two items on one line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineItem {
+    /// `int name = init;` (`mutable`) or `const int name = init;`.
+    DeclInt {
+        name: String,
+        init: Expr,
+        mutable: bool,
+    },
+    /// `target op value;`
+    Assign {
+        target: LValue,
+        op: AssignOp,
+        value: Expr,
+    },
+}
+
+/// The loop increment of a [`Stmt::For`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopStep {
+    /// `++var` — unit stride.
+    Inc,
+    /// `var += expr` — the cooperative staging stride (`THREADS`).
+    AddAssign(Expr),
+}
+
+/// Semantic tags naming the schema regions of the kernel body. Tags are
+/// transparent to the printer (a tagged block prints exactly its
+/// children) but give the lint and the fault transforms a typed handle on
+/// the four phases instead of text pattern-matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// Register-tile zero initialization.
+    RegInit,
+    /// Block-tile origin: grid id → per-external tile base offsets.
+    BlockOrigin,
+    /// Thread id → per-index in-tile coordinates.
+    ThreadCoords,
+    /// Per-step serial-tile base offsets.
+    StepSetup,
+    /// Phase 1a: cooperative staging of the A tile.
+    StageA,
+    /// Phase 1b: cooperative staging of the B tile.
+    StageB,
+    /// Phases 2+3: register loads and the outer product.
+    Compute,
+    /// Phase 4: the guarded output store.
+    Store,
+}
+
+/// A kernel-body statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `// text`
+    Comment(String),
+    /// An empty source line.
+    Blank,
+    /// One or more simple statements on a single source line.
+    Line(Vec<LineItem>),
+    /// `for (int var = init; var < limit; step) body`.
+    For {
+        var: String,
+        init: Expr,
+        limit: Expr,
+        step: LoopStep,
+        /// Precede the loop with `#pragma unroll`.
+        unroll: bool,
+        /// Braced body vs. a single indented statement.
+        braced: bool,
+        body: Vec<Stmt>,
+    },
+    /// `if (cond)` guarding a single unbraced statement.
+    If { cond: Expr, body: Vec<Stmt> },
+    /// The block-wide barrier between schema phases.
+    Barrier,
+    /// A semantically tagged region; transparent to printing.
+    Phase { tag: PhaseTag, body: Vec<Stmt> },
+}
+
+/// A `#define` at the top of the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Define {
+    pub name: String,
+    pub value: Expr,
+}
+
+/// A global-memory tensor parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorParam {
+    pub name: String,
+    pub is_const: bool,
+}
+
+/// Where an array declaration lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemSpace {
+    /// Block-shared scratchpad (`__shared__` / `__local`).
+    Shared,
+    /// Per-thread registers.
+    Register,
+}
+
+/// An array declaration (shared tile or register tile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub space: MemSpace,
+    /// One expression per bracket: `s_A[T_a * T_e]` has one, `r_C[REGY][REGX]` two.
+    pub dims: Vec<Expr>,
+}
+
+/// The launch geometry implied by the plan, recorded so the interpreter
+/// runs the same grid the emitted driver would launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Launch {
+    /// Per external index in C order: the `(N_i, T_i)` symbol pair whose
+    /// ceil-division factors multiply into the linear grid size.
+    pub grid_tiles: Vec<(String, String)>,
+    /// The `(TBX, TBY)` block-shape symbols.
+    pub block: (String, String),
+}
+
+/// Index names of the three tensors (C, A, B order), carried so the
+/// interpreter can shape buffers and the lint can check guard coverage
+/// without re-deriving the contraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorShapes {
+    pub c: Vec<IndexName>,
+    pub a: Vec<IndexName>,
+    pub b: Vec<IndexName>,
+}
+
+/// A complete lowered kernel: the single source of truth shared by the
+/// pretty-printers, the interpreter, and the structural lint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProgram {
+    /// The kernel function name.
+    pub name: String,
+    /// The `// contraction: …` header comment body.
+    pub contraction_comment: String,
+    /// The `// plan …` header comment body.
+    pub plan_comment: String,
+    /// Tile-size and group-size constants, in emission order.
+    pub defines: Vec<Define>,
+    /// The three tensor pointer parameters, in signature order (C, A, B).
+    pub tensor_params: [TensorParam; 3],
+    /// Runtime extent parameter names (`N_i`), sorted.
+    pub extent_params: Vec<String>,
+    /// The two shared-memory tiles (A then B).
+    pub smem: [ArrayDecl; 2],
+    /// Register arrays (`r_A`, `r_B`, `r_C`).
+    pub regs: Vec<ArrayDecl>,
+    /// The kernel body.
+    pub body: Vec<Stmt>,
+    /// Launch geometry for the interpreter.
+    pub launch: Launch,
+    /// Tensor index names for buffer shaping and guard-coverage checks.
+    pub shapes: TensorShapes,
+}

@@ -1,0 +1,85 @@
+//! Typed errors for lowering and interpretation.
+
+use std::fmt;
+
+use cogent_ir::IndexName;
+
+/// Everything that can go wrong lowering a plan to KIR or interpreting
+/// the resulting program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KirError {
+    /// A contraction index has no binding in the plan.
+    UnboundIndex { index: IndexName },
+    /// An expression references a symbol no enclosing scope declares.
+    UndefinedSymbol { name: String },
+    /// An expression references an array the program does not declare.
+    UndefinedArray { name: String },
+    /// An element access landed outside its array.
+    OutOfBounds {
+        array: String,
+        offset: i64,
+        len: usize,
+    },
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// A floating-point value reached an integer-only position (or the
+    /// reverse), e.g. a float used as an array subscript.
+    TypeMismatch { detail: String },
+    /// An array access used the wrong number of subscripts.
+    ArityMismatch {
+        array: String,
+        expected: usize,
+        got: usize,
+    },
+    /// The size map passed to the interpreter misses an extent.
+    MissingExtent { index: IndexName },
+    /// An input buffer's length disagrees with the extents implied by the
+    /// size map.
+    ShapeMismatch {
+        tensor: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for KirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KirError::UnboundIndex { index } => {
+                write!(f, "index '{index}' has no binding in the plan")
+            }
+            KirError::UndefinedSymbol { name } => {
+                write!(f, "undefined symbol '{name}'")
+            }
+            KirError::UndefinedArray { name } => {
+                write!(f, "undefined array '{name}'")
+            }
+            KirError::OutOfBounds { array, offset, len } => {
+                write!(f, "access {array}[{offset}] outside length {len}")
+            }
+            KirError::DivisionByZero => write!(f, "integer division by zero"),
+            KirError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            KirError::ArityMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array {array} declared with {expected} dimension(s), accessed with {got}"
+            ),
+            KirError::MissingExtent { index } => {
+                write!(f, "size map misses an extent for index '{index}'")
+            }
+            KirError::ShapeMismatch {
+                tensor,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tensor {tensor} has {got} element(s), extents imply {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KirError {}

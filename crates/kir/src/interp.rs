@@ -1,0 +1,633 @@
+//! A reference interpreter for [`KernelProgram`] trees.
+//!
+//! The machine emulates the launch the emitted driver would perform: for
+//! every block of the linear grid it instantiates `TBX × TBY` thread
+//! states (locals + register arrays) plus the block's shared-memory
+//! tiles, then walks the kernel body in **lockstep** — each statement is
+//! executed for every active thread before the next statement begins, and
+//! loop divergence deactivates threads individually (exactly the guarded
+//! tail behavior of real blocks). Lockstep is stricter than barrier
+//! semantics, so a well-placed [`crate::ast::Stmt::Barrier`] is a no-op;
+//! a *mis-scheduled* tree (e.g. the skip-sync fault transform, which
+//! moves the compute phase ahead of staging) still diverges because the
+//! data dependence itself is broken.
+//!
+//! Because the interpreter consumes the very tree the pretty-printers
+//! emit, agreement with `contract_reference` certifies the emitted text,
+//! not merely the plan it came from.
+
+use std::collections::HashMap;
+
+use cogent_gpu_sim::plan::KernelPlan;
+use cogent_ir::{IndexName, SizeMap};
+use cogent_tensor::{DenseTensor, Element};
+
+use crate::ast::{AssignOp, BinOp, Expr, KernelProgram, LValue, LineItem, LoopStep, Stmt};
+use crate::error::KirError;
+use crate::lower::lower_to_kir;
+
+/// A scalar value during evaluation: index arithmetic stays integral,
+/// tensor data is the element type.
+#[derive(Debug, Clone, Copy)]
+enum Val<T> {
+    I(i64),
+    F(T),
+}
+
+struct ThreadState<T> {
+    tid_x: i64,
+    tid_y: i64,
+    locals: HashMap<String, i64>,
+    regs: HashMap<String, Vec<T>>,
+}
+
+struct Machine<'d, T: Element> {
+    globals: HashMap<String, i64>,
+    /// Dimensions of each register array (for multi-subscript access).
+    reg_dims: HashMap<String, Vec<usize>>,
+    a: &'d [T],
+    b: &'d [T],
+    c: Vec<T>,
+    smem: HashMap<String, Vec<T>>,
+    threads: Vec<ThreadState<T>>,
+    block_id: i64,
+}
+
+/// Evaluates a constant expression over `#define`s and extents only.
+fn eval_const(expr: &Expr, globals: &HashMap<String, i64>) -> Result<i64, KirError> {
+    match expr {
+        Expr::Int(v) => Ok(*v),
+        Expr::Sym(name) => globals
+            .get(name)
+            .copied()
+            .ok_or_else(|| KirError::UndefinedSymbol { name: name.clone() }),
+        Expr::Paren(inner) => eval_const(inner, globals),
+        Expr::Bin(op, lhs, rhs) => {
+            let l = eval_const(lhs, globals)?;
+            let r = eval_const(rhs, globals)?;
+            int_bin(*op, l, r)
+        }
+        Expr::Min(a, b) => Ok(eval_const(a, globals)?.min(eval_const(b, globals)?)),
+        _ => Err(KirError::TypeMismatch {
+            detail: "non-constant expression in constant position".into(),
+        }),
+    }
+}
+
+fn int_bin(op: BinOp, l: i64, r: i64) -> Result<i64, KirError> {
+    Ok(match op {
+        BinOp::Add => l + r,
+        BinOp::Sub => l - r,
+        BinOp::Mul => l * r,
+        BinOp::Div => {
+            if r == 0 {
+                return Err(KirError::DivisionByZero);
+            }
+            l / r
+        }
+        BinOp::Mod => {
+            if r == 0 {
+                return Err(KirError::DivisionByZero);
+            }
+            l % r
+        }
+        BinOp::Lt => i64::from(l < r),
+        BinOp::And => i64::from(l != 0 && r != 0),
+    })
+}
+
+impl<T: Element> Machine<'_, T> {
+    fn eval(&self, expr: &Expr, t: usize) -> Result<Val<T>, KirError> {
+        match expr {
+            Expr::Int(v) => Ok(Val::I(*v)),
+            Expr::Sym(name) => {
+                if let Some(v) = self.threads[t].locals.get(name) {
+                    return Ok(Val::I(*v));
+                }
+                self.globals
+                    .get(name)
+                    .map(|v| Val::I(*v))
+                    .ok_or_else(|| KirError::UndefinedSymbol { name: name.clone() })
+            }
+            Expr::BlockId => Ok(Val::I(self.block_id)),
+            Expr::TidX => Ok(Val::I(self.threads[t].tid_x)),
+            Expr::TidY => Ok(Val::I(self.threads[t].tid_y)),
+            Expr::Paren(inner) => self.eval(inner, t),
+            Expr::Bin(op, lhs, rhs) => {
+                let l = self.eval(lhs, t)?;
+                let r = self.eval(rhs, t)?;
+                match (l, r) {
+                    (Val::I(l), Val::I(r)) => int_bin(*op, l, r).map(Val::I),
+                    (l, r) => {
+                        let (l, r) = (promote(l), promote(r));
+                        Ok(Val::F(match op {
+                            BinOp::Add => l + r,
+                            BinOp::Sub => l - r,
+                            BinOp::Mul => l * r,
+                            _ => {
+                                return Err(KirError::TypeMismatch {
+                                    detail: format!("operator {} on floating operands", op.token()),
+                                })
+                            }
+                        }))
+                    }
+                }
+            }
+            Expr::Cond(cond, then, els) => {
+                // Only the taken branch is evaluated: the untaken branch of
+                // a guarded load is out of bounds by construction.
+                if self.eval_int(cond, t)? != 0 {
+                    self.eval(then, t)
+                } else {
+                    self.eval(els, t)
+                }
+            }
+            Expr::Index(array, subs) => {
+                let off = self.element_offset(array, subs, t)?;
+                let data: &[T] = match array.as_str() {
+                    "g_A" => self.a,
+                    "g_B" => self.b,
+                    "g_C" => &self.c,
+                    _ => {
+                        if let Some(r) = self.threads[t].regs.get(array) {
+                            r
+                        } else if let Some(s) = self.smem.get(array) {
+                            s
+                        } else {
+                            return Err(KirError::UndefinedArray {
+                                name: array.clone(),
+                            });
+                        }
+                    }
+                };
+                let idx = usize::try_from(off).map_err(|_| KirError::OutOfBounds {
+                    array: array.clone(),
+                    offset: off,
+                    len: data.len(),
+                })?;
+                data.get(idx)
+                    .copied()
+                    .map(Val::F)
+                    .ok_or(KirError::OutOfBounds {
+                        array: array.clone(),
+                        offset: off,
+                        len: data.len(),
+                    })
+            }
+            Expr::Min(a, b) => {
+                let a = self.eval_int(a, t)?;
+                let b = self.eval_int(b, t)?;
+                Ok(Val::I(a.min(b)))
+            }
+        }
+    }
+
+    fn eval_int(&self, expr: &Expr, t: usize) -> Result<i64, KirError> {
+        match self.eval(expr, t)? {
+            Val::I(v) => Ok(v),
+            Val::F(_) => Err(KirError::TypeMismatch {
+                detail: "floating value in integer position".into(),
+            }),
+        }
+    }
+
+    /// Linearizes a (possibly multi-subscript) element access.
+    fn element_offset(&self, array: &str, subs: &[Expr], t: usize) -> Result<i64, KirError> {
+        if let Some(dims) = self.reg_dims.get(array) {
+            if dims.len() != subs.len() {
+                return Err(KirError::ArityMismatch {
+                    array: array.into(),
+                    expected: dims.len(),
+                    got: subs.len(),
+                });
+            }
+            let mut off = 0i64;
+            for (sub, dim) in subs.iter().zip(dims) {
+                off = off * (*dim as i64) + self.eval_int(sub, t)?;
+            }
+            Ok(off)
+        } else {
+            // Shared tiles and tensor parameters are flat.
+            if subs.len() != 1 {
+                return Err(KirError::ArityMismatch {
+                    array: array.into(),
+                    expected: 1,
+                    got: subs.len(),
+                });
+            }
+            self.eval_int(&subs[0], t)
+        }
+    }
+
+    fn assign(&mut self, item: &LineItem, t: usize) -> Result<(), KirError> {
+        match item {
+            LineItem::DeclInt { name, init, .. } => {
+                let v = self.eval_int(init, t)?;
+                self.threads[t].locals.insert(name.clone(), v);
+                Ok(())
+            }
+            LineItem::Assign { target, op, value } => match target {
+                LValue::Var(name) => {
+                    let rhs = self.eval_int(value, t)?;
+                    let slot = self.threads[t]
+                        .locals
+                        .get_mut(name)
+                        .ok_or_else(|| KirError::UndefinedSymbol { name: name.clone() })?;
+                    match op {
+                        AssignOp::Assign => *slot = rhs,
+                        AssignOp::AddAssign => *slot += rhs,
+                        AssignOp::DivAssign => {
+                            if rhs == 0 {
+                                return Err(KirError::DivisionByZero);
+                            }
+                            *slot /= rhs;
+                        }
+                    }
+                    Ok(())
+                }
+                LValue::Elem(array, subs) => {
+                    let off = self.element_offset(array, subs, t)?;
+                    let rhs = promote(self.eval(value, t)?);
+                    let data: &mut Vec<T> = match array.as_str() {
+                        "g_C" => &mut self.c,
+                        _ => {
+                            if self.threads[t].regs.contains_key(array) {
+                                self.threads[t].regs.get_mut(array).ok_or_else(|| {
+                                    KirError::UndefinedArray {
+                                        name: array.clone(),
+                                    }
+                                })?
+                            } else if let Some(s) = self.smem.get_mut(array) {
+                                s
+                            } else {
+                                return Err(KirError::UndefinedArray {
+                                    name: array.clone(),
+                                });
+                            }
+                        }
+                    };
+                    let len = data.len();
+                    let idx = usize::try_from(off).ok().filter(|i| *i < len).ok_or(
+                        KirError::OutOfBounds {
+                            array: array.clone(),
+                            offset: off,
+                            len,
+                        },
+                    )?;
+                    match op {
+                        AssignOp::Assign => data[idx] = rhs,
+                        AssignOp::AddAssign => data[idx] += rhs,
+                        AssignOp::DivAssign => {
+                            return Err(KirError::TypeMismatch {
+                                detail: "/= on array element".into(),
+                            })
+                        }
+                    }
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt], active: &[usize]) -> Result<(), KirError> {
+        for stmt in stmts {
+            self.exec_stmt(stmt, active)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, active: &[usize]) -> Result<(), KirError> {
+        match stmt {
+            Stmt::Comment(_) | Stmt::Blank => Ok(()),
+            // Lockstep execution synchronizes at every statement, so the
+            // barrier itself carries no extra semantics here.
+            Stmt::Barrier => Ok(()),
+            Stmt::Phase { body, .. } => self.exec_stmts(body, active),
+            Stmt::Line(items) => {
+                for &t in active {
+                    for item in items {
+                        self.assign(item, t)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { cond, body } => {
+                let mut taken = Vec::with_capacity(active.len());
+                for &t in active {
+                    if self.eval_int(cond, t)? != 0 {
+                        taken.push(t);
+                    }
+                }
+                if !taken.is_empty() {
+                    self.exec_stmts(body, &taken)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                var,
+                init,
+                limit,
+                step,
+                body,
+                ..
+            } => {
+                for &t in active {
+                    let v = self.eval_int(init, t)?;
+                    self.threads[t].locals.insert(var.clone(), v);
+                }
+                loop {
+                    let mut still = Vec::with_capacity(active.len());
+                    for &t in active {
+                        let v = *self.threads[t]
+                            .locals
+                            .get(var)
+                            .ok_or_else(|| KirError::UndefinedSymbol { name: var.clone() })?;
+                        if v < self.eval_int(limit, t)? {
+                            still.push(t);
+                        }
+                    }
+                    if still.is_empty() {
+                        return Ok(());
+                    }
+                    self.exec_stmts(body, &still)?;
+                    for &t in &still {
+                        let delta = match step {
+                            LoopStep::Inc => 1,
+                            LoopStep::AddAssign(e) => self.eval_int(e, t)?,
+                        };
+                        if let Some(slot) = self.threads[t].locals.get_mut(var) {
+                            *slot += delta;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn promote<T: Element>(v: Val<T>) -> T {
+    match v {
+        Val::I(i) => T::from_f64(i as f64),
+        Val::F(f) => f,
+    }
+}
+
+fn shape_of(indices: &[IndexName], sizes: &SizeMap) -> Result<Vec<usize>, KirError> {
+    indices
+        .iter()
+        .map(|i| {
+            sizes
+                .extent(i.as_str())
+                .ok_or_else(|| KirError::MissingExtent { index: i.clone() })
+        })
+        .collect()
+}
+
+/// Runs the kernel program over the given inputs and returns the output
+/// tensor, shaped by the program's C indices under `sizes`.
+///
+/// # Errors
+///
+/// Any [`KirError`]: missing extents, shape mismatches between the inputs
+/// and `sizes`, or a malformed tree (undefined symbols, out-of-bounds
+/// accesses — which a correctly lowered program never produces).
+pub fn interpret<T: Element>(
+    prog: &KernelProgram,
+    sizes: &SizeMap,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+) -> Result<DenseTensor<T>, KirError> {
+    let mut globals: HashMap<String, i64> = HashMap::new();
+    for indices in [&prog.shapes.c, &prog.shapes.a, &prog.shapes.b] {
+        for idx in indices.iter() {
+            let extent = sizes
+                .extent(idx.as_str())
+                .ok_or_else(|| KirError::MissingExtent { index: idx.clone() })?;
+            globals.insert(format!("N_{idx}"), extent as i64);
+        }
+    }
+    for d in &prog.defines {
+        let v = eval_const(&d.value, &globals)?;
+        globals.insert(d.name.clone(), v);
+    }
+
+    let a_shape = shape_of(&prog.shapes.a, sizes)?;
+    let b_shape = shape_of(&prog.shapes.b, sizes)?;
+    let c_shape = shape_of(&prog.shapes.c, sizes)?;
+    for (name, shape, len) in [("g_A", &a_shape, a.len()), ("g_B", &b_shape, b.len())] {
+        let expected: usize = shape.iter().product();
+        if expected != len {
+            return Err(KirError::ShapeMismatch {
+                tensor: name.into(),
+                expected,
+                got: len,
+            });
+        }
+    }
+
+    let get = |name: &str| -> Result<i64, KirError> {
+        globals
+            .get(name)
+            .copied()
+            .ok_or_else(|| KirError::UndefinedSymbol { name: name.into() })
+    };
+    let mut num_blocks: i64 = 1;
+    for (n_sym, t_sym) in &prog.launch.grid_tiles {
+        let n = get(n_sym)?;
+        let t = get(t_sym)?;
+        if t == 0 {
+            return Err(KirError::DivisionByZero);
+        }
+        num_blocks *= (n + t - 1) / t;
+    }
+    let tbx = get(&prog.launch.block.0)?;
+    let tby = get(&prog.launch.block.1)?;
+
+    let mut reg_dims: HashMap<String, Vec<usize>> = HashMap::new();
+    for decl in &prog.regs {
+        let dims: Result<Vec<usize>, KirError> = decl
+            .dims
+            .iter()
+            .map(|d| {
+                let v = eval_const(d, &globals)?;
+                usize::try_from(v).map_err(|_| KirError::TypeMismatch {
+                    detail: format!("negative array dimension in {}", decl.name),
+                })
+            })
+            .collect();
+        reg_dims.insert(decl.name.clone(), dims?);
+    }
+    let mut smem_lens: Vec<(String, usize)> = Vec::new();
+    for decl in &prog.smem {
+        let mut len = 1usize;
+        for d in &decl.dims {
+            let v = eval_const(d, &globals)?;
+            len *= usize::try_from(v).map_err(|_| KirError::TypeMismatch {
+                detail: format!("negative array dimension in {}", decl.name),
+            })?;
+        }
+        smem_lens.push((decl.name.clone(), len));
+    }
+
+    let c_len: usize = c_shape.iter().product();
+    let mut machine = Machine {
+        globals,
+        reg_dims,
+        a: a.as_slice(),
+        b: b.as_slice(),
+        c: vec![T::ZERO; c_len],
+        smem: HashMap::new(),
+        threads: Vec::new(),
+        block_id: 0,
+    };
+
+    for block in 0..num_blocks {
+        machine.block_id = block;
+        machine.smem = smem_lens
+            .iter()
+            .map(|(name, len)| (name.clone(), vec![T::ZERO; *len]))
+            .collect();
+        machine.threads = (0..tby)
+            .flat_map(|ty| (0..tbx).map(move |tx| (tx, ty)))
+            .map(|(tid_x, tid_y)| ThreadState {
+                tid_x,
+                tid_y,
+                locals: HashMap::new(),
+                regs: machine
+                    .reg_dims
+                    .iter()
+                    .map(|(name, dims)| (name.clone(), vec![T::ZERO; dims.iter().product()]))
+                    .collect(),
+            })
+            .collect();
+        let active: Vec<usize> = (0..machine.threads.len()).collect();
+        let body = &prog.body;
+        machine.exec_stmts(body, &active)?;
+    }
+
+    Ok(DenseTensor::from_vec(&c_shape, machine.c))
+}
+
+/// Lowers `plan` and interprets the resulting program at the plan's own
+/// extents — the one-call entry point for differential checks.
+///
+/// # Errors
+///
+/// Same as [`lower_to_kir`] and [`interpret`].
+pub fn interpret_plan<T: Element>(
+    plan: &KernelPlan,
+    a: &DenseTensor<T>,
+    b: &DenseTensor<T>,
+) -> Result<DenseTensor<T>, KirError> {
+    let prog = lower_to_kir(plan)?;
+    let sizes = SizeMap::from_pairs(plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
+    interpret(&prog, &sizes, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_gpu_sim::plan::{IndexBinding, MapDim};
+    use cogent_gpu_sim::try_execute_plan;
+    use cogent_ir::Contraction;
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    fn check(plan: &KernelPlan, seed: u64) {
+        let sizes =
+            SizeMap::from_pairs(plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
+        let (a, b) = random_inputs::<f64>(plan.contraction(), &sizes, seed);
+        let got = interpret_plan(plan, &a, &b).unwrap();
+        let want = contract_reference(plan.contraction(), &sizes, &a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-11),
+            "interpreter diverges from reference: {:e}",
+            got.max_abs_diff(&want)
+        );
+        let exec = try_execute_plan(plan, &a, &b).unwrap();
+        assert!(
+            got.approx_eq(&exec, 1e-12),
+            "interpreter diverges from executor: {:e}",
+            got.max_abs_diff(&exec)
+        );
+    }
+
+    #[test]
+    fn matmul_matches_reference_and_executor() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("i", 9, 4, MapDim::ThreadX),
+                IndexBinding::new("j", 7, 4, MapDim::ThreadY),
+                IndexBinding::new("k", 5, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        check(&plan, 3);
+    }
+
+    #[test]
+    fn ragged_eq1_matches_reference_and_executor() {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 7, 2, MapDim::ThreadX),
+                IndexBinding::new("b", 6, 2, MapDim::RegX),
+                IndexBinding::new("c", 7, 2, MapDim::ThreadY),
+                IndexBinding::new("d", 5, 2, MapDim::RegY),
+                IndexBinding::new("e", 6, 4, MapDim::SerialK),
+                IndexBinding::new("f", 5, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        check(&plan, 9);
+    }
+
+    #[test]
+    fn grid_mapped_and_accumulate_modes() {
+        use cogent_gpu_sim::plan::StoreMode;
+        let tc: Contraction = "abc-bda-dc".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 6, 2, MapDim::ThreadX),
+                IndexBinding::new("b", 5, 1, MapDim::Grid),
+                IndexBinding::new("c", 4, 2, MapDim::ThreadY),
+                IndexBinding::new("d", 5, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        check(&plan, 5);
+
+        // Accumulate mode adds onto the (zero-initialized) output.
+        let acc = plan.clone().with_store_mode(StoreMode::Accumulate);
+        let sizes = SizeMap::from_pairs(acc.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
+        let (a, b) = random_inputs::<f64>(acc.contraction(), &sizes, 5);
+        let got = interpret_plan(&acc, &a, &b).unwrap();
+        let want = contract_reference(acc.contraction(), &sizes, &a, &b);
+        assert!(got.approx_eq(&want, 1e-11));
+    }
+
+    #[test]
+    fn missing_extent_is_a_typed_error() {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        let plan = KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("i", 4, 2, MapDim::ThreadX),
+                IndexBinding::new("j", 4, 2, MapDim::ThreadY),
+                IndexBinding::new("k", 4, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap();
+        let prog = lower_to_kir(&plan).unwrap();
+        let sizes = SizeMap::from_pairs([("i", 4), ("j", 4)]);
+        let a = DenseTensor::<f64>::zeros(&[4, 4]);
+        let b = DenseTensor::<f64>::zeros(&[4, 4]);
+        assert!(matches!(
+            interpret(&prog, &sizes, &a, &b),
+            Err(KirError::MissingExtent { .. })
+        ));
+    }
+}

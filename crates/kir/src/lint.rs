@@ -1,0 +1,506 @@
+//! Structural (IR-level) lint over [`KernelProgram`] trees.
+//!
+//! The text lint in `cogent-core` checks the *printed* kernel; this pass
+//! checks the *tree* before any dialect gets involved, so a malformed
+//! lowering is caught once instead of three times. Three properties are
+//! verified:
+//!
+//! 1. **Symbol discipline** — every scalar an expression references is
+//!    declared by an enclosing scope (a `#define`, an extent parameter,
+//!    or a `const int` that dominates the use), and every array access
+//!    names a declared tensor parameter, shared tile, or register array.
+//! 2. **Barrier placement** — inside the serial step loop, a block-wide
+//!    barrier separates the staging phases from the compute phase, and a
+//!    second barrier separates compute from the next iteration's staging.
+//! 3. **Guard coverage** — each cooperative staging store guards its
+//!    global load on *every* index of the staged tensor, and the output
+//!    store is guarded on every index of C, so partial tiles can never
+//!    read or write out of bounds.
+
+use std::collections::HashSet;
+
+use crate::ast::{Expr, KernelProgram, LValue, LineItem, LoopStep, PhaseTag, Stmt};
+
+/// The result of a structural lint pass: human-readable findings, empty
+/// when the program is well-formed.
+#[derive(Debug, Clone, Default)]
+pub struct IrLintReport {
+    pub findings: Vec<String>,
+}
+
+impl IrLintReport {
+    /// True when no structural problem was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+struct SymbolChecker<'p> {
+    scopes: Vec<HashSet<String>>,
+    arrays: HashSet<&'p str>,
+    findings: Vec<String>,
+}
+
+impl<'p> SymbolChecker<'p> {
+    fn new(prog: &'p KernelProgram) -> Self {
+        let mut globals = HashSet::new();
+        for d in &prog.defines {
+            globals.insert(d.name.clone());
+        }
+        for n in &prog.extent_params {
+            globals.insert(n.clone());
+        }
+        let mut arrays: HashSet<&str> = HashSet::new();
+        for p in &prog.tensor_params {
+            arrays.insert(p.name.as_str());
+        }
+        for d in prog.smem.iter().chain(prog.regs.iter()) {
+            arrays.insert(d.name.as_str());
+        }
+        SymbolChecker {
+            scopes: vec![globals],
+            arrays,
+            findings: Vec::new(),
+        }
+    }
+
+    fn declared(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+
+    fn declare(&mut self, name: &str) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string());
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Int(_) | Expr::BlockId | Expr::TidX | Expr::TidY => {}
+            Expr::Sym(name) => {
+                if !self.declared(name) {
+                    self.findings
+                        .push(format!("symbol '{name}' is referenced but never declared"));
+                }
+            }
+            Expr::Paren(inner) => self.check_expr(inner),
+            Expr::Bin(_, l, r) | Expr::Min(l, r) => {
+                self.check_expr(l);
+                self.check_expr(r);
+            }
+            Expr::Cond(c, t, e) => {
+                self.check_expr(c);
+                self.check_expr(t);
+                self.check_expr(e);
+            }
+            Expr::Index(array, subs) => {
+                if !self.arrays.contains(array.as_str()) {
+                    self.findings
+                        .push(format!("array '{array}' is accessed but never declared"));
+                }
+                for s in subs {
+                    self.check_expr(s);
+                }
+            }
+        }
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Comment(_) | Stmt::Blank | Stmt::Barrier => {}
+                Stmt::Line(items) => {
+                    for item in items {
+                        match item {
+                            LineItem::DeclInt { name, init, .. } => {
+                                self.check_expr(init);
+                                self.declare(name);
+                            }
+                            LineItem::Assign { target, value, .. } => {
+                                match target {
+                                    LValue::Var(name) => {
+                                        if !self.declared(name) {
+                                            self.findings.push(format!(
+                                                "assignment to undeclared symbol '{name}'"
+                                            ));
+                                        }
+                                    }
+                                    LValue::Elem(array, subs) => {
+                                        if !self.arrays.contains(array.as_str()) {
+                                            self.findings.push(format!(
+                                                "store to undeclared array '{array}'"
+                                            ));
+                                        }
+                                        for s in subs {
+                                            self.check_expr(s);
+                                        }
+                                    }
+                                }
+                                self.check_expr(value);
+                            }
+                        }
+                    }
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    limit,
+                    step,
+                    body,
+                    ..
+                } => {
+                    self.check_expr(init);
+                    self.scopes.push(HashSet::new());
+                    self.declare(var);
+                    self.check_expr(limit);
+                    if let LoopStep::AddAssign(e) = step {
+                        self.check_expr(e);
+                    }
+                    self.check_stmts(body);
+                    self.scopes.pop();
+                }
+                Stmt::If { cond, body } => {
+                    self.check_expr(cond);
+                    self.scopes.push(HashSet::new());
+                    self.check_stmts(body);
+                    self.scopes.pop();
+                }
+                Stmt::Phase { body, .. } => self.check_stmts(body),
+            }
+        }
+    }
+}
+
+/// Markers extracted from the step-loop body for the barrier check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Marker {
+    Stage,
+    Compute,
+    Barrier,
+}
+
+fn contains_compute(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Phase { tag, body } => *tag == PhaseTag::Compute || contains_compute(body),
+        Stmt::For { body, .. } | Stmt::If { body, .. } => contains_compute(body),
+        _ => false,
+    })
+}
+
+/// Finds the serial step loop: the outermost `for` whose body contains the
+/// compute phase.
+fn find_step_loop(stmts: &[Stmt]) -> Option<&[Stmt]> {
+    for s in stmts {
+        match s {
+            Stmt::For { body, .. } if contains_compute(body) => return Some(body),
+            Stmt::Phase { body, .. } => {
+                if let Some(found) = find_step_loop(body) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_barriers(prog: &KernelProgram, findings: &mut Vec<String>) {
+    let Some(step_body) = find_step_loop(&prog.body) else {
+        findings.push("no serial step loop containing a compute phase".into());
+        return;
+    };
+    let mut markers = Vec::new();
+    for s in step_body {
+        match s {
+            Stmt::Phase { tag, .. } => match tag {
+                PhaseTag::StageA | PhaseTag::StageB => markers.push(Marker::Stage),
+                PhaseTag::Compute => markers.push(Marker::Compute),
+                _ => {}
+            },
+            Stmt::Barrier => markers.push(Marker::Barrier),
+            _ => {}
+        }
+    }
+    let last_stage = markers.iter().rposition(|m| *m == Marker::Stage);
+    let compute = markers.iter().position(|m| *m == Marker::Compute);
+    match (last_stage, compute) {
+        (Some(stage), Some(compute)) => {
+            if compute < stage {
+                findings.push("compute phase precedes a staging phase inside the step loop".into());
+            } else if !markers[stage..compute].contains(&Marker::Barrier) {
+                findings.push("no barrier between the staging phases and the compute phase".into());
+            }
+            if let Some(compute) = compute.checked_add(1) {
+                if !markers[compute..].contains(&Marker::Barrier) {
+                    findings.push(
+                        "no barrier between the compute phase and the next staging step".into(),
+                    );
+                }
+            }
+        }
+        (None, _) => findings.push("step loop has no staging phase".into()),
+        (_, None) => findings.push("step loop has no compute phase".into()),
+    }
+}
+
+/// Collects the `N_*` symbols appearing as the right-hand side of `<`
+/// comparisons in a guard conjunction.
+fn guard_extents(expr: &Expr, out: &mut HashSet<String>) {
+    match expr {
+        Expr::Paren(inner) => guard_extents(inner, out),
+        Expr::Bin(crate::ast::BinOp::And, l, r) => {
+            guard_extents(l, out);
+            guard_extents(r, out);
+        }
+        Expr::Bin(crate::ast::BinOp::Lt, _, rhs) => {
+            if let Expr::Sym(name) = rhs.as_ref() {
+                out.insert(name.clone());
+            }
+        }
+        _ => {}
+    }
+}
+
+fn required_extents(indices: &[cogent_ir::IndexName]) -> HashSet<String> {
+    indices.iter().map(|i| format!("N_{i}")).collect()
+}
+
+fn find_phase(stmts: &[Stmt], tag: PhaseTag) -> Option<&[Stmt]> {
+    for s in stmts {
+        match s {
+            Stmt::Phase { tag: t, body } => {
+                if *t == tag {
+                    return Some(body);
+                }
+                if let Some(found) = find_phase(body, tag) {
+                    return Some(found);
+                }
+            }
+            Stmt::For { body, .. } | Stmt::If { body, .. } => {
+                if let Some(found) = find_phase(body, tag) {
+                    return Some(found);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds the guarded-load condition of the staging store inside a staging
+/// phase body, i.e. the `guard` of `s_X[p] = guard ? g_X[off] : 0;`.
+fn staging_guard(stmts: &[Stmt]) -> Option<Option<&Expr>> {
+    for s in stmts {
+        match s {
+            Stmt::For { body, .. } | Stmt::Phase { body, .. } => {
+                if let Some(found) = staging_guard(body) {
+                    return Some(found);
+                }
+            }
+            Stmt::Line(items) => {
+                for item in items {
+                    if let LineItem::Assign {
+                        target: LValue::Elem(array, _),
+                        value,
+                        ..
+                    } = item
+                    {
+                        if array.starts_with("s_") {
+                            return Some(match value {
+                                Expr::Cond(cond, _, _) => Some(cond),
+                                _ => None,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_guards(prog: &KernelProgram, findings: &mut Vec<String>) {
+    for (tag, tensor, indices) in [
+        (PhaseTag::StageA, "A", &prog.shapes.a),
+        (PhaseTag::StageB, "B", &prog.shapes.b),
+    ] {
+        let Some(phase) = find_phase(&prog.body, tag) else {
+            findings.push(format!("staging phase for tensor {tensor} is missing"));
+            continue;
+        };
+        match staging_guard(phase) {
+            None => findings.push(format!(
+                "staging phase for tensor {tensor} has no shared-memory store"
+            )),
+            Some(None) => findings.push(format!(
+                "staging store for tensor {tensor} loads global memory unguarded"
+            )),
+            Some(Some(cond)) => {
+                let mut covered = HashSet::new();
+                guard_extents(cond, &mut covered);
+                for need in required_extents(indices) {
+                    if !covered.contains(&need) {
+                        findings.push(format!(
+                            "staging guard for tensor {tensor} does not bound {need}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let Some(store) = find_phase(&prog.body, PhaseTag::Store) else {
+        findings.push("store phase is missing".into());
+        return;
+    };
+    let mut store_guard = None;
+    fn find_if(stmts: &[Stmt]) -> Option<&Expr> {
+        for s in stmts {
+            match s {
+                Stmt::If { cond, .. } => return Some(cond),
+                Stmt::For { body, .. } | Stmt::Phase { body, .. } => {
+                    if let Some(found) = find_if(body) {
+                        return Some(found);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    if let Some(cond) = find_if(store) {
+        store_guard = Some(cond);
+    }
+    match store_guard {
+        None => findings.push("output store is not guarded".into()),
+        Some(cond) => {
+            let mut covered = HashSet::new();
+            guard_extents(cond, &mut covered);
+            for need in required_extents(&prog.shapes.c) {
+                if !covered.contains(&need) {
+                    findings.push(format!("store guard does not bound {need}"));
+                }
+            }
+        }
+    }
+}
+
+/// Runs every structural check over the program.
+pub fn lint_kernel_program(prog: &KernelProgram) -> IrLintReport {
+    let mut checker = SymbolChecker::new(prog);
+    for decl in prog.smem.iter().chain(prog.regs.iter()) {
+        for dim in &decl.dims {
+            checker.check_expr(dim);
+        }
+    }
+    for d in &prog.defines {
+        checker.check_expr(&d.value);
+    }
+    checker.check_stmts(&prog.body);
+    let mut findings = checker.findings;
+    check_barriers(prog, &mut findings);
+    check_guards(prog, &mut findings);
+    IrLintReport { findings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_to_kir;
+    use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+    use cogent_ir::Contraction;
+
+    fn plan() -> KernelPlan {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 7, 2, MapDim::ThreadX),
+                IndexBinding::new("b", 6, 2, MapDim::RegX),
+                IndexBinding::new("c", 7, 2, MapDim::ThreadY),
+                IndexBinding::new("d", 5, 2, MapDim::RegY),
+                IndexBinding::new("e", 6, 4, MapDim::SerialK),
+                IndexBinding::new("f", 5, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowered_program_is_structurally_clean() {
+        let prog = lower_to_kir(&plan()).unwrap();
+        let report = lint_kernel_program(&prog);
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn undeclared_symbol_is_flagged() {
+        let mut prog = lower_to_kir(&plan()).unwrap();
+        prog.body.push(Stmt::Line(vec![LineItem::Assign {
+            target: LValue::Var("ghost".into()),
+            op: crate::ast::AssignOp::Assign,
+            value: Expr::sym("nowhere"),
+        }]));
+        let report = lint_kernel_program(&prog);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.contains("'ghost'") || f.contains("'nowhere'")));
+    }
+
+    #[test]
+    fn missing_barrier_between_staging_and_compute_is_flagged() {
+        let mut prog = lower_to_kir(&plan()).unwrap();
+        fn strip_barriers(stmts: &mut Vec<Stmt>) {
+            stmts.retain(|s| !matches!(s, Stmt::Barrier));
+            for s in stmts {
+                match s {
+                    Stmt::For { body, .. } | Stmt::If { body, .. } | Stmt::Phase { body, .. } => {
+                        strip_barriers(body)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        strip_barriers(&mut prog.body);
+        let report = lint_kernel_program(&prog);
+        assert!(report.findings.iter().any(|f| f.contains("barrier")));
+    }
+
+    #[test]
+    fn unguarded_staging_store_is_flagged() {
+        let prog = lower_to_kir(&plan()).unwrap();
+        let faulted = crate::fault::apply_exec_faults(
+            &prog,
+            &cogent_gpu_sim::ExecFaults {
+                drop_tail_guard: true,
+                ..cogent_gpu_sim::ExecFaults::NONE
+            },
+        );
+        let report = lint_kernel_program(&faulted);
+        assert!(
+            report.findings.iter().any(|f| f.contains("unguarded")),
+            "findings: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn compute_before_staging_is_flagged() {
+        let prog = lower_to_kir(&plan()).unwrap();
+        let faulted = crate::fault::apply_exec_faults(
+            &prog,
+            &cogent_gpu_sim::ExecFaults {
+                skip_sync: true,
+                ..cogent_gpu_sim::ExecFaults::NONE
+            },
+        );
+        let report = lint_kernel_program(&faulted);
+        assert!(
+            report.findings.iter().any(|f| f.contains("precedes")),
+            "findings: {:?}",
+            report.findings
+        );
+    }
+}

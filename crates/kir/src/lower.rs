@@ -1,0 +1,776 @@
+//! Lowering: `KernelPlan` → [`KernelProgram`].
+//!
+//! This is the single place the four-phase schema of Algorithm 1 is
+//! spelled out. Everything downstream — CUDA/OpenCL/HIP printing, the
+//! reference interpreter, the structural lint — walks the tree this
+//! module builds, so the emitted text and the executed semantics cannot
+//! disagree.
+
+use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim, StoreMode};
+use cogent_ir::TensorRef;
+
+use crate::ast::{
+    ArrayDecl, AssignOp, BinOp, Define, Expr, KernelProgram, LValue, Launch, LineItem, LoopStep,
+    MemSpace, PhaseTag, Stmt, TensorParam, TensorShapes,
+};
+use crate::error::KirError;
+
+/// A deterministic kernel name derived from the contraction's TCCG string
+/// when every index is a single character. Otherwise the name is built
+/// from the (case-preserved, sanitized) tensor names plus a short content
+/// hash of the full index structure, so distinct contractions can never
+/// collide — `A`/`a` tensor pairs and multi-character or non-identifier
+/// index names all stay apart.
+pub fn kernel_name(plan: &KernelPlan) -> String {
+    let tc = plan.contraction();
+    match tc.to_tccg_string() {
+        Some(s) => format!("tc_{}", s.replace('-', "_")),
+        None => {
+            let mut hash = Fnv1a::new();
+            for t in [tc.c(), tc.a(), tc.b()] {
+                hash.write(t.name().as_bytes());
+                hash.write(b"\x1f");
+                for i in t.indices() {
+                    hash.write(i.as_str().as_bytes());
+                    hash.write(b"\x1f");
+                }
+                hash.write(b"\x1e");
+            }
+            format!(
+                "tc_{}_{}_{}_{:08x}",
+                sanitize_ident(tc.c().name()),
+                sanitize_ident(tc.a().name()),
+                sanitize_ident(tc.b().name()),
+                hash.finish() as u32
+            )
+        }
+    }
+}
+
+/// Maps a tensor name onto C identifier characters, preserving case (the
+/// old lowercasing collapsed `A` and `a` into the same kernel name).
+fn sanitize_ident(name: &str) -> String {
+    if name.is_empty() {
+        return "t".to_owned();
+    }
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// FNV-1a 64-bit, dependency-free and stable across platforms.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn t_sym(idx: &str) -> Expr {
+    Expr::sym(format!("T_{idx}"))
+}
+
+fn n_sym(idx: &str) -> Expr {
+    Expr::sym(format!("N_{idx}"))
+}
+
+/// `(N_i + T_i - 1) / T_i` — the number of tiles along one index.
+fn ceil_div_tiles(idx: &str) -> Expr {
+    Expr::bin(
+        BinOp::Div,
+        Expr::paren(Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Add, n_sym(idx), t_sym(idx)),
+            Expr::Int(1),
+        )),
+        t_sym(idx),
+    )
+}
+
+/// The Horner-form offset over `tensor`'s indices, innermost (fastest)
+/// index first, with radix symbols `<radix>_<idx>`.
+fn horner_offset(tensor: &TensorRef, radix: &str, coord: impl Fn(&str) -> Expr) -> Expr {
+    let mut expr: Option<Expr> = None;
+    for idx in tensor.indices().iter().rev() {
+        let c = coord(idx.as_str());
+        expr = Some(match expr {
+            None => c,
+            Some(inner) => Expr::bin(
+                BinOp::Add,
+                c,
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::sym(format!("{radix}_{idx}")),
+                    Expr::paren(inner),
+                ),
+            ),
+        });
+    }
+    expr.unwrap_or(Expr::Int(0))
+}
+
+/// The conjunction `coord(i) < N_i && …` over `tensor`'s indices.
+fn guard_chain(tensor: &TensorRef, coord: impl Fn(&str) -> Expr) -> Expr {
+    let mut expr: Option<Expr> = None;
+    for idx in tensor.indices() {
+        let cmp = Expr::bin(BinOp::Lt, coord(idx.as_str()), n_sym(idx.as_str()));
+        expr = Some(match expr {
+            None => cmp,
+            Some(acc) => Expr::bin(BinOp::And, acc, cmp),
+        });
+    }
+    expr.unwrap_or(Expr::Int(1))
+}
+
+/// `T_i * T_j * …` — the element count of a staged tile.
+fn tile_elems(tensor: &TensorRef) -> Expr {
+    let mut expr: Option<Expr> = None;
+    for idx in tensor.indices() {
+        let t = t_sym(idx.as_str());
+        expr = Some(match expr {
+            None => t,
+            Some(acc) => Expr::bin(BinOp::Mul, acc, t),
+        });
+    }
+    expr.unwrap_or(Expr::Int(1))
+}
+
+/// A `const int <name> = <init>;` line.
+fn decl_const(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Line(vec![LineItem::DeclInt {
+        name: name.into(),
+        init,
+        mutable: false,
+    }])
+}
+
+/// An `int <name> = <init>;` line.
+fn decl_mut(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Line(vec![LineItem::DeclInt {
+        name: name.into(),
+        init,
+        mutable: true,
+    }])
+}
+
+/// The mixed-radix decomposition of `var` over the bindings of `dim`:
+/// `int <p>_rem = var;` then one digit-extraction line per index.
+fn group_decomposition(plan: &KernelPlan, dim: MapDim, var: Expr, prefix: &str) -> Vec<Stmt> {
+    let group: Vec<&IndexBinding> = plan.group_bindings(dim).collect();
+    if group.is_empty() {
+        return Vec::new();
+    }
+    let rem = format!("{prefix}_rem");
+    let mut out = vec![decl_mut(rem.clone(), var)];
+    for (i, b) in group.iter().enumerate() {
+        let digit = format!("{prefix}_{}", b.name);
+        if i + 1 < group.len() {
+            out.push(Stmt::Line(vec![
+                LineItem::DeclInt {
+                    name: digit,
+                    init: Expr::bin(BinOp::Mod, Expr::sym(rem.clone()), t_sym(b.name.as_str())),
+                    mutable: false,
+                },
+                LineItem::Assign {
+                    target: LValue::Var(rem.clone()),
+                    op: AssignOp::DivAssign,
+                    value: t_sym(b.name.as_str()),
+                },
+            ]));
+        } else {
+            out.push(decl_const(digit, Expr::sym(rem.clone())));
+        }
+    }
+    out
+}
+
+/// The coordinate of `idx` as seen from the compute phase (register loads
+/// and output stores).
+fn compute_coord(plan: &KernelPlan, idx: &str, rx: &str, ry: &str) -> Result<Expr, KirError> {
+    let b = plan.binding(idx).map_err(|_| KirError::UnboundIndex {
+        index: cogent_ir::IndexName::new(idx),
+    })?;
+    Ok(match b.dim {
+        MapDim::ThreadX => Expr::sym(format!("x_{idx}")),
+        MapDim::ThreadY => Expr::sym(format!("y_{idx}")),
+        MapDim::RegX => Expr::sym(format!("{rx}_{idx}")),
+        MapDim::RegY => Expr::sym(format!("{ry}_{idx}")),
+        MapDim::SerialK => Expr::sym(format!("k_{idx}")),
+        MapDim::Grid => Expr::Int(0),
+    })
+}
+
+/// The cooperative GMEM→SMEM staging phase for one input tensor.
+fn stage_phase(tensor: &TensorRef, smem: &str, gmem: &str, tag: PhaseTag) -> Stmt {
+    let mut body = vec![decl_mut("q", Expr::sym("p"))];
+    let n = tensor.rank();
+    for (i, idx) in tensor.indices().iter().enumerate() {
+        let digit = format!("c_{idx}");
+        if i + 1 < n {
+            body.push(Stmt::Line(vec![
+                LineItem::DeclInt {
+                    name: digit,
+                    init: Expr::bin(BinOp::Mod, Expr::sym("q"), t_sym(idx.as_str())),
+                    mutable: false,
+                },
+                LineItem::Assign {
+                    target: LValue::Var("q".into()),
+                    op: AssignOp::DivAssign,
+                    value: t_sym(idx.as_str()),
+                },
+            ]));
+        } else {
+            body.push(decl_const(digit, Expr::sym("q")));
+        }
+    }
+    for idx in tensor.indices() {
+        body.push(decl_const(
+            format!("u_{idx}"),
+            Expr::bin(
+                BinOp::Add,
+                Expr::sym(format!("base_{idx}")),
+                Expr::sym(format!("c_{idx}")),
+            ),
+        ));
+    }
+    let guard = guard_chain(tensor, |i| Expr::sym(format!("u_{i}")));
+    let offset = horner_offset(tensor, "N", |i| Expr::sym(format!("u_{i}")));
+    body.push(Stmt::Line(vec![LineItem::Assign {
+        target: LValue::Elem(smem.into(), vec![Expr::sym("p")]),
+        op: AssignOp::Assign,
+        value: Expr::Cond(
+            Box::new(Expr::paren(guard)),
+            Box::new(Expr::Index(gmem.into(), vec![offset])),
+            Box::new(Expr::Int(0)),
+        ),
+    }]));
+    Stmt::Phase {
+        tag,
+        body: vec![
+            Stmt::Comment(format!("cooperative load of the {gmem} tile")),
+            Stmt::For {
+                var: "p".into(),
+                init: Expr::sym("tid"),
+                limit: tile_elems(tensor),
+                step: LoopStep::AddAssign(Expr::sym("THREADS")),
+                unroll: false,
+                braced: true,
+                body,
+            },
+        ],
+    }
+}
+
+/// Lowers a validated plan to the typed kernel program.
+///
+/// # Errors
+///
+/// [`KirError::UnboundIndex`] when the plan does not bind an index the
+/// contraction uses (impossible for plans built by `KernelPlan::new`,
+/// which validates coverage).
+pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
+    let tc = plan.contraction();
+
+    // Tile and group-size constants, in binding order.
+    let mut defines: Vec<Define> = plan
+        .bindings()
+        .iter()
+        .map(|b| Define {
+            name: format!("T_{}", b.name),
+            value: Expr::Int(b.tile as i64),
+        })
+        .collect();
+    for (name, dim) in [
+        ("TBX", MapDim::ThreadX),
+        ("TBY", MapDim::ThreadY),
+        ("REGX", MapDim::RegX),
+        ("REGY", MapDim::RegY),
+        ("KTILE", MapDim::SerialK),
+    ] {
+        defines.push(Define {
+            name: name.into(),
+            value: Expr::Int(plan.group_size(dim) as i64),
+        });
+    }
+    defines.push(Define {
+        name: "THREADS".into(),
+        value: Expr::paren(Expr::bin(BinOp::Mul, Expr::sym("TBX"), Expr::sym("TBY"))),
+    });
+
+    let mut extent_params: Vec<String> = plan
+        .bindings()
+        .iter()
+        .map(|b| format!("N_{}", b.name))
+        .collect();
+    extent_params.sort();
+
+    let smem = [
+        ArrayDecl {
+            name: "s_A".into(),
+            space: MemSpace::Shared,
+            dims: vec![tile_elems(tc.a())],
+        },
+        ArrayDecl {
+            name: "s_B".into(),
+            space: MemSpace::Shared,
+            dims: vec![tile_elems(tc.b())],
+        },
+    ];
+    let regs = vec![
+        ArrayDecl {
+            name: "r_A".into(),
+            space: MemSpace::Register,
+            dims: vec![Expr::sym("REGX")],
+        },
+        ArrayDecl {
+            name: "r_B".into(),
+            space: MemSpace::Register,
+            dims: vec![Expr::sym("REGY")],
+        },
+        ArrayDecl {
+            name: "r_C".into(),
+            space: MemSpace::Register,
+            dims: vec![Expr::sym("REGY"), Expr::sym("REGX")],
+        },
+    ];
+
+    let mut body: Vec<Stmt> = Vec::new();
+
+    // Register-tile zero initialization (Algorithm 1 line 6).
+    body.push(Stmt::Phase {
+        tag: PhaseTag::RegInit,
+        body: vec![Stmt::For {
+            var: "ry".into(),
+            init: Expr::Int(0),
+            limit: Expr::sym("REGY"),
+            step: LoopStep::Inc,
+            unroll: true,
+            braced: false,
+            body: vec![Stmt::For {
+                var: "rx".into(),
+                init: Expr::Int(0),
+                limit: Expr::sym("REGX"),
+                step: LoopStep::Inc,
+                unroll: true,
+                braced: false,
+                body: vec![Stmt::Line(vec![LineItem::Assign {
+                    target: LValue::Elem("r_C".into(), vec![Expr::sym("ry"), Expr::sym("rx")]),
+                    op: AssignOp::Assign,
+                    value: Expr::Int(0),
+                }])],
+            }],
+        }],
+    });
+
+    // Grid decomposition: per-external tile number and base offset.
+    let mut origin = vec![
+        Stmt::Blank,
+        Stmt::Comment("block-tile origin (one tile of C per block)".into()),
+        decl_mut("b_rem", Expr::BlockId),
+    ];
+    for b in plan.external_bindings_c_order() {
+        let i = b.name.as_str();
+        origin.push(decl_const(format!("nt_{i}"), ceil_div_tiles(i)));
+        origin.push(Stmt::Line(vec![
+            LineItem::DeclInt {
+                name: format!("base_{i}"),
+                init: Expr::bin(
+                    BinOp::Mul,
+                    Expr::paren(Expr::bin(
+                        BinOp::Mod,
+                        Expr::sym("b_rem"),
+                        Expr::sym(format!("nt_{i}")),
+                    )),
+                    t_sym(i),
+                ),
+                mutable: false,
+            },
+            LineItem::Assign {
+                target: LValue::Var("b_rem".into()),
+                op: AssignOp::DivAssign,
+                value: Expr::sym(format!("nt_{i}")),
+            },
+        ]));
+    }
+    body.push(Stmt::Phase {
+        tag: PhaseTag::BlockOrigin,
+        body: origin,
+    });
+
+    // Thread coordinate decomposition.
+    let mut coords = vec![
+        Stmt::Blank,
+        decl_const(
+            "tid",
+            Expr::bin(
+                BinOp::Add,
+                Expr::TidX,
+                Expr::bin(BinOp::Mul, Expr::sym("TBX"), Expr::TidY),
+            ),
+        ),
+    ];
+    coords.extend(group_decomposition(plan, MapDim::ThreadX, Expr::TidX, "x"));
+    coords.extend(group_decomposition(plan, MapDim::ThreadY, Expr::TidY, "y"));
+    body.push(Stmt::Phase {
+        tag: PhaseTag::ThreadCoords,
+        body: coords,
+    });
+
+    // Serial loop over k-tiles (Algorithm 1 line 9).
+    let serial: Vec<&IndexBinding> = plan.group_bindings(MapDim::SerialK).collect();
+    let steps_expr = {
+        let mut expr: Option<Expr> = None;
+        for b in &serial {
+            let factor = Expr::paren(ceil_div_tiles(b.name.as_str()));
+            expr = Some(match expr {
+                None => factor,
+                Some(acc) => Expr::bin(BinOp::Mul, acc, factor),
+            });
+        }
+        expr.unwrap_or(Expr::Int(1))
+    };
+    body.push(Stmt::Blank);
+    body.push(decl_const("num_steps", steps_expr));
+
+    let mut step_body: Vec<Stmt> = Vec::new();
+    if !serial.is_empty() {
+        let mut setup = vec![decl_mut("s_rem", Expr::sym("step"))];
+        for b in &serial {
+            let i = b.name.as_str();
+            setup.push(decl_const(format!("snt_{i}"), ceil_div_tiles(i)));
+            setup.push(Stmt::Line(vec![
+                LineItem::DeclInt {
+                    name: format!("base_{i}"),
+                    init: Expr::bin(
+                        BinOp::Mul,
+                        Expr::paren(Expr::bin(
+                            BinOp::Mod,
+                            Expr::sym("s_rem"),
+                            Expr::sym(format!("snt_{i}")),
+                        )),
+                        t_sym(i),
+                    ),
+                    mutable: false,
+                },
+                LineItem::Assign {
+                    target: LValue::Var("s_rem".into()),
+                    op: AssignOp::DivAssign,
+                    value: Expr::sym(format!("snt_{i}")),
+                },
+            ]));
+        }
+        step_body.push(Stmt::Phase {
+            tag: PhaseTag::StepSetup,
+            body: setup,
+        });
+    }
+
+    // (1) GMEM -> SMEM.
+    step_body.push(stage_phase(tc.a(), "s_A", "g_A", PhaseTag::StageA));
+    step_body.push(stage_phase(tc.b(), "s_B", "g_B", PhaseTag::StageB));
+    step_body.push(Stmt::Barrier);
+
+    // (2)+(3) SMEM -> REG and outer product.
+    let mut ktile_body = group_decomposition(plan, MapDim::SerialK, Expr::sym("j"), "k");
+    let a_coord = |i: &str| compute_coord(plan, i, "rx", "ry");
+    let mut a_off: Option<Expr> = None;
+    for idx in tc.a().indices().iter().rev() {
+        let c = a_coord(idx.as_str())?;
+        a_off = Some(match a_off {
+            None => c,
+            Some(inner) => Expr::bin(
+                BinOp::Add,
+                c,
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::sym(format!("T_{idx}")),
+                    Expr::paren(inner),
+                ),
+            ),
+        });
+    }
+    let mut rx_body = group_decomposition(plan, MapDim::RegX, Expr::sym("rx"), "rx");
+    rx_body.push(Stmt::Line(vec![LineItem::Assign {
+        target: LValue::Elem("r_A".into(), vec![Expr::sym("rx")]),
+        op: AssignOp::Assign,
+        value: Expr::Index("s_A".into(), vec![a_off.unwrap_or(Expr::Int(0))]),
+    }]));
+    ktile_body.push(Stmt::For {
+        var: "rx".into(),
+        init: Expr::Int(0),
+        limit: Expr::sym("REGX"),
+        step: LoopStep::Inc,
+        unroll: true,
+        braced: true,
+        body: rx_body,
+    });
+    let mut b_off: Option<Expr> = None;
+    for idx in tc.b().indices().iter().rev() {
+        let c = compute_coord(plan, idx.as_str(), "rx", "ry")?;
+        b_off = Some(match b_off {
+            None => c,
+            Some(inner) => Expr::bin(
+                BinOp::Add,
+                c,
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::sym(format!("T_{idx}")),
+                    Expr::paren(inner),
+                ),
+            ),
+        });
+    }
+    let mut ry_body = group_decomposition(plan, MapDim::RegY, Expr::sym("ry"), "ry");
+    ry_body.push(Stmt::Line(vec![LineItem::Assign {
+        target: LValue::Elem("r_B".into(), vec![Expr::sym("ry")]),
+        op: AssignOp::Assign,
+        value: Expr::Index("s_B".into(), vec![b_off.unwrap_or(Expr::Int(0))]),
+    }]));
+    ktile_body.push(Stmt::For {
+        var: "ry".into(),
+        init: Expr::Int(0),
+        limit: Expr::sym("REGY"),
+        step: LoopStep::Inc,
+        unroll: true,
+        braced: true,
+        body: ry_body,
+    });
+    ktile_body.push(Stmt::For {
+        var: "ry".into(),
+        init: Expr::Int(0),
+        limit: Expr::sym("REGY"),
+        step: LoopStep::Inc,
+        unroll: true,
+        braced: false,
+        body: vec![Stmt::For {
+            var: "rx".into(),
+            init: Expr::Int(0),
+            limit: Expr::sym("REGX"),
+            step: LoopStep::Inc,
+            unroll: true,
+            braced: false,
+            body: vec![Stmt::Line(vec![LineItem::Assign {
+                target: LValue::Elem("r_C".into(), vec![Expr::sym("ry"), Expr::sym("rx")]),
+                op: AssignOp::AddAssign,
+                value: Expr::bin(
+                    BinOp::Mul,
+                    Expr::Index("r_A".into(), vec![Expr::sym("rx")]),
+                    Expr::Index("r_B".into(), vec![Expr::sym("ry")]),
+                ),
+            }])],
+        }],
+    });
+    step_body.push(Stmt::Phase {
+        tag: PhaseTag::Compute,
+        body: vec![
+            Stmt::Blank,
+            Stmt::For {
+                var: "j".into(),
+                init: Expr::Int(0),
+                limit: Expr::sym("KTILE"),
+                step: LoopStep::Inc,
+                unroll: false,
+                braced: true,
+                body: ktile_body,
+            },
+        ],
+    });
+    step_body.push(Stmt::Barrier);
+
+    body.push(Stmt::For {
+        var: "step".into(),
+        init: Expr::Int(0),
+        limit: Expr::sym("num_steps"),
+        step: LoopStep::Inc,
+        unroll: false,
+        braced: true,
+        body: step_body,
+    });
+
+    // (4) REG -> GMEM store with guards.
+    let mut store_rx = group_decomposition(plan, MapDim::RegX, Expr::sym("rx"), "rx");
+    for idx in tc.c().indices() {
+        let coord = compute_coord(plan, idx.as_str(), "rx", "ry")?;
+        store_rx.push(decl_const(
+            format!("o_{idx}"),
+            Expr::bin(BinOp::Add, Expr::sym(format!("base_{idx}")), coord),
+        ));
+    }
+    let guard = guard_chain(tc.c(), |i| Expr::sym(format!("o_{i}")));
+    let offset = horner_offset(tc.c(), "N", |i| Expr::sym(format!("o_{i}")));
+    let op = match plan.store_mode() {
+        StoreMode::Assign => AssignOp::Assign,
+        StoreMode::Accumulate => AssignOp::AddAssign,
+    };
+    store_rx.push(Stmt::If {
+        cond: guard,
+        body: vec![Stmt::Line(vec![LineItem::Assign {
+            target: LValue::Elem("g_C".into(), vec![offset]),
+            op,
+            value: Expr::Index("r_C".into(), vec![Expr::sym("ry"), Expr::sym("rx")]),
+        }])],
+    });
+    let mut store_ry = group_decomposition(plan, MapDim::RegY, Expr::sym("ry"), "ry");
+    store_ry.push(Stmt::For {
+        var: "rx".into(),
+        init: Expr::Int(0),
+        limit: Expr::sym("REGX"),
+        step: LoopStep::Inc,
+        unroll: false,
+        braced: true,
+        body: store_rx,
+    });
+    body.push(Stmt::Phase {
+        tag: PhaseTag::Store,
+        body: vec![
+            Stmt::Blank,
+            Stmt::Comment("store the output register tile".into()),
+            Stmt::For {
+                var: "ry".into(),
+                init: Expr::Int(0),
+                limit: Expr::sym("REGY"),
+                step: LoopStep::Inc,
+                unroll: false,
+                braced: true,
+                body: store_ry,
+            },
+        ],
+    });
+
+    Ok(KernelProgram {
+        name: kernel_name(plan),
+        contraction_comment: format!("{tc}"),
+        plan_comment: format!("{plan}"),
+        defines,
+        tensor_params: [
+            TensorParam {
+                name: "g_C".into(),
+                is_const: false,
+            },
+            TensorParam {
+                name: "g_A".into(),
+                is_const: true,
+            },
+            TensorParam {
+                name: "g_B".into(),
+                is_const: true,
+            },
+        ],
+        extent_params,
+        smem,
+        regs,
+        body,
+        launch: Launch {
+            grid_tiles: plan
+                .external_bindings_c_order()
+                .map(|b| (format!("N_{}", b.name), format!("T_{}", b.name)))
+                .collect(),
+            block: ("TBX".into(), "TBY".into()),
+        },
+        shapes: TensorShapes {
+            c: tc.c().indices().to_vec(),
+            a: tc.a().indices().to_vec(),
+            b: tc.b().indices().to_vec(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cogent_ir::Contraction;
+
+    fn eq1_plan() -> KernelPlan {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 64, 16, MapDim::ThreadX),
+                IndexBinding::new("b", 64, 4, MapDim::RegX),
+                IndexBinding::new("d", 64, 16, MapDim::ThreadY),
+                IndexBinding::new("c", 64, 1, MapDim::Grid),
+                IndexBinding::new("e", 32, 8, MapDim::SerialK),
+                IndexBinding::new("f", 32, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_builds_the_four_phase_skeleton() {
+        let prog = lower_to_kir(&eq1_plan()).unwrap();
+        assert_eq!(prog.name, "tc_abcd_aebf_dfce");
+        assert_eq!(prog.defines.first().unwrap().name, "T_a");
+        assert_eq!(prog.defines.last().unwrap().name, "THREADS");
+        assert_eq!(prog.extent_params.len(), 6);
+        assert_eq!(prog.smem[0].name, "s_A");
+        assert_eq!(prog.regs.len(), 3);
+        // The step loop carries staging, a barrier, compute, a barrier.
+        let step = prog
+            .body
+            .iter()
+            .find_map(|s| match s {
+                Stmt::For { var, body, .. } if var == "step" => Some(body),
+                _ => None,
+            })
+            .expect("step loop present");
+        let tags: Vec<&Stmt> = step.iter().collect();
+        assert!(tags.iter().any(|s| matches!(
+            s,
+            Stmt::Phase {
+                tag: PhaseTag::StageA,
+                ..
+            }
+        )));
+        assert_eq!(
+            step.iter().filter(|s| matches!(s, Stmt::Barrier)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn kernel_name_keeps_tccg_notation() {
+        assert_eq!(kernel_name(&eq1_plan()), "tc_abcd_aebf_dfce");
+    }
+
+    #[test]
+    fn kernel_name_preserves_case_and_disambiguates() {
+        let upper: Contraction = "T3[h3,h1] = T2[h7,h1] * V2[h3,h7]".parse().unwrap();
+        let upper = upper.normalized();
+        let lower: Contraction = "t3[h3,h1] = t2[h7,h1] * v2[h3,h7]".parse().unwrap();
+        let lower = lower.normalized();
+        let mk = |tc: &Contraction| {
+            KernelPlan::new(
+                tc,
+                vec![
+                    IndexBinding::new("h3", 16, 8, MapDim::ThreadX),
+                    IndexBinding::new("h1", 16, 8, MapDim::ThreadY),
+                    IndexBinding::new("h7", 16, 8, MapDim::SerialK),
+                ],
+            )
+            .unwrap()
+        };
+        let name_upper = kernel_name(&mk(&upper));
+        let name_lower = kernel_name(&mk(&lower));
+        assert_ne!(name_upper, name_lower, "A/a tensor names must not collide");
+        for name in [&name_upper, &name_lower] {
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{name} is not a C identifier"
+            );
+        }
+        assert!(name_upper.starts_with("tc_"));
+        // Deterministic: same contraction, same name.
+        assert_eq!(name_upper, kernel_name(&mk(&upper)));
+    }
+}

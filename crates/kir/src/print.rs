@@ -1,0 +1,336 @@
+//! Dialect pretty-printing: [`KernelProgram`] → kernel source text.
+//!
+//! The printer is deliberately dumb: every grouping decision was made at
+//! lowering time (explicit [`Expr::Paren`] nodes), so printing is a
+//! byte-stable tree walk. The [`Dialect`] struct carries the only
+//! target-specific surface — qualifiers, thread builtins, and the barrier
+//! — exactly as the pre-KIR emitter parameterized it.
+
+use std::fmt::Write as _;
+
+use cogent_gpu_model::Precision;
+
+use crate::ast::{Define, Expr, KernelProgram, LValue, LineItem, LoopStep, MemSpace, Stmt};
+
+/// The target-language surface of the emitted kernel. The kernel body —
+/// staging loops, index arithmetic, the outer product — is identical
+/// C-family code for CUDA, OpenCL and HIP; only qualifiers, thread
+/// builtins and the barrier differ.
+#[derive(Debug, Clone, Copy)]
+pub struct Dialect {
+    /// Extra first lines (e.g. OpenCL's fp64 pragma, HIP's runtime header).
+    pub preamble: &'static str,
+    /// Kernel function qualifier, e.g. `__global__ void`.
+    pub kernel_qualifier: &'static str,
+    /// Formats a global-memory pointer parameter.
+    pub global_param: fn(ty: &str, name: &str, is_const: bool) -> String,
+    /// Scratchpad qualifier: `__shared__` / `__local`.
+    pub smem_qualifier: &'static str,
+    /// Linear block/work-group id expression.
+    pub block_id: &'static str,
+    /// Thread/work-item id expressions.
+    pub tid_x: &'static str,
+    pub tid_y: &'static str,
+    /// Block-wide barrier statement.
+    pub barrier: &'static str,
+}
+
+fn cuda_global_param(ty: &str, name: &str, is_const: bool) -> String {
+    if is_const {
+        format!("const {ty}* __restrict__ {name}")
+    } else {
+        format!("{ty}* __restrict__ {name}")
+    }
+}
+
+fn opencl_global_param(ty: &str, name: &str, is_const: bool) -> String {
+    if is_const {
+        format!("__global const {ty}* restrict {name}")
+    } else {
+        format!("__global {ty}* restrict {name}")
+    }
+}
+
+/// The CUDA dialect.
+pub const CUDA: Dialect = Dialect {
+    preamble: "",
+    kernel_qualifier: "__global__ void",
+    global_param: cuda_global_param,
+    smem_qualifier: "__shared__",
+    block_id: "blockIdx.x",
+    tid_x: "threadIdx.x",
+    tid_y: "threadIdx.y",
+    barrier: "__syncthreads();",
+};
+
+/// The HIP dialect: CUDA's builtin surface plus the runtime header AMD's
+/// toolchain requires in every translation unit.
+pub const HIP: Dialect = Dialect {
+    preamble: "#include <hip/hip_runtime.h>",
+    kernel_qualifier: "__global__ void",
+    global_param: cuda_global_param,
+    smem_qualifier: "__shared__",
+    block_id: "blockIdx.x",
+    tid_x: "threadIdx.x",
+    tid_y: "threadIdx.y",
+    barrier: "__syncthreads();",
+};
+
+/// The OpenCL dialect (without the precision-dependent preamble; see
+/// [`OPENCL_FP64_PREAMBLE`]).
+pub const OPENCL: Dialect = Dialect {
+    preamble: "",
+    kernel_qualifier: "__kernel void",
+    global_param: opencl_global_param,
+    smem_qualifier: "__local",
+    block_id: "(int)get_group_id(0)",
+    tid_x: "(int)get_local_id(0)",
+    tid_y: "(int)get_local_id(1)",
+    barrier: "barrier(CLK_LOCAL_MEM_FENCE);",
+};
+
+/// OpenCL's double-precision extension pragma.
+pub const OPENCL_FP64_PREAMBLE: &str = "#pragma OPENCL EXTENSION cl_khr_fp64 : enable";
+
+/// The C scalar type of a precision.
+pub fn ctype(precision: Precision) -> &'static str {
+    match precision {
+        Precision::F32 => "float",
+        Precision::F64 => "double",
+    }
+}
+
+fn write_expr(out: &mut String, expr: &Expr, dialect: &Dialect) {
+    match expr {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Sym(name) => out.push_str(name),
+        Expr::BlockId => out.push_str(dialect.block_id),
+        Expr::TidX => out.push_str(dialect.tid_x),
+        Expr::TidY => out.push_str(dialect.tid_y),
+        Expr::Bin(op, lhs, rhs) => {
+            write_expr(out, lhs, dialect);
+            let _ = write!(out, " {} ", op.token());
+            write_expr(out, rhs, dialect);
+        }
+        Expr::Paren(inner) => {
+            out.push('(');
+            write_expr(out, inner, dialect);
+            out.push(')');
+        }
+        Expr::Cond(cond, then, els) => {
+            write_expr(out, cond, dialect);
+            out.push_str(" ? ");
+            write_expr(out, then, dialect);
+            out.push_str(" : ");
+            write_expr(out, els, dialect);
+        }
+        Expr::Index(array, subs) => {
+            out.push_str(array);
+            for sub in subs {
+                out.push('[');
+                write_expr(out, sub, dialect);
+                out.push(']');
+            }
+        }
+        Expr::Min(a, b) => {
+            // Portable C ternary form; only faulted trees contain Min.
+            out.push_str("((");
+            write_expr(out, a, dialect);
+            out.push_str(") < (");
+            write_expr(out, b, dialect);
+            out.push_str(") ? (");
+            write_expr(out, a, dialect);
+            out.push_str(") : (");
+            write_expr(out, b, dialect);
+            out.push_str("))");
+        }
+    }
+}
+
+fn write_lvalue(out: &mut String, lv: &LValue, dialect: &Dialect) {
+    match lv {
+        LValue::Var(name) => out.push_str(name),
+        LValue::Elem(array, subs) => {
+            out.push_str(array);
+            for sub in subs {
+                out.push('[');
+                write_expr(out, sub, dialect);
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_line_item(out: &mut String, item: &LineItem, dialect: &Dialect) {
+    match item {
+        LineItem::DeclInt {
+            name,
+            init,
+            mutable,
+        } => {
+            if *mutable {
+                let _ = write!(out, "int {name} = ");
+            } else {
+                let _ = write!(out, "const int {name} = ");
+            }
+            write_expr(out, init, dialect);
+            out.push(';');
+        }
+        LineItem::Assign { target, op, value } => {
+            write_lvalue(out, target, dialect);
+            let _ = write!(out, " {} ", op.token());
+            write_expr(out, value, dialect);
+            out.push(';');
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize, dialect: &Dialect) {
+    match stmt {
+        Stmt::Comment(text) => {
+            indent(out, depth);
+            let _ = writeln!(out, "// {text}");
+        }
+        Stmt::Blank => out.push('\n'),
+        Stmt::Line(items) => {
+            indent(out, depth);
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_line_item(out, item, dialect);
+            }
+            out.push('\n');
+        }
+        Stmt::For {
+            var,
+            init,
+            limit,
+            step,
+            unroll,
+            braced,
+            body,
+        } => {
+            if *unroll {
+                indent(out, depth);
+                out.push_str("#pragma unroll\n");
+            }
+            indent(out, depth);
+            let _ = write!(out, "for (int {var} = ");
+            write_expr(out, init, dialect);
+            let _ = write!(out, "; {var} < ");
+            write_expr(out, limit, dialect);
+            out.push_str("; ");
+            match step {
+                LoopStep::Inc => {
+                    let _ = write!(out, "++{var}");
+                }
+                LoopStep::AddAssign(e) => {
+                    let _ = write!(out, "{var} += ");
+                    write_expr(out, e, dialect);
+                }
+            }
+            out.push(')');
+            if *braced {
+                out.push_str(" {\n");
+            } else {
+                out.push('\n');
+            }
+            for s in body {
+                write_stmt(out, s, depth + 1, dialect);
+            }
+            if *braced {
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::If { cond, body } => {
+            indent(out, depth);
+            out.push_str("if (");
+            write_expr(out, cond, dialect);
+            out.push_str(")\n");
+            for s in body {
+                write_stmt(out, s, depth + 1, dialect);
+            }
+        }
+        Stmt::Barrier => {
+            indent(out, depth);
+            let _ = writeln!(out, "{}", dialect.barrier);
+        }
+        Stmt::Phase { body, .. } => {
+            for s in body {
+                write_stmt(out, s, depth, dialect);
+            }
+        }
+    }
+}
+
+fn write_define(out: &mut String, d: &Define, dialect: &Dialect) {
+    let _ = write!(out, "#define {} ", d.name);
+    write_expr(out, &d.value, dialect);
+    out.push('\n');
+}
+
+/// Prints the complete kernel in the given dialect.
+pub fn print_kernel(prog: &KernelProgram, precision: Precision, dialect: &Dialect) -> String {
+    let ty = ctype(precision);
+    let mut out = String::new();
+
+    if !dialect.preamble.is_empty() {
+        let _ = writeln!(out, "{}", dialect.preamble);
+    }
+    let _ = writeln!(out, "// generated by COGENT-RS");
+    let _ = writeln!(out, "// contraction: {}", prog.contraction_comment);
+    let _ = writeln!(out, "// {}", prog.plan_comment);
+    for d in &prog.defines {
+        write_define(&mut out, d, dialect);
+    }
+
+    // Signature: tensors one per line, extents joined on the last.
+    let _ = write!(out, "\n{} {}(", dialect.kernel_qualifier, prog.name);
+    for p in &prog.tensor_params {
+        let _ = write!(
+            out,
+            "\n    {},",
+            (dialect.global_param)(ty, &p.name, p.is_const)
+        );
+    }
+    let extents: Vec<String> = prog
+        .extent_params
+        .iter()
+        .map(|n| format!("const int {n}"))
+        .collect();
+    let _ = writeln!(out, "\n    {})\n{{", extents.join(", "));
+
+    for decl in prog.smem.iter().chain(prog.regs.iter()) {
+        indent(&mut out, 1);
+        match decl.space {
+            MemSpace::Shared => {
+                let _ = write!(out, "{} {ty} {}", dialect.smem_qualifier, decl.name);
+            }
+            MemSpace::Register => {
+                let _ = write!(out, "{ty} {}", decl.name);
+            }
+        }
+        for dim in &decl.dims {
+            out.push('[');
+            write_expr(&mut out, dim, dialect);
+            out.push(']');
+        }
+        out.push_str(";\n");
+    }
+
+    for stmt in &prog.body {
+        write_stmt(&mut out, stmt, 1, dialect);
+    }
+    out.push_str("}\n");
+    out
+}

@@ -25,6 +25,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cogent::baselines::{measure_cogent, NwchemLikeGenerator, TtgtEngine};
+use cogent::generator::codegen::{emit_hip_kernel, Backend};
 use cogent::generator::select::{search, SearchOptions};
 use cogent::prelude::*;
 use cogent::sim::plan::StoreMode;
@@ -117,13 +118,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cogent generate <contraction> [--size N | --sizes i=N,j=M,...]
-                  [--device v100|p100] [--f32] [--accumulate] [--opencl] [-o FILE]
+                  [--device v100|p100] [--f32] [--accumulate]
+                  [--backend cuda|opencl|hip] [-o FILE]
   cogent search   <contraction> [--size N | --sizes ...] [--device ...] [--top K]
   cogent batch    [<contraction>...] [--suite] [--group ml|aomo|ccsd|ccsdt]
                   [--size N | --sizes ...] [--device ...] [--f32] [--threads N] [-o DIR]
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
-  cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32] [--json]
-                  [--chrome-trace FILE]
+  cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32]
+                  [--backend cuda|opencl|hip] [--json] [--chrome-trace FILE]
   cogent audit    [<contraction>...] [--suite [tccg]] [--group ml|aomo|ccsd|ccsdt]
                   [--size N | --sizes ...] [--device ...] [--f32] [--top K]
                   [--exhaustive] [--json]
@@ -250,11 +252,27 @@ fn parse_precision(args: &[String]) -> Precision {
     }
 }
 
+/// Resolves the code-generation backend from `--backend`, honoring the
+/// deprecated `--opencl` spelling (with a one-line warning).
+fn parse_backend(args: &[String]) -> Result<Backend, CliError> {
+    if let Some(value) = flag_value(args, "--backend") {
+        return value
+            .parse::<Backend>()
+            .map_err(|e| CliError::usage(format!("{e}")));
+    }
+    if has_flag(args, "--opencl") {
+        eprintln!("warning: --opencl is deprecated; use --backend opencl");
+        return Ok(Backend::OpenCl);
+    }
+    Ok(Backend::Cuda)
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let tc = parse_contraction(args)?;
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
     let precision = parse_precision(args);
+    let backend = parse_backend(args)?;
     let mut generator = Cogent::new().device(device).precision(precision);
     if has_flag(args, "--accumulate") {
         generator = generator.store_mode(StoreMode::Accumulate);
@@ -272,10 +290,15 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
         generated.search.enumerated,
         generated.search.pruned_fraction() * 100.0
     );
-    let source = if has_flag(args, "--opencl") {
-        &generated.opencl_source
-    } else {
-        &generated.cuda_source
+    eprintln!("backend:       {backend}");
+    let hip_source;
+    let source = match backend {
+        Backend::Cuda => &generated.cuda_source,
+        Backend::OpenCl => &generated.opencl_source,
+        Backend::Hip => {
+            hip_source = emit_hip_kernel(&generated.plan, precision);
+            &hip_source
+        }
     };
     match flag_value(args, "-o") {
         Some(path) => {
@@ -337,6 +360,7 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
 
 /// Flags whose following token is a value, not a positional argument.
 const VALUE_FLAGS: &[&str] = &[
+    "--backend",
     "--size",
     "--sizes",
     "--device",
@@ -533,6 +557,7 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
     let sizes = parse_sizes(args, &tc)?;
     let device = parse_device(args)?;
     let precision = parse_precision(args);
+    let backend = parse_backend(args)?;
 
     let was_enabled = cogent::obs::enabled();
     cogent::obs::set_enabled(true);
@@ -572,7 +597,7 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
             None => String::new(),
         };
         Ok(format!(
-            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\npredicted:     {:.1} GFLOPS at {sizes}\n{cache_line}\n{}",
+            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\nbackend:       {backend}\npredicted:     {:.1} GFLOPS at {sizes}\n{cache_line}\n{}",
             generated.config,
             generated.provenance,
             generated.report.gflops,
@@ -717,6 +742,29 @@ mod tests {
         assert!(parse_contraction(&args).is_err() || parse_contraction(&args).is_ok());
         let args = s(&["ij-ik-kj", "--size", "8"]);
         assert!(parse_contraction(&args).is_ok());
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(parse_backend(&s(&[])).unwrap(), Backend::Cuda);
+        assert_eq!(
+            parse_backend(&s(&["--backend", "opencl"])).unwrap(),
+            Backend::OpenCl
+        );
+        assert_eq!(
+            parse_backend(&s(&["--backend", "hip"])).unwrap(),
+            Backend::Hip
+        );
+        // Deprecated spelling still selects OpenCL.
+        assert_eq!(parse_backend(&s(&["--opencl"])).unwrap(), Backend::OpenCl);
+        // --backend wins over the deprecated alias.
+        assert_eq!(
+            parse_backend(&s(&["--opencl", "--backend", "cuda"])).unwrap(),
+            Backend::Cuda
+        );
+        let e = parse_backend(&s(&["--backend", "metal"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert!(e.message.contains("metal"));
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! | [`tensor`] | `cogent-tensor` | dense tensors, permutation, GEMM, reference contraction, host TTGT |
 //! | [`gpu`] | `cogent-gpu-model` | device descriptions, occupancy, roofline models |
 //! | [`sim`] | `cogent-gpu-sim` | kernel plans, functional executor, transaction tracer |
-//! | [`generator`] | `cogent-core` | **the paper**: enumeration, pruning, cost model, CUDA emission |
+//! | [`kir`] | `cogent-kir` | typed kernel IR: lowering, dialect printers (CUDA/OpenCL/HIP), interpreter, structural lint |
+//! | [`generator`] | `cogent-core` | **the paper**: enumeration, pruning, cost model, kernel emission |
 //! | [`baselines`] | `cogent-baselines` | TTGT, NWChem-like, TC-like autotuner, naive floor |
 //! | [`tccg`] | `cogent-tccg` | the 48-entry benchmark suite |
 //! | [`obs`] | `cogent-obs` | pipeline tracing: spans, counters, trace JSON |
@@ -48,6 +49,7 @@ pub use cogent_core as generator;
 pub use cogent_gpu_model as gpu;
 pub use cogent_gpu_sim as sim;
 pub use cogent_ir as ir;
+pub use cogent_kir as kir;
 pub use cogent_obs as obs;
 pub use cogent_tccg as tccg;
 pub use cogent_tensor as tensor;

@@ -1,10 +1,78 @@
 //! Structural validation of every source the generator emits: for all 48
-//! TCCG benchmarks (both precisions, both dialects), the emitted text must
+//! TCCG benchmarks (both precisions, all dialects), the emitted text must
 //! pass the codegen linter — balanced delimiters, all tile/extent symbols
-//! defined, all four phases of Algorithm 1 present.
+//! defined, all four phases of Algorithm 1 present — and the lowered
+//! kernel IR must pass the structural lint. Three representative entries
+//! are additionally pinned byte-for-byte against golden snapshots in
+//! `tests/golden/`, so any change to the emitted text is a deliberate,
+//! reviewed snapshot update rather than an accidental drift.
 
-use cogent::generator::codegen::{emit_opencl_kernel, lint_kernel_source};
+use cogent::generator::codegen::{
+    emit_hip_kernel, emit_opencl_kernel, lint_kernel_plan, lint_kernel_source,
+};
 use cogent::prelude::*;
+
+/// The three golden entries: one per suite family shape — a 3-index
+/// machine-learning contraction, the 4-index CCSD workhorse (Eq. 1's
+/// pattern), and a 6-index sd2 monster.
+const GOLDEN: [&str; 3] = ["ml_1", "ccsd_1", "sd2_1"];
+
+#[test]
+fn golden_sources_are_byte_identical() {
+    for name in GOLDEN {
+        let entry = cogent::tccg::find(name).unwrap_or_else(|| panic!("no suite entry {name}"));
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        let g = Cogent::new()
+            .generate(&tc, &sizes)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cu = std::fs::read_to_string(format!("tests/golden/{name}.cu")).unwrap();
+        let cl = std::fs::read_to_string(format!("tests/golden/{name}.cl")).unwrap();
+        assert_eq!(
+            g.cuda_source, cu,
+            "{name}: emitted CUDA drifted from tests/golden/{name}.cu"
+        );
+        assert_eq!(
+            g.opencl_source, cl,
+            "{name}: emitted OpenCL drifted from tests/golden/{name}.cl"
+        );
+    }
+}
+
+#[test]
+fn all_48_lowered_programs_pass_the_ir_lint() {
+    for entry in cogent::tccg::suite() {
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        let g = Cogent::new()
+            .generate(&tc, &sizes)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let report = lint_kernel_plan(&g.plan).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert!(report.is_clean(), "{}: {:?}", entry.name, report.findings);
+    }
+}
+
+#[test]
+fn hip_kernels_lint_clean_and_mirror_cuda() {
+    for entry in cogent::tccg::suite().into_iter().step_by(3) {
+        let tc = entry.contraction();
+        let sizes = entry.sizes();
+        let g = Cogent::new()
+            .generate(&tc, &sizes)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let hip = emit_hip_kernel(&g.plan, Precision::F64);
+        let findings = lint_kernel_source(&hip);
+        assert!(findings.is_empty(), "{}: {findings:?}", entry.name);
+        assert!(hip.starts_with("#include <hip/hip_runtime.h>\n"));
+        let cuda = cogent::generator::codegen::emit_kernel(&g.plan, Precision::F64);
+        assert_eq!(
+            &hip["#include <hip/hip_runtime.h>\n".len()..],
+            cuda,
+            "{}: HIP kernel body must be byte-identical to CUDA",
+            entry.name
+        );
+    }
+}
 
 #[test]
 fn all_48_emitted_cuda_kernels_lint_clean() {
