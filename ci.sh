@@ -43,6 +43,26 @@ run cargo run --release $OFFLINE -p cogent-bench --bin audit_bench -- \
     --quick --out target/audit_smoke.json
 run cargo run --release $OFFLINE -p cogent-bench-diff --bin bench_diff -- \
     results/audit_baseline.json target/audit_smoke.json
+# Observability overhead gate: the instrumented build with tracing
+# disabled must stay within a fixed ratio of a stripped build (the
+# `strip` feature compiles cogent-obs out). Stripped first: its build
+# replaces the normal artifacts, and the instrumented run below restores
+# them for the steps after.
+run cargo run --release $OFFLINE -p cogent-bench --bin overhead_gate --features strip -- \
+    --quick --out target/overhead_stripped.json
+run cargo run --release $OFFLINE -p cogent-bench --bin overhead_gate -- \
+    --quick --out target/overhead_instrumented.json
+run cargo run --release $OFFLINE -p cogent-overhead-diff --bin overhead_diff -- \
+    target/overhead_stripped.json target/overhead_instrumented.json
+# Profiler + global-metrics smoke: `cogent profile` must attribute the
+# cold path on a TCCG entry (table + folded stacks), and `cogent stats`
+# must expose the merged cross-thread registry.
+run cargo run --release $OFFLINE --bin cogent -- profile "abcd-aebf-dfce" --size 24 \
+    --runs 2 --folded target/profile_smoke.folded
+test -s target/profile_smoke.folded
+run env COGENT_THREADS=4 cargo run --release $OFFLINE --bin cogent -- stats \
+    "abcd-aebf-dfce" --size 24 --threads 4 > target/stats_smoke.prom
+grep -q 'cogent_counter{metric="prune.checked"}' target/stats_smoke.prom
 # Emission gate: every TCCG entry x every backend dialect (CUDA, OpenCL,
 # HIP) must emit and pass both the text lint and the structural IR lint.
 run cargo run --release $OFFLINE -p cogent-emit-gate --bin emit_gate

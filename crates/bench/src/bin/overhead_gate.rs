@@ -1,0 +1,106 @@
+//! Observability overhead probe: times the cold generation path with
+//! tracing *disabled* and reports a `cogent.overhead.v1` JSON document.
+//!
+//! Run twice — once compiled normally ("instrumented": every span/counter
+//! call site present but gated off by the atomic flag) and once with the
+//! `strip` feature ("stripped": `cogent_obs::STRIPPED` makes `enabled()`
+//! a compile-time `false`, so the instrumentation folds away entirely).
+//! `tools/overhead_diff` then compares the two reports and fails CI when
+//! the dormant instrumentation costs more than a fixed ratio of the
+//! stripped path:
+//!
+//! ```text
+//! cargo run --release -p cogent-bench --bin overhead_gate --features strip \
+//!     -- --out target/overhead_stripped.json
+//! cargo run --release -p cogent-bench --bin overhead_gate \
+//!     -- --out target/overhead_instrumented.json
+//! overhead_diff target/overhead_stripped.json target/overhead_instrumented.json
+//! ```
+//!
+//! The sweep reports the *best* of `--reps` repetitions: on a loaded CI
+//! host the minimum is the measurement least polluted by scheduling
+//! noise, and overhead can only make the minimum worse.
+
+use std::time::Instant;
+
+use cogent_bench::{flag_value, quick_mode, write_json_report};
+use cogent_core::Cogent;
+use cogent_ir::{Contraction, SizeMap};
+use cogent_obs::json::Json;
+use cogent_tccg::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if cogent_obs::STRIPPED {
+        "stripped"
+    } else {
+        "instrumented"
+    };
+    let default_out = format!("target/overhead_{mode}.json");
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or(&default_out)
+        .to_string();
+    let reps: usize = flag_value(&args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick_mode(&args) { 2 } else { 3 })
+        .max(1);
+
+    // Every 8th suite entry: one per benchmark group region, enough work
+    // (~0.4 s/sweep in release) to dwarf timer resolution while keeping
+    // the doubled CI build+run affordable.
+    let entries: Vec<_> = suite().into_iter().step_by(8).collect();
+    let jobs: Vec<(Contraction, SizeMap)> = entries
+        .iter()
+        .map(|e| (e.contraction(), e.sizes()))
+        .collect();
+
+    // The gate measures the *disabled* path — the cost every ordinary
+    // run pays for carrying the instrumentation, not the cost of tracing.
+    assert!(
+        !cogent_obs::enabled(),
+        "overhead_gate must run with tracing disabled (unset {})",
+        cogent_obs::TRACE_ENV_VAR
+    );
+
+    let generator = Cogent::new();
+    // Untimed warmup sweep: faults in code pages and the allocator.
+    for (tc, sizes) in &jobs {
+        generator
+            .generate(tc, sizes)
+            .unwrap_or_else(|e| panic!("warmup generate failed for {tc}: {e}"));
+    }
+
+    let mut sweeps_s: Vec<f64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        for (tc, sizes) in &jobs {
+            generator
+                .generate(tc, sizes)
+                .unwrap_or_else(|e| panic!("timed generate failed for {tc}: {e}"));
+        }
+        sweeps_s.push(started.elapsed().as_secs_f64());
+    }
+    let best_sweep_s = sweeps_s.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "overhead_gate: mode {mode} | {} entries x {reps} reps | best sweep {best_sweep_s:.3}s",
+        jobs.len()
+    );
+
+    let report = Json::obj([
+        ("schema", Json::from("cogent.overhead.v1")),
+        ("mode", Json::from(mode)),
+        ("entries", Json::from(jobs.len())),
+        ("reps", Json::from(reps)),
+        (
+            "sweeps_s",
+            Json::Array(sweeps_s.iter().map(|s| Json::Float(*s)).collect()),
+        ),
+        ("best_sweep_s", Json::Float(best_sweep_s)),
+        (
+            "per_generate_ms",
+            Json::Float(best_sweep_s * 1e3 / jobs.len() as f64),
+        ),
+    ]);
+    write_json_report(&out_path, &report).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

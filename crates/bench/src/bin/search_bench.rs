@@ -1,8 +1,11 @@
 //! End-to-end benchmark of the search-performance layer: sweeps the TCCG
-//! suite three ways — serial search, `COGENT_THREADS`-style parallel
-//! search via `Cogent::generate_many`, and a warm `KernelCache` — and
-//! verifies the emitted CUDA is byte-identical across all three paths
-//! before reporting any speedup.
+//! suite four ways — serial search, `COGENT_THREADS`-style parallel
+//! search via `Cogent::generate_many`, a warm `KernelCache`, and a
+//! traced serial sweep feeding the phase profiler — and verifies the
+//! emitted CUDA is byte-identical across the untraced paths before
+//! reporting any speedup. The profiled pass lands in the report as
+//! `phase_breakdown` (`cogent.profile.v1`): the per-phase self-time
+//! attribution of the cold path.
 //!
 //! Usage: `cargo run --release -p cogent-bench --bin search_bench
 //! [--quick] [--threads N] [--out FILE]`
@@ -116,6 +119,34 @@ fn main() {
         "warm pass must hit on every entry (stats: {stats:?})"
     );
 
+    // Pass 4: profiled cold sweep. Tracing on, no cache — the phase
+    // profiler attributes every entry's cold wall time to the pipeline
+    // phases, answering *where* the ~serial cold cost goes before anyone
+    // optimizes it.
+    let profiled_gen = generator_with_threads(1);
+    let was_enabled = cogent_obs::enabled();
+    cogent_obs::set_enabled(true);
+    let mut breakdown: Option<cogent_obs::profile::PhaseProfile> = None;
+    let profiled_started = Instant::now();
+    for (tc, sizes) in &jobs {
+        let kernel = profiled_gen
+            .generate(tc, sizes)
+            .unwrap_or_else(|e| panic!("profiled generate failed for {tc}: {e}"));
+        let trace = kernel.trace.expect("tracing enabled: trace attached");
+        let profile = cogent_obs::profile::PhaseProfile::from_trace(&trace);
+        match breakdown.as_mut() {
+            Some(acc) => acc.merge(&profile),
+            None => breakdown = Some(profile),
+        }
+    }
+    let profiled_total_s = profiled_started.elapsed().as_secs_f64();
+    cogent_obs::set_enabled(was_enabled);
+    let breakdown = breakdown.expect("the suite is never empty");
+    println!(
+        "profiled sweep:    {profiled_total_s:.2}s (tracing on, coverage {:.1}%)",
+        breakdown.coverage() * 100.0
+    );
+
     // Correctness gate: all three paths emit byte-identical sources.
     let mut rows = Vec::with_capacity(entries.len());
     let mut all_identical = true;
@@ -169,6 +200,10 @@ fn main() {
             ),
         ),
         ("byte_identical", Json::from(all_identical)),
+        ("instrumented_total_s", Json::Float(profiled_total_s)),
+        // Per-phase cold-path attribution (cogent.profile.v1), merged
+        // over every suite entry's traced cold run.
+        ("phase_breakdown", breakdown.to_json()),
         (
             "cache",
             Json::obj([

@@ -446,10 +446,13 @@ impl Cogent {
     /// calls: the search is deterministic for every thread count, and
     /// cache entries are keyed by everything that affects the output.
     ///
-    /// Worker threads cannot reach a thread-local obs capture on the
-    /// caller's thread, so parallel batches record no per-kernel traces
-    /// ([`GeneratedKernel::trace`] is `None`); serial batches behave like
-    /// plain `generate` calls.
+    /// Every batch records per-kernel traces when tracing is enabled:
+    /// each worker opens its own capture, and the per-worker metrics
+    /// (counters, histograms, span durations) merge into the process
+    /// global registry ([`cogent_obs::metrics_snapshot`]). If the caller
+    /// additionally has a span open, each job is wrapped in a relayed
+    /// `job` span ([`cogent_obs::fork`]) so the caller's trace shows one
+    /// timeline row per worker thread.
     ///
     /// # Errors
     ///
@@ -472,18 +475,26 @@ impl Cogent {
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<GeneratedKernel, CogentError>>>> =
             Mutex::new((0..jobs.len()).map(|_| None).collect());
+        let fork = cogent_obs::fork();
         std::thread::scope(|scope| {
+            let fork = fork.as_ref();
+            let next = &next;
+            let slots = &slots;
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some((tc, sizes)) = jobs.get(i) else {
                         break;
                     };
+                    let _job = fork.map(|relay| relay.open("job", i));
                     let result = inner.generate(tc, sizes);
                     slots.lock().unwrap_or_else(|poison| poison.into_inner())[i] = Some(result);
                 });
             }
         });
+        if let Some(fork) = fork {
+            fork.attach();
+        }
         slots
             .into_inner()
             .unwrap_or_else(|poison| poison.into_inner())

@@ -19,6 +19,12 @@
 //! [`AuditReport`] aggregates these over a suite (e.g. the 48-entry TCCG
 //! benchmark) and serializes to the `cogent.audit.v1` JSON schema that
 //! `tools/bench_diff` gates CI against.
+//!
+//! Audits are spanned (`audit.contraction` with a nested `audit.measure`
+//! per re-measured configuration), so `cogent profile` can attribute
+//! audit wall time, and the `audit.*` counters/histograms/gauges recorded
+//! here merge into the process-global metrics registry exposed by
+//! `cogent stats` ([`cogent_obs::metrics_snapshot`]).
 
 use std::time::Instant;
 
@@ -190,7 +196,12 @@ pub fn audit_contraction(
             .config
             .lower(&outcome.contraction, sizes)
             .map_err(CogentError::Plan)?;
-        let measured = trace_transactions(&plan, device, precision, options.trace);
+        let measured = {
+            // Separately spanned so `cogent profile` can split an audit's
+            // wall time between the search and the simulator re-measure.
+            let _measure = cogent_obs::span("audit.measure");
+            trace_transactions(&plan, device, precision, options.trace)
+        };
         let audit = ConfigAudit {
             model_rank,
             predicted: ranked.cost,

@@ -9,6 +9,14 @@
 //! deterministically, and the final ranking uses a stable sort keyed by
 //! `(model cost, total config order)` so equal-cost candidates never
 //! depend on enumeration or interleaving order.
+//!
+//! Observability follows the work, not the coordinator: each chunk
+//! records its counters on the thread that ran it. Serially they attach
+//! to the open `prune`/`rank` span; in parallel they attach to relayed
+//! `prune.worker`/`rank.worker` spans ([`cogent_obs::fork`]) that carry
+//! the worker's thread id and merge into the parent trace in chunk
+//! order, and the same metrics reach the process-global registry
+//! through each worker's own shard.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -134,13 +142,18 @@ fn effective_threads(threads: usize, len: usize) -> usize {
 
 /// Runs `work` over `items` split into at most `threads` contiguous
 /// chunks, returning the per-chunk results **in chunk order**. With one
-/// effective thread the work runs inline on the caller's thread (so
-/// observability counters fired inside `work` still attach to the open
-/// span); otherwise each chunk runs on its own scoped thread and the
-/// caller is responsible for folding any counters from the returned data.
+/// effective thread the work runs inline on the caller's thread, so
+/// observability metrics fired inside `work` attach to the open phase
+/// span exactly as before threading existed. Otherwise each chunk runs
+/// on its own scoped thread under a relayed `<phase>.worker` span
+/// ([`cogent_obs::fork`]): worker-side counters and histograms land on
+/// that span (and merge into the global metric registry from the worker
+/// thread itself), and the worker subtrees are attached to the parent
+/// trace in chunk order after the join — no main-thread re-counting.
 fn run_chunked<'e, T, R>(
     items: &'e [T],
     threads: usize,
+    phase: &str,
     work: impl Fn(&'e [T]) -> R + Sync,
 ) -> Vec<R>
 where
@@ -152,10 +165,19 @@ where
         return vec![work(items)];
     }
     let chunk_len = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
+    let fork = cogent_obs::fork();
+    let results = std::thread::scope(|scope| {
+        let fork = fork.as_ref();
+        let work = &work;
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| work(chunk)))
+            .enumerate()
+            .map(|(index, chunk)| {
+                scope.spawn(move || {
+                    let _worker = fork.map(|f| f.open(&format!("{phase}.worker"), index));
+                    work(chunk)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -164,7 +186,13 @@ where
                 Err(panic) => std::panic::resume_unwind(panic),
             })
             .collect()
-    })
+    });
+    // All workers have joined; splice their spans under the open phase
+    // span in chunk order.
+    if let Some(fork) = fork {
+        fork.attach();
+    }
+    results
 }
 
 /// Accumulated results of one pruning pass (strict or relaxed).
@@ -212,7 +240,7 @@ fn prune_pass(
         None => reason.counter_key(),
         Some(_) => reason.relaxed_counter_key(),
     };
-    let chunks = run_chunked(configs, threads, |chunk: &[KernelConfig]| {
+    let chunks = run_chunked(configs, threads, "prune", |chunk: &[KernelConfig]| {
         let mut pass = PrunePass::default();
         for cfg in chunk {
             pass.checked += 1;
@@ -227,6 +255,14 @@ fn prune_pass(
                     *pass.counters.entry(counter_key(&reason)).or_default() += 1;
                 }
             }
+        }
+        // Recorded here, on the thread doing the work: serially these
+        // land on the open "prune" span; on a worker thread they land on
+        // its relayed "prune.worker" span and reach the global metric
+        // registry through the worker's own shard.
+        cogent_obs::counter("prune.checked", pass.checked as u128);
+        for (key, count) in &pass.counters {
+            cogent_obs::counter(key, *count as u128);
         }
         pass
     });
@@ -273,6 +309,11 @@ pub fn search(
     precision: Precision,
     options: &SearchOptions,
 ) -> SearchOutcome {
+    // One parent span for the whole selection: the inter-phase seams
+    // (survivor collection, outcome assembly, freeing the enumeration)
+    // attribute to `search` self time instead of vanishing into the
+    // caller's span, so `cogent profile` coverage stays honest.
+    let _span = cogent_obs::span("search");
     let norm = tc.normalized();
     let raw_space = EnumerationOptions::raw_space_size(&norm);
     let threads = options.threads.max(1);
@@ -344,21 +385,24 @@ pub fn search(
     let PrunePass {
         survivors,
         histogram,
-        counters: counter_histogram,
-        checked,
+        counters: _,
+        checked: _,
     } = pruned;
-    cogent_obs::counter("prune.checked", checked as u128);
+    // Per-check counters were recorded by the pruning threads themselves;
+    // only the pass-level summary belongs to the main thread.
     cogent_obs::counter("prune.survivors", survivors.len() as u128);
     cogent_obs::counter("prune.relaxed", u128::from(rules_relaxed));
-    for (key, count) in &counter_histogram {
-        cogent_obs::counter(key, *count as u128);
-    }
     drop(prune_span);
 
     let survivor_count = survivors.len();
     let rank_span = cogent_obs::span("rank");
-    let rank_threads = effective_threads(threads, survivor_count);
-    let scored = run_chunked(&survivors, threads, |chunk: &[KernelConfig]| {
+    let scored = run_chunked(&survivors, threads, "rank", |chunk: &[KernelConfig]| {
+        // A dedicated "cost" span: the model evaluation is the hot part
+        // of ranking and the profiler attributes it separately from the
+        // sort. transaction_cost counts each evaluation on the evaluating
+        // thread — worker evaluations reach the trace through their
+        // relayed spans, with no main-thread re-counting.
+        let _cost = cogent_obs::span("cost");
         chunk
             .iter()
             .map(|config| {
@@ -371,11 +415,6 @@ pub fn search(
             .collect::<Vec<_>>()
     });
     let mut ranked: Vec<RankedConfig> = scored.into_iter().flatten().collect();
-    if rank_threads > 1 {
-        // Worker-thread cost evaluations could not reach the (thread-local)
-        // trace; mirror them here so serial and parallel traces agree.
-        cogent_obs::counter("cost.model_evaluations", ranked.len() as u128);
-    }
     // Deterministic ranking: stable sort on (modelled cost, config total
     // order). Two entries compare equal only when they are the same
     // configuration, so the result is independent of enumeration order.
@@ -578,7 +617,7 @@ mod tests {
     fn run_chunked_preserves_order() {
         let items: Vec<usize> = (0..103).collect();
         for threads in [1, 2, 4, 16] {
-            let doubled: Vec<usize> = run_chunked(&items, threads, |chunk: &[usize]| {
+            let doubled: Vec<usize> = run_chunked(&items, threads, "test", |chunk: &[usize]| {
                 chunk.iter().map(|x| x * 2).collect::<Vec<_>>()
             })
             .into_iter()

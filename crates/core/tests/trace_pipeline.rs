@@ -114,12 +114,61 @@ fn relaxed_pruning_accounts_every_check() {
 }
 
 #[test]
+fn parallel_workers_relay_spans_with_distinct_thread_ids() {
+    let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+    let sizes = SizeMap::uniform(&tc, 16);
+    cogent_obs::set_enabled(true);
+    let kernel = Cogent::new()
+        .device(GpuDevice::v100())
+        .precision(Precision::F64)
+        .search_options(cogent_core::SearchOptions {
+            threads: 4,
+            ..cogent_core::SearchOptions::default()
+        })
+        .generate(&tc, &sizes)
+        .unwrap();
+    let trace = kernel
+        .trace
+        .clone()
+        .expect("tracing enabled: trace attached");
+
+    // Chunk workers relay their spans back into the capture: the prune
+    // span owns one `prune.worker` child per chunk, and at least two of
+    // them ran on threads other than the capture thread.
+    let workers = trace.find_all("prune.worker");
+    assert!(
+        workers.len() >= 2,
+        "expected >= 2 prune.worker spans, got {}",
+        workers.len()
+    );
+    let tids: std::collections::BTreeSet<u32> = workers.iter().map(|w| w.thread).collect();
+    assert!(
+        tids.len() >= 2,
+        "worker spans share one thread id: {tids:?}"
+    );
+    assert!(
+        !tids.contains(&trace.root.thread),
+        "worker spans claim the capture thread's id"
+    );
+
+    // Worker-side counters reached the relayed spans: summed across the
+    // whole tree they account for exactly one pass over the enumeration.
+    assert_eq!(
+        trace.counter_sum_prefix("prune.checked"),
+        kernel.search.enumerated as u128,
+        "worker-side prune.checked lost in the relay"
+    );
+}
+
+#[test]
 fn trace_round_trips_through_json() {
     let (_, trace) = traced_generate("abcd-aebf-dfce", 16);
     let json = trace.to_json_string();
     let back = PipelineTrace::from_json_str(&json).unwrap();
     assert_eq!(back, trace);
-    assert!(json.contains("\"schema\":\"cogent.trace.v2\""));
+    assert!(json.contains("\"schema\":\"cogent.trace.v3\""));
+    // v3 documents embed a derived per-phase profile section.
+    assert!(json.contains("\"profile\":"));
 }
 
 #[test]

@@ -4,8 +4,13 @@
 //!
 //! Each span becomes one complete (`"ph": "X"`) event with microsecond
 //! `ts`/`dur`; counters and gauges ride along in `args` so they show in
-//! the event detail pane. All events share `pid`/`tid` 1 — traces are
-//! collected per thread, so a single timeline row is faithful.
+//! the event detail pane. Every span's recording thread (its
+//! [`SpanNode::thread`] ordinal) becomes the event `tid`, so a trace
+//! containing relayed worker spans (see [`crate::fork`]) renders one
+//! timeline row per worker; a `thread_name` metadata event labels each
+//! row.
+
+use std::collections::BTreeSet;
 
 use crate::json::Json;
 use crate::{PipelineTrace, SpanNode};
@@ -23,15 +28,39 @@ use crate::{PipelineTrace, SpanNode};
 ///
 /// let doc = cogent_obs::chrome::to_chrome_trace(&trace);
 /// let events = doc.get("traceEvents").unwrap().as_array().unwrap();
-/// assert_eq!(events.len(), 2);
+/// // One thread_name metadata event plus one complete event per span.
+/// assert_eq!(events.len(), 3);
 /// ```
 pub fn to_chrome_trace(trace: &PipelineTrace) -> Json {
     let mut events = Vec::new();
+    let mut tids = BTreeSet::new();
+    collect_tids(&trace.root, &mut tids);
+    for &tid in &tids {
+        let label = if tid == trace.root.thread {
+            format!("t{tid} (capture)")
+        } else {
+            format!("t{tid} (worker)")
+        };
+        events.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::UInt(tid.into())),
+            ("args", Json::obj([("name", Json::Str(label))])),
+        ]));
+    }
     push_events(&trace.root, &mut events);
     Json::obj([
         ("traceEvents", Json::Array(events)),
         ("displayTimeUnit", Json::from("ns")),
     ])
+}
+
+fn collect_tids(span: &SpanNode, out: &mut BTreeSet<u32>) {
+    out.insert(span.thread);
+    for child in &span.children {
+        collect_tids(child, out);
+    }
 }
 
 /// Serializes [`to_chrome_trace`] output as a compact JSON string.
@@ -69,7 +98,7 @@ fn push_events(span: &SpanNode, out: &mut Vec<Json>) {
         ("ts", Json::Float(span.start_ns as f64 / 1_000.0)),
         ("dur", Json::Float(span.duration_ns as f64 / 1_000.0)),
         ("pid", Json::from(1u64)),
-        ("tid", Json::from(1u64)),
+        ("tid", Json::UInt(span.thread.into())),
         ("args", Json::Object(args)),
     ]));
     for child in &span.children {
@@ -90,6 +119,7 @@ mod tests {
             counters: Vec::new(),
             histograms: Vec::new(),
             gauges: Vec::new(),
+            thread: 0,
             children: Vec::new(),
         }
     }
@@ -105,8 +135,10 @@ mod tests {
         root.children.push(leaf("prune", 2_000, 3_000));
         let doc = to_chrome_trace(&PipelineTrace { root });
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
-        assert_eq!(events.len(), 2);
-        let first = &events[0];
+        // One thread_name metadata event, then the two span events.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let first = &events[1];
         assert_eq!(first.get("name").unwrap().as_str(), Some("generate"));
         assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(first.get("ts").unwrap().as_f64(), Some(0.0));
@@ -118,8 +150,47 @@ mod tests {
             args.get("lat").unwrap().get("p50").unwrap().as_u128(),
             Some(100)
         );
-        assert_eq!(events[1].get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[2].get("ts").unwrap().as_f64(), Some(2.0));
         // The document must parse as standalone JSON.
         assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn worker_spans_render_on_their_own_timeline_rows() {
+        let mut root = leaf("search", 0, 10_000);
+        let mut prune = leaf("prune", 1_000, 5_000);
+        let mut w0 = leaf("prune.worker", 1_100, 2_000);
+        w0.thread = 5;
+        let mut w1 = leaf("prune.worker", 1_100, 2_100);
+        w1.thread = 6;
+        prune.children.push(w0);
+        prune.children.push(w1);
+        root.children.push(prune);
+        let doc = to_chrome_trace(&PipelineTrace { root });
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Three distinct tids → three metadata events + four span events.
+        assert_eq!(events.len(), 7);
+        let span_tids: std::collections::BTreeSet<u128> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("tid").unwrap().as_u128().unwrap())
+            .collect();
+        assert_eq!(span_tids.into_iter().collect::<Vec<_>>(), vec![0, 5, 6]);
+        let meta_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            meta_names,
+            vec!["t0 (capture)", "t5 (worker)", "t6 (worker)"]
+        );
     }
 }

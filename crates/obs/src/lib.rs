@@ -21,7 +21,24 @@
 //!   Per-thread collection means parallel pipeline runs (e.g. the bench
 //!   binaries) never interleave each other's spans.
 //! - Finished traces can be published to a process-wide [`registry`] so
-//!   worker threads can hand traces to a writer thread.
+//!   worker threads can hand traces to a writer thread. Independently of
+//!   traces, every closed span folds its counters, histograms, gauges and
+//!   duration into a per-thread **metric shard**; shards register
+//!   themselves on first use, drain into a global accumulator when their
+//!   thread exits, and merge losslessly into a process-wide
+//!   [`registry::metrics_snapshot`] (rendered by
+//!   [`registry::render_prometheus`]).
+//! - Worker threads can contribute spans to a trace owned by another
+//!   thread through [`fork`]: the parent forks a handle while its capture
+//!   is open, each worker opens a span against the handle, and the parent
+//!   [`TraceFork::attach`]es the collected subtrees in a deterministic
+//!   order after joining. Every span carries the [`thread_ordinal`] of
+//!   the thread that recorded it, so [`chrome`] exports render real
+//!   per-worker timelines.
+//! - Compiling with the `strip` cargo feature hard-disables the whole
+//!   layer at compile time ([`STRIPPED`]): [`enabled`] becomes a constant
+//!   `false` and the optimizer removes every probe. CI uses this build to
+//!   bound the overhead of the instrumented (but disabled) hot path.
 //!
 //! # Example
 //!
@@ -39,23 +56,34 @@
 //! ```
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod render;
 
+pub use registry::{
+    live_shards, metrics_snapshot, render_prometheus, reset_metrics, threads_seen, MetricsShard,
+};
+
 use metrics::Histogram;
 
-/// Schema identifier embedded in every serialized trace. Version 2 adds
-/// per-span `histograms` and `gauges`; [`PipelineTrace::from_json_str`]
-/// still reads [`TRACE_SCHEMA_V1`] documents.
-pub const TRACE_SCHEMA: &str = "cogent.trace.v2";
+/// Schema identifier embedded in every serialized trace. Version 3 adds a
+/// per-span `thread` ordinal and a derived top-level `profile` section;
+/// [`PipelineTrace::from_json_str`] still reads [`TRACE_SCHEMA_V1`] and
+/// [`TRACE_SCHEMA_V2`] documents.
+pub const TRACE_SCHEMA: &str = "cogent.trace.v3";
 
-/// The previous schema (spans with counters only), accepted by the
+/// Version 2 (per-span `histograms` and `gauges`, no thread ids),
+/// accepted by the reader; its spans parse with thread ordinal 0.
+pub const TRACE_SCHEMA_V2: &str = "cogent.trace.v2";
+
+/// The original schema (spans with counters only), accepted by the
 /// reader for compatibility with traces recorded before histograms and
 /// gauges existed.
 pub const TRACE_SCHEMA_V1: &str = "cogent.trace.v1";
@@ -83,6 +111,9 @@ pub struct SpanNode {
     pub histograms: Vec<(String, Histogram)>,
     /// `phase.metric`-named last-value gauges, in first-touch order.
     pub gauges: Vec<(String, f64)>,
+    /// [`thread_ordinal`] of the thread that recorded this span (0 for
+    /// spans parsed from pre-v3 documents).
+    pub thread: u32,
     /// Nested spans, in open order.
     pub children: Vec<SpanNode>,
 }
@@ -97,6 +128,7 @@ impl SpanNode {
             counters: Vec::new(),
             histograms: Vec::new(),
             gauges: Vec::new(),
+            thread: thread_ordinal(),
             children: Vec::new(),
         }
     }
@@ -223,9 +255,11 @@ impl PipelineTrace {
         render::render_text(self)
     }
 
-    /// Serializes to the stable `cogent.trace.v2` JSON schema. Histograms
-    /// carry their raw buckets plus derived `p50`/`p90`/`p99` summaries
-    /// (recomputable, but convenient for downstream consumers).
+    /// Serializes to the stable `cogent.trace.v3` JSON schema. Histograms
+    /// carry their raw buckets plus derived `p50`/`p90`/`p99` summaries,
+    /// and the document carries a derived per-phase `profile` section
+    /// (see [`profile::PhaseProfile`]); both are recomputable and ignored
+    /// by the reader, but convenient for downstream consumers.
     pub fn to_json(&self) -> json::Json {
         fn histogram(h: &Histogram) -> json::Json {
             let mut members = vec![
@@ -290,6 +324,7 @@ impl PipelineTrace {
                             .collect(),
                     ),
                 ),
+                ("thread".into(), json::Json::UInt(span.thread.into())),
                 (
                     "children".into(),
                     json::Json::Array(span.children.iter().map(node).collect()),
@@ -299,6 +334,10 @@ impl PipelineTrace {
         json::Json::Object(vec![
             ("schema".into(), json::Json::Str(TRACE_SCHEMA.into())),
             ("root".into(), node(&self.root)),
+            (
+                "profile".into(),
+                profile::PhaseProfile::from_trace(self).to_json(),
+            ),
         ])
     }
 
@@ -308,9 +347,11 @@ impl PipelineTrace {
     }
 
     /// Parses a trace previously produced by [`Self::to_json_string`].
-    /// Accepts both the current [`TRACE_SCHEMA`] and the counters-only
-    /// [`TRACE_SCHEMA_V1`] (whose spans parse with empty histogram and
-    /// gauge tables).
+    /// Accepts the current [`TRACE_SCHEMA`] plus the older
+    /// [`TRACE_SCHEMA_V2`] (no thread ids: spans parse with thread 0) and
+    /// counters-only [`TRACE_SCHEMA_V1`] (empty histogram and gauge
+    /// tables as well). The derived `profile` section of v3 documents is
+    /// ignored — it is recomputed on the next serialization.
     ///
     /// # Errors
     ///
@@ -322,7 +363,7 @@ impl PipelineTrace {
             .get("schema")
             .and_then(json::Json::as_str)
             .ok_or("missing schema tag")?;
-        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V1 {
+        if schema != TRACE_SCHEMA && schema != TRACE_SCHEMA_V2 && schema != TRACE_SCHEMA_V1 {
             return Err(format!("unknown trace schema {schema:?}"));
         }
         fn histogram(value: &json::Json, key: &str) -> Result<Histogram, String> {
@@ -405,6 +446,14 @@ impl PipelineTrace {
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             };
+            // Absent before v3: default to thread ordinal 0.
+            let thread = match value.get("thread") {
+                None => 0,
+                Some(t) => t
+                    .as_u128()
+                    .filter(|&t| t <= u128::from(u32::MAX))
+                    .ok_or("span thread is not a u32")? as u32,
+            };
             let children = value
                 .get("children")
                 .and_then(json::Json::as_array)
@@ -419,6 +468,7 @@ impl PipelineTrace {
                 counters,
                 histograms,
                 gauges,
+                thread,
                 children,
             })
         }
@@ -433,16 +483,37 @@ impl PipelineTrace {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NODES_ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+static NEXT_THREAD_ORDINAL: AtomicU32 = AtomicU32::new(0);
 
-/// Turns tracing on or off process-wide.
+thread_local! {
+    static THREAD_ORDINAL: u32 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether this build was compiled with the `strip` cargo feature, which
+/// hard-disables the observability layer: [`enabled`] is then a
+/// compile-time `false` and every probe folds to nothing. Used by the CI
+/// overhead gate to compare the instrumented-but-disabled hot path
+/// against a probe-free build.
+pub const STRIPPED: bool = cfg!(feature = "strip");
+
+/// Turns tracing on or off process-wide. Ignored in [`STRIPPED`] builds.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Whether tracing is currently enabled. A single relaxed atomic load.
+/// Whether tracing is currently enabled. A single relaxed atomic load
+/// (a compile-time `false` in [`STRIPPED`] builds).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    !STRIPPED && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Small dense ordinal of the calling thread, assigned on first use and
+/// stable for the thread's lifetime. Recorded on every [`SpanNode`] so
+/// multi-thread traces can be split back into per-worker timelines (the
+/// [`chrome`] export uses it as the `tid`).
+pub fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|t| *t)
 }
 
 /// Enables tracing when `COGENT_TRACE` is set to `1`, `true`, `on` or
@@ -529,6 +600,7 @@ impl Drop for SpanGuard {
             let mut slot = cell.borrow_mut();
             if let Some(builder) = slot.as_mut() {
                 let node = builder.pop();
+                registry::fold_span(&node);
                 if let Some(parent) = builder.stack.last_mut() {
                     parent.children.push(node);
                 }
@@ -652,6 +724,7 @@ impl Capture {
             let mut slot = cell.borrow_mut();
             let builder = slot.as_mut()?;
             let node = builder.pop();
+            registry::fold_span(&node);
             if self.owns {
                 *slot = None;
                 Some(PipelineTrace { root: node })
@@ -674,6 +747,153 @@ impl Drop for Capture {
         // without finish() (e.g. on an early return); the trace (or, for a
         // nested capture, its standalone clone) is discarded.
         let _ = self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread span relay
+// ---------------------------------------------------------------------------
+
+/// A handle that lets worker threads contribute spans to the trace open
+/// on the forking thread. See [`fork`].
+pub struct TraceFork {
+    /// The parent capture's epoch, so worker `start_ns` offsets land on
+    /// the same timeline as the parent's spans.
+    epoch: Instant,
+    /// Closed worker subtrees, keyed by the caller-supplied index so
+    /// [`attach`](Self::attach) can order them deterministically.
+    sink: Mutex<Vec<(usize, SpanNode)>>,
+}
+
+/// Forks the trace currently open on this thread for use by worker
+/// threads. Returns `None` when tracing is disabled or no span is open
+/// (workers then skip instrumentation entirely).
+///
+/// Workers call [`TraceFork::open`] to start a span recorded on *their*
+/// thread (carrying their [`thread_ordinal`]); after joining them, the
+/// forking thread calls [`TraceFork::attach`] to splice the collected
+/// subtrees into the still-open parent span, sorted by worker index so
+/// the merged trace is deterministic regardless of scheduling.
+///
+/// # Examples
+///
+/// ```
+/// cogent_obs::set_enabled(true);
+/// let capture = cogent_obs::Capture::start("search");
+/// let fork = cogent_obs::fork().expect("capture is open");
+/// std::thread::scope(|scope| {
+///     for index in 0..2 {
+///         let fork = &fork;
+///         scope.spawn(move || {
+///             let _w = fork.open("prune.worker", index);
+///             cogent_obs::counter("prune.checked", 10);
+///         });
+///     }
+/// });
+/// fork.attach();
+/// let trace = capture.finish().unwrap();
+/// cogent_obs::set_enabled(false);
+/// assert_eq!(trace.root.children.len(), 2);
+/// assert_eq!(trace.counter_sum_prefix("prune.checked"), 20);
+/// ```
+pub fn fork() -> Option<TraceFork> {
+    if !enabled() {
+        return None;
+    }
+    BUILDER.with(|cell| {
+        let slot = cell.borrow();
+        slot.as_ref()
+            .filter(|builder| !builder.stack.is_empty())
+            .map(|builder| TraceFork {
+                epoch: builder.epoch,
+                sink: Mutex::new(Vec::new()),
+            })
+    })
+}
+
+impl TraceFork {
+    /// Opens a span named `name` on the calling worker thread. When the
+    /// guard drops, the closed subtree is handed back to the fork under
+    /// `index` (workers must use distinct indices — chunk or job numbers).
+    ///
+    /// If the calling thread already has a trace open (nested
+    /// parallelism), the span nests there instead of the fork, so spans
+    /// are never lost or double-attached.
+    pub fn open(&self, name: &str, index: usize) -> ForkGuard<'_> {
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            match slot.as_mut() {
+                Some(builder) => {
+                    builder.push(name);
+                    ForkGuard {
+                        fork: self,
+                        index,
+                        owns: false,
+                    }
+                }
+                None => {
+                    let mut builder = Builder {
+                        epoch: self.epoch,
+                        stack: Vec::new(),
+                        starts: Vec::new(),
+                    };
+                    builder.push(name);
+                    *slot = Some(builder);
+                    ForkGuard {
+                        fork: self,
+                        index,
+                        owns: true,
+                    }
+                }
+            }
+        })
+    }
+
+    /// Splices every collected worker subtree into the innermost span
+    /// open on the calling thread, ordered by worker index. Call after
+    /// joining the workers, while the forked span is still open. Subtrees
+    /// are discarded if no span is open (e.g. the capture already closed).
+    pub fn attach(self) {
+        let mut nodes = self.sink.into_inner().unwrap_or_else(|e| e.into_inner());
+        nodes.sort_by_key(|&(index, _)| index);
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if let Some(builder) = slot.as_mut() {
+                if let Some(top) = builder.stack.last_mut() {
+                    top.children.extend(nodes.into_iter().map(|(_, node)| node));
+                }
+            }
+        });
+    }
+}
+
+/// RAII guard for a worker span opened through [`TraceFork::open`].
+#[must_use = "dropping the guard immediately closes the worker span"]
+pub struct ForkGuard<'fork> {
+    fork: &'fork TraceFork,
+    index: usize,
+    /// Whether this guard installed the thread's builder (and must remove
+    /// it and ship the span to the fork) or merely nested into one.
+    owns: bool,
+}
+
+impl Drop for ForkGuard<'_> {
+    fn drop(&mut self) {
+        BUILDER.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let Some(builder) = slot.as_mut() else {
+                return;
+            };
+            let node = builder.pop();
+            registry::fold_span(&node);
+            if self.owns {
+                *slot = None;
+                let mut sink = self.fork.sink.lock().unwrap_or_else(|e| e.into_inner());
+                sink.push((self.index, node));
+            } else if let Some(parent) = builder.stack.last_mut() {
+                parent.children.push(node);
+            }
+        });
     }
 }
 
@@ -831,7 +1051,7 @@ mod tests {
     }
 
     #[test]
-    fn v2_round_trip_preserves_metrics() {
+    fn v3_round_trip_preserves_metrics() {
         let trace = with_tracing(|| {
             let capture = Capture::start("audit");
             histogram("lat_ns", 1);
@@ -842,7 +1062,8 @@ mod tests {
             capture.finish().unwrap()
         });
         let text = trace.to_json_string();
-        assert!(text.contains("\"schema\":\"cogent.trace.v2\""));
+        assert!(text.contains("\"schema\":\"cogent.trace.v3\""));
+        assert!(text.contains("\"profile\":"));
         let back = PipelineTrace::from_json_str(&text).unwrap();
         assert_eq!(back, trace);
         let h = back.root.histogram("lat_ns").unwrap();
@@ -863,10 +1084,83 @@ mod tests {
         assert_eq!(trace.root.counter("enumerate.configs"), Some(1296));
         assert!(trace.root.histograms.is_empty());
         assert!(trace.root.gauges.is_empty());
-        // Re-serializing upgrades the document to v2.
+        assert_eq!(trace.root.thread, 0);
+        // Re-serializing upgrades the document to v3.
         assert!(trace
             .to_json_string()
-            .contains("\"schema\":\"cogent.trace.v2\""));
+            .contains("\"schema\":\"cogent.trace.v3\""));
+    }
+
+    #[test]
+    fn reads_v2_documents_without_thread_ids() {
+        // A document as PR 3's writer produced it: metrics, no thread ids.
+        let v2 = concat!(
+            r#"{"schema":"cogent.trace.v2","root":{"name":"generate","#,
+            r#""start_ns":0,"duration_ns":500,"counters":{},"#,
+            r#""histograms":{},"gauges":{"occupancy":0.5},"#,
+            r#""children":[{"name":"prune","start_ns":10,"duration_ns":20,"#,
+            r#""counters":{"prune.checked":9},"histograms":{},"gauges":{},"#,
+            r#""children":[]}]}}"#,
+        );
+        let trace = PipelineTrace::from_json_str(v2).unwrap();
+        assert_eq!(trace.root.gauge("occupancy"), Some(0.5));
+        assert_eq!(trace.root.children[0].counter("prune.checked"), Some(9));
+        assert_eq!(trace.root.thread, 0);
+        assert_eq!(trace.root.children[0].thread, 0);
+        // Round trip: upgrade to v3, parse back, identical tree.
+        let upgraded = trace.to_json_string();
+        assert!(upgraded.contains("\"schema\":\"cogent.trace.v3\""));
+        assert!(upgraded.contains("\"thread\":0"));
+        assert_eq!(PipelineTrace::from_json_str(&upgraded).unwrap(), trace);
+    }
+
+    #[test]
+    fn fork_relays_worker_spans_in_index_order() {
+        let trace = with_tracing(|| {
+            let capture = Capture::start("search");
+            {
+                let _prune = span("prune");
+                let fork = fork().expect("span is open");
+                std::thread::scope(|scope| {
+                    for index in [1usize, 0] {
+                        let fork = &fork;
+                        scope.spawn(move || {
+                            let _w = fork.open("prune.worker", index);
+                            counter("prune.checked", (index as u128 + 1) * 10);
+                        });
+                    }
+                });
+                fork.attach();
+            }
+            capture.finish().unwrap()
+        });
+        let prune = trace.find("prune").unwrap();
+        assert_eq!(prune.children.len(), 2);
+        // Attached in index order, not join order.
+        assert_eq!(prune.children[0].counter("prune.checked"), Some(10));
+        assert_eq!(prune.children[1].counter("prune.checked"), Some(20));
+        // Worker spans carry their own thread ordinals, distinct from the
+        // forking thread's and from each other.
+        let tids: Vec<u32> = prune.children.iter().map(|c| c.thread).collect();
+        assert_ne!(tids[0], tids[1]);
+        assert!(tids.iter().all(|&t| t != prune.thread));
+        // Worker timelines share the parent epoch.
+        for child in &prune.children {
+            assert!(child.start_ns >= prune.start_ns);
+        }
+    }
+
+    #[test]
+    fn fork_requires_tracing_and_an_open_span() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        assert!(fork().is_none());
+        set_enabled(true);
+        assert!(fork().is_none(), "no capture is open");
+        let capture = Capture::start("c");
+        assert!(fork().is_some());
+        drop(capture);
+        set_enabled(false);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Phase profiler: attributes a trace's wall time to pipeline phases.
+//!
+//! A [`PhaseProfile`] is derived entirely from a finished
+//! [`PipelineTrace`] — the span tree *is* the sample set, so profiling
+//! adds zero cost beyond the spans the pipeline already records. For
+//! every distinct span name ("phase") it accumulates:
+//!
+//! - `calls` — number of spans with that name,
+//! - `total_ns` — wall time including children (inclusive time),
+//! - `self_ns` — wall time excluding children (exclusive time).
+//!
+//! Self times partition the root's wall clock (up to clock-read jitter),
+//! so `sum(self_ns) ≈ wall_ns` and [`PhaseProfile::coverage`] — the
+//! fraction of wall time attributed to phases other than the root —
+//! measures how much of the run the instrumentation actually explains.
+//!
+//! Three renderings are provided: a fixed-width self-time table
+//! ([`PhaseProfile::render_table`]), a `cogent.profile.v1` JSON document
+//! ([`PhaseProfile::to_json`]), and flamegraph-compatible folded stacks
+//! ([`folded_stacks`], one `path;to;span self_ns` line per distinct call
+//! path, ready for `flamegraph.pl` or speedscope).
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::render::fmt_ns;
+use crate::{PipelineTrace, SpanNode};
+
+/// Schema identifier embedded in serialized profiles.
+pub const PROFILE_SCHEMA: &str = "cogent.profile.v1";
+
+/// Aggregated timing of one phase (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Span name, e.g. `"prune"`.
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Inclusive wall time (children counted), summed over calls.
+    pub total_ns: u128,
+    /// Exclusive wall time (children subtracted), summed over calls.
+    pub self_ns: u128,
+}
+
+/// A per-phase self/total breakdown of one or more traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Name of the root span the profile was derived from.
+    pub root: String,
+    /// Total wall time: the root span's duration (summed over merged
+    /// traces).
+    pub wall_ns: u128,
+    /// Traces merged into this profile.
+    pub runs: u64,
+    /// Per-phase stats, sorted by descending self time (name-ascending
+    /// tiebreak).
+    pub phases: Vec<PhaseStat>,
+}
+
+fn children_ns(span: &SpanNode) -> u128 {
+    span.children
+        .iter()
+        .map(|c| u128::from(c.duration_ns))
+        .sum()
+}
+
+impl PhaseProfile {
+    /// Derives a profile from a finished trace.
+    pub fn from_trace(trace: &PipelineTrace) -> Self {
+        let mut acc: BTreeMap<&str, PhaseStat> = BTreeMap::new();
+        fn walk<'t>(span: &'t SpanNode, acc: &mut BTreeMap<&'t str, PhaseStat>) {
+            let stat = acc.entry(&span.name).or_insert_with(|| PhaseStat {
+                name: span.name.clone(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            stat.calls += 1;
+            stat.total_ns += u128::from(span.duration_ns);
+            // Clock reads are taken per span, so children can overshoot
+            // the parent by a few ns; clamp instead of wrapping.
+            stat.self_ns += u128::from(span.duration_ns).saturating_sub(children_ns(span));
+            for child in &span.children {
+                walk(child, acc);
+            }
+        }
+        walk(&trace.root, &mut acc);
+        let mut phases: Vec<PhaseStat> = acc.into_values().collect();
+        phases.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        Self {
+            root: trace.root.name.clone(),
+            wall_ns: u128::from(trace.root.duration_ns),
+            runs: 1,
+            phases,
+        }
+    }
+
+    /// Folds another profile (e.g. a repeat run of the same pipeline)
+    /// into this one: wall times and per-phase stats add.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        self.wall_ns += other.wall_ns;
+        self.runs += other.runs;
+        for stat in &other.phases {
+            match self.phases.iter_mut().find(|p| p.name == stat.name) {
+                Some(mine) => {
+                    mine.calls += stat.calls;
+                    mine.total_ns += stat.total_ns;
+                    mine.self_ns += stat.self_ns;
+                }
+                None => self.phases.push(stat.clone()),
+            }
+        }
+        self.phases
+            .sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    }
+
+    /// Sum of every phase's self time. Equals `wall_ns` up to per-span
+    /// clock-read jitter.
+    pub fn attributed_ns(&self) -> u128 {
+        self.phases.iter().map(|p| p.self_ns).sum()
+    }
+
+    /// Fraction of wall time attributed to named phases *other than the
+    /// root span* — i.e. how much of the run the instrumentation
+    /// explains. 0.0 for an empty trace, in `[0, 1]` otherwise.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        let non_root: u128 = self
+            .phases
+            .iter()
+            .filter(|p| p.name != self.root)
+            .map(|p| p.self_ns)
+            .sum();
+        (non_root as f64 / self.wall_ns as f64).min(1.0)
+    }
+
+    /// Renders a fixed-width self-time table, phases sorted by
+    /// descending self time, with a totals row and the coverage figure.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .phases
+            .iter()
+            .map(|p| p.name.len())
+            .chain(["phase".len(), "total".len()])
+            .max()
+            .unwrap_or(5);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>6}\n",
+            "phase", "calls", "total", "self", "self%"
+        ));
+        let pct = |ns: u128| {
+            if self.wall_ns == 0 {
+                0.0
+            } else {
+                ns as f64 / self.wall_ns as f64 * 100.0
+            }
+        };
+        for stat in &self.phases {
+            out.push_str(&format!(
+                "{:<width$}  {:>8}  {:>10}  {:>10}  {:>5.1}%\n",
+                stat.name,
+                stat.calls,
+                fmt_ns(stat.total_ns.min(u128::from(u64::MAX)) as u64),
+                fmt_ns(stat.self_ns.min(u128::from(u64::MAX)) as u64),
+                pct(stat.self_ns),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<width$}  {:>8}  {:>10}  {:>10}  {:>5.1}%\n",
+            "total",
+            "",
+            fmt_ns(self.wall_ns.min(u128::from(u64::MAX)) as u64),
+            fmt_ns(self.attributed_ns().min(u128::from(u64::MAX)) as u64),
+            pct(self.attributed_ns()),
+        ));
+        out.push_str(&format!(
+            "coverage: {:.1}% of wall time attributed below the root\n",
+            self.coverage() * 100.0
+        ));
+        out
+    }
+
+    /// Serializes to the `cogent.profile.v1` JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".into(), Json::Str(PROFILE_SCHEMA.into())),
+            ("root".into(), Json::Str(self.root.clone())),
+            ("runs".into(), Json::UInt(self.runs.into())),
+            ("wall_ns".into(), Json::UInt(self.wall_ns)),
+            ("attributed_ns".into(), Json::UInt(self.attributed_ns())),
+            ("coverage".into(), Json::Float(self.coverage())),
+            (
+                "phases".into(),
+                Json::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Object(vec![
+                                ("name".into(), Json::Str(p.name.clone())),
+                                ("calls".into(), Json::UInt(p.calls.into())),
+                                ("total_ns".into(), Json::UInt(p.total_ns)),
+                                ("self_ns".into(), Json::UInt(p.self_ns)),
+                                (
+                                    "self_pct".into(),
+                                    Json::Float(if self.wall_ns == 0 {
+                                        0.0
+                                    } else {
+                                        p.self_ns as f64 / self.wall_ns as f64 * 100.0
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Accumulates a trace's self times into `acc`, keyed by the
+/// semicolon-joined root-to-span name path (the flamegraph folded-stack
+/// convention). Call repeatedly to merge several runs.
+pub fn fold_stacks_into(trace: &PipelineTrace, acc: &mut BTreeMap<String, u128>) {
+    fn walk(span: &SpanNode, prefix: &str, acc: &mut BTreeMap<String, u128>) {
+        let path = if prefix.is_empty() {
+            span.name.clone()
+        } else {
+            format!("{prefix};{}", span.name)
+        };
+        let self_ns = u128::from(span.duration_ns).saturating_sub(children_ns(span));
+        *acc.entry(path.clone()).or_insert(0) += self_ns;
+        for child in &span.children {
+            walk(child, &path, acc);
+        }
+    }
+    walk(&trace.root, "", acc);
+}
+
+/// Renders a folded-stack accumulator as `path;to;span self_ns` lines
+/// (one per distinct call path, lexicographically sorted). The output
+/// feeds `flamegraph.pl` / speedscope / `inferno` unchanged.
+pub fn render_folded(acc: &BTreeMap<String, u128>) -> String {
+    let mut out = String::new();
+    for (path, self_ns) in acc {
+        out.push_str(&format!("{path} {self_ns}\n"));
+    }
+    out
+}
+
+/// One-shot folded-stack rendering of a single trace.
+pub fn folded_stacks(trace: &PipelineTrace) -> String {
+    let mut acc = BTreeMap::new();
+    fold_stacks_into(trace, &mut acc);
+    render_folded(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// generate(1000) → prune(600) → cost(200); generate → lower(250).
+    fn sample_trace() -> PipelineTrace {
+        fn node(name: &str, start_ns: u64, duration_ns: u64, children: Vec<SpanNode>) -> SpanNode {
+            SpanNode {
+                name: name.to_string(),
+                start_ns,
+                duration_ns,
+                counters: Vec::new(),
+                histograms: Vec::new(),
+                gauges: Vec::new(),
+                thread: 0,
+                children,
+            }
+        }
+        PipelineTrace {
+            root: node(
+                "generate",
+                0,
+                1_000,
+                vec![
+                    node("prune", 10, 600, vec![node("cost", 20, 200, vec![])]),
+                    node("lower", 700, 250, vec![]),
+                ],
+            ),
+        }
+    }
+
+    #[test]
+    fn self_times_partition_the_wall_clock() {
+        let profile = PhaseProfile::from_trace(&sample_trace());
+        assert_eq!(profile.wall_ns, 1_000);
+        assert_eq!(profile.attributed_ns(), 1_000, "self times partition wall");
+        let stat = |name: &str| profile.phases.iter().find(|p| p.name == name).unwrap();
+        assert_eq!(stat("generate").self_ns, 150); // 1000 - 600 - 250
+        assert_eq!(stat("prune").self_ns, 400); // 600 - 200
+        assert_eq!(stat("prune").total_ns, 600);
+        assert_eq!(stat("cost").self_ns, 200);
+        assert_eq!(stat("lower").self_ns, 250);
+        // Sorted by descending self time.
+        assert_eq!(profile.phases[0].name, "prune");
+        // Coverage excludes only the root's own self time.
+        assert!((profile.coverage() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_runs() {
+        let mut profile = PhaseProfile::from_trace(&sample_trace());
+        let again = PhaseProfile::from_trace(&sample_trace());
+        profile.merge(&again);
+        assert_eq!(profile.runs, 2);
+        assert_eq!(profile.wall_ns, 2_000);
+        let prune = profile.phases.iter().find(|p| p.name == "prune").unwrap();
+        assert_eq!(prune.calls, 2);
+        assert_eq!(prune.self_ns, 800);
+        assert!((profile.coverage() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_and_json_are_deterministic() {
+        let profile = PhaseProfile::from_trace(&sample_trace());
+        let table = profile.render_table();
+        assert!(table.starts_with("phase"));
+        assert!(table.contains("coverage: 85.0%"));
+        // Header + 4 phases + totals + coverage.
+        assert_eq!(table.lines().count(), 7);
+        let json = profile.to_json();
+        assert_eq!(
+            json.get("schema").unwrap().as_str(),
+            Some("cogent.profile.v1")
+        );
+        assert_eq!(json.get("wall_ns").unwrap().as_u128(), Some(1_000));
+        assert_eq!(json.get("phases").unwrap().as_array().unwrap().len(), 4);
+        assert!(Json::parse(&json.to_string()).is_ok());
+    }
+
+    #[test]
+    fn folded_stacks_follow_call_paths() {
+        let folded = folded_stacks(&sample_trace());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "generate 150",
+                "generate;lower 250",
+                "generate;prune 400",
+                "generate;prune;cost 200",
+            ]
+        );
+        // Merging a second run doubles every weight.
+        let mut acc = BTreeMap::new();
+        fold_stacks_into(&sample_trace(), &mut acc);
+        fold_stacks_into(&sample_trace(), &mut acc);
+        assert!(render_folded(&acc).contains("generate;prune 800"));
+    }
+
+    #[test]
+    fn zero_wall_trace_has_zero_coverage() {
+        let trace = PipelineTrace {
+            root: SpanNode {
+                name: "empty".into(),
+                start_ns: 0,
+                duration_ns: 0,
+                counters: Vec::new(),
+                histograms: Vec::new(),
+                gauges: Vec::new(),
+                thread: 0,
+                children: Vec::new(),
+            },
+        };
+        let profile = PhaseProfile::from_trace(&trace);
+        assert_eq!(profile.coverage(), 0.0);
+        assert!(profile.render_table().contains("coverage: 0.0%"));
+    }
+}

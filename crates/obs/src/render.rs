@@ -17,11 +17,11 @@ pub fn fmt_ns(ns: u64) -> String {
 
 pub(crate) fn render_text(trace: &PipelineTrace) -> String {
     let mut out = String::new();
-    render_span(&trace.root, 0, &mut out);
+    render_span(&trace.root, trace.root.thread, 0, &mut out);
     out
 }
 
-fn render_span(span: &SpanNode, depth: usize, out: &mut String) {
+fn render_span(span: &SpanNode, root_thread: u32, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth);
     let name_width = 28usize.saturating_sub(indent.len()).max(1);
     out.push_str(&format!(
@@ -29,6 +29,11 @@ fn render_span(span: &SpanNode, depth: usize, out: &mut String) {
         span.name,
         fmt_ns(span.duration_ns),
     ));
+    // Tag spans recorded off the capture's thread so multi-thread runs
+    // are legible in plain text.
+    if span.thread != root_thread {
+        out.push_str(&format!(" @t{}", span.thread));
+    }
     let mut metrics: Vec<String> = span
         .counters
         .iter()
@@ -48,7 +53,7 @@ fn render_span(span: &SpanNode, depth: usize, out: &mut String) {
     }
     out.push('\n');
     for child in &span.children {
-        render_span(child, depth + 1, out);
+        render_span(child, root_thread, depth + 1, out);
     }
 }
 
@@ -77,15 +82,29 @@ mod tests {
                 counters: vec![],
                 histograms: vec![],
                 gauges: vec![("audit.spearman".into(), 0.95)],
-                children: vec![SpanNode {
-                    name: "prune".into(),
-                    start_ns: 10,
-                    duration_ns: 1_000,
-                    counters: vec![("prune.survivors".into(), 42)],
-                    histograms: vec![("prune.lat_ns".into(), lat)],
-                    gauges: vec![],
-                    children: vec![],
-                }],
+                thread: 3,
+                children: vec![
+                    SpanNode {
+                        name: "prune".into(),
+                        start_ns: 10,
+                        duration_ns: 1_000,
+                        counters: vec![("prune.survivors".into(), 42)],
+                        histograms: vec![("prune.lat_ns".into(), lat)],
+                        gauges: vec![],
+                        thread: 3,
+                        children: vec![],
+                    },
+                    SpanNode {
+                        name: "prune.worker".into(),
+                        start_ns: 20,
+                        duration_ns: 500,
+                        counters: vec![],
+                        histograms: vec![],
+                        gauges: vec![],
+                        thread: 7,
+                        children: vec![],
+                    },
+                ],
             },
         };
         let text = trace.render_text();
@@ -95,5 +114,8 @@ mod tests {
         assert!(lines[1].starts_with("  prune"));
         assert!(lines[1].contains("prune.survivors=42"));
         assert!(lines[1].contains("prune.lat_ns{n=2 p50=5 p99=5}"));
+        // Same-thread spans carry no tag; cross-thread spans do.
+        assert!(!lines[1].contains("@t"));
+        assert!(lines[2].contains("@t7"));
     }
 }

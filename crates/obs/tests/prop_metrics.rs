@@ -1,9 +1,12 @@
-//! Property tests for the log-bucketed histogram: for arbitrary sample
+//! Property tests for the log-bucketed histogram — for arbitrary sample
 //! streams, quantile estimates must stay inside the observed `[min, max]`,
 //! be monotone in the requested quantile, and merging must equal feeding
-//! one histogram the combined stream.
+//! one histogram the combined stream — and for [`MetricsShard`] merging,
+//! which must be associative and order-insensitive so a global snapshot
+//! is independent of thread scheduling.
 
 use cogent_obs::metrics::Histogram;
+use cogent_obs::registry::MetricsShard;
 use proptest::prelude::*;
 
 /// The vendored proptest has no `u128` range strategy, so samples are
@@ -65,5 +68,71 @@ proptest! {
             h.buckets().to_vec(),
         ).expect("own parts are consistent");
         prop_assert_eq!(rebuilt, h);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsShard merge laws
+// ---------------------------------------------------------------------------
+
+/// Encoded shard operations: small name alphabet so shards collide on
+/// metric names (the interesting case), values widened as above. The
+/// `u64` doubles as counter value, histogram sample, or gauge
+/// `(seq, value)` source depending on `kind % 3`.
+fn shard_ops() -> impl Strategy<Value = Vec<(u8, u8, u64)>> {
+    prop::collection::vec((0u8..=255, 0u8..=5, 0u64..=u64::MAX), 0..32)
+}
+
+fn build_shard(ops: &[(u8, u8, u64)]) -> MetricsShard {
+    let mut shard = MetricsShard::new();
+    for &(kind, name, value) in ops {
+        let name = format!("m{name}");
+        match kind % 3 {
+            0 => shard.add_counter(&name, u128::from(value)),
+            1 => shard.record_histogram(&name, (u128::from(value)) << (value % 5)),
+            // Sequence and value derived from independent halves so ties
+            // on seq with differing values occur and exercise the
+            // bit-pattern tiebreak.
+            _ => shard.set_gauge_seq(&name, value >> 32, (value as u32) as f64 / 16.0),
+        }
+    }
+    shard
+}
+
+fn merged(a: &MetricsShard, b: &MetricsShard) -> MetricsShard {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn shard_merge_is_commutative(a in shard_ops(), b in shard_ops()) {
+        let (a, b) = (build_shard(&a), build_shard(&b));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn shard_merge_is_associative(a in shard_ops(), b in shard_ops(), c in shard_ops()) {
+        let (a, b, c) = (build_shard(&a), build_shard(&b), build_shard(&c));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn shard_merge_is_order_insensitive(a in shard_ops(), b in shard_ops(), c in shard_ops()) {
+        // Any drain order of three "threads" yields the same snapshot.
+        let (a, b, c) = (build_shard(&a), build_shard(&b), build_shard(&c));
+        let abc = merged(&merged(&a, &b), &c);
+        let cab = merged(&merged(&c, &a), &b);
+        let bca = merged(&merged(&b, &c), &a);
+        prop_assert_eq!(&abc, &cab);
+        prop_assert_eq!(&abc, &bca);
+    }
+
+    #[test]
+    fn shard_merge_identity_is_the_empty_shard(a in shard_ops()) {
+        let a = build_shard(&a);
+        prop_assert_eq!(merged(&a, &MetricsShard::new()), a.clone());
+        prop_assert_eq!(merged(&MetricsShard::new(), &a), a);
     }
 }

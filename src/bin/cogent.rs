@@ -9,6 +9,8 @@
 //! cogent batch    --suite --group ccsdt --threads 4 -o kernels/
 //! cogent bench    "abcd-aebf-dfce" --size 48 --device p100
 //! cogent explain  "abcd-aebf-dfce" --size 32 --json
+//! cogent profile  "abcd-aebf-dfce" --size 32 --runs 5 --folded stacks.txt
+//! cogent stats    --suite --threads 4
 //! cogent audit    --suite tccg --top 8 --json
 //! cogent suite
 //! ```
@@ -16,7 +18,7 @@
 //! Setting `COGENT_TRACE=1` makes every subcommand print its pipeline
 //! trace (span tree with timings, counters, histograms and gauges) to
 //! stderr on completion; `--trace-out FILE` instead writes the trace as
-//! `cogent.trace.v2` JSON to a file (`-` keeps the stderr tree).
+//! `cogent.trace.v3` JSON to a file (`-` keeps the stderr tree).
 //! `COGENT_THREADS` parallelizes the search (and `batch` jobs);
 //! `COGENT_CACHE_CAP` sizes the kernel cache used by `batch` and
 //! `explain`. Neither changes the emitted kernels.
@@ -126,13 +128,17 @@ const USAGE: &str = "usage:
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
   cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32]
                   [--backend cuda|opencl|hip] [--json] [--chrome-trace FILE]
+  cogent profile  <contraction> [--size N | --sizes ...] [--device ...] [--f32]
+                  [--runs N] [--json] [--folded FILE]
+  cogent stats    [<contraction>...] [--suite] [--group ml|aomo|ccsd|ccsdt]
+                  [--size N | --sizes ...] [--device ...] [--f32] [--threads N]
   cogent audit    [<contraction>...] [--suite [tccg]] [--group ml|aomo|ccsd|ccsdt]
                   [--size N | --sizes ...] [--device ...] [--f32] [--top K]
                   [--exhaustive] [--json]
   cogent suite    [--group ml|aomo|ccsd|ccsdt]
 
 every command also accepts --trace-out FILE to write its pipeline trace
-as cogent.trace.v2 JSON (\"-\" prints the stderr tree instead)
+as cogent.trace.v3 JSON (\"-\" prints the stderr tree instead)
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
@@ -148,6 +154,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "batch" => cmd_batch(rest),
         "bench" => cmd_bench(rest),
         "explain" => cmd_explain(rest),
+        "profile" => cmd_profile(rest),
+        "stats" => cmd_stats(rest),
         "audit" => cmd_audit(rest),
         "suite" => cmd_suite(rest),
         other => Err(CliError::runtime(format!("unknown command {other:?}"))),
@@ -367,6 +375,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--group",
     "--threads",
     "--top",
+    "--runs",
+    "--folded",
     "--trace-out",
     "--chrome-trace",
     "-o",
@@ -549,7 +559,7 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
 
 /// Runs the full pipeline with tracing forced on and renders the
 /// resulting [`cogent::obs::PipelineTrace`] — as an indented span tree by
-/// default, or as `cogent.trace.v2` JSON with `--json`. With
+/// default, or as `cogent.trace.v3` JSON with `--json`. With
 /// `--chrome-trace FILE` the span timeline is also written in the Chrome
 /// trace-event format (load it in `chrome://tracing` or Perfetto).
 fn explain_report(args: &[String]) -> Result<String, CliError> {
@@ -604,6 +614,161 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
             trace.render_text().trim_end()
         ))
     }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    print!("{}", profile_report(args)?);
+    Ok(())
+}
+
+/// Profiles the cold generation path: runs the full pipeline (no cache,
+/// tracing forced on) `--runs` times and attributes the wall time to
+/// phases with a self/total split — as a fixed-width self-time table by
+/// default, as `cogent.profile.v1` JSON with `--json`. With
+/// `--folded FILE` the per-call-path self times are also written as
+/// flamegraph-compatible folded stacks (`flamegraph.pl` / speedscope).
+fn profile_report(args: &[String]) -> Result<String, CliError> {
+    let tc = parse_contraction(args)?;
+    let sizes = parse_sizes(args, &tc)?;
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let runs: u64 = flag_value(args, "--runs")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| CliError::usage("bad --runs value"))?;
+    if runs == 0 {
+        return Err(CliError::usage("--runs must be positive"));
+    }
+
+    // Deliberately cache-less: every run exercises the cold path the
+    // profile is meant to explain.
+    let generator = Cogent::new().device(device.clone()).precision(precision);
+    let was_enabled = cogent::obs::enabled();
+    cogent::obs::set_enabled(true);
+    let mut profile: Option<cogent::obs::profile::PhaseProfile> = None;
+    let mut folded = std::collections::BTreeMap::new();
+    let mut failure = None;
+    for _ in 0..runs {
+        match generator.generate(&tc, &sizes) {
+            Ok(kernel) => {
+                let Some(trace) = kernel.trace else {
+                    failure = Some(CliError::runtime(
+                        "pipeline finished without producing a trace",
+                    ));
+                    break;
+                };
+                cogent::obs::profile::fold_stacks_into(&trace, &mut folded);
+                let run_profile = cogent::obs::profile::PhaseProfile::from_trace(&trace);
+                match profile.as_mut() {
+                    Some(acc) => acc.merge(&run_profile),
+                    None => profile = Some(run_profile),
+                }
+            }
+            Err(e) => {
+                failure = Some(CliError::runtime(format!("{e}")));
+                break;
+            }
+        }
+    }
+    cogent::obs::set_enabled(was_enabled);
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    let profile = profile.expect("runs >= 1 and no failure: profile accumulated");
+
+    if let Some(path) = flag_value(args, "--folded") {
+        let doc = cogent::obs::profile::render_folded(&folded);
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote folded stacks to {path}");
+    }
+
+    if has_flag(args, "--json") {
+        Ok(format!("{}\n", profile.to_json()))
+    } else {
+        Ok(format!(
+            "contraction: {tc} at {sizes} ({runs} cold run(s), {precision:?} on {device})\n{}",
+            profile.render_table()
+        ))
+    }
+}
+
+/// Runs a slate of generations (like `batch`, minus the kernel output)
+/// with tracing forced on, then prints a Prometheus-style text exposition
+/// of the process-global metrics registry — every counter, histogram
+/// quantile and gauge recorded by any worker thread.
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    let device = parse_device(args)?;
+    let precision = parse_precision(args);
+    let explicit_sizes = has_flag(args, "--size") || has_flag(args, "--sizes");
+
+    let mut jobs: Vec<(String, Contraction, SizeMap)> = Vec::new();
+    if has_flag(args, "--suite") {
+        let group = flag_value(args, "--group");
+        for entry in cogent::tccg::suite() {
+            if group.is_some_and(|g| g != group_tag(entry.group)) {
+                continue;
+            }
+            let tc = entry.contraction();
+            let sizes = if explicit_sizes {
+                parse_sizes(args, &tc)?
+            } else {
+                entry.sizes()
+            };
+            jobs.push((entry.name.to_string(), tc, sizes));
+        }
+    }
+    for spec in positional_specs(args) {
+        let tc = cogent::ir::parse::parse_allowing_batch(spec)
+            .map_err(|e| CliError::usage(format!("{e}")))?;
+        let sizes = parse_sizes(args, &tc)?;
+        jobs.push((spec.to_string(), tc, sizes));
+    }
+    if jobs.is_empty() {
+        return Err(CliError::usage(
+            "nothing to measure: pass contractions and/or --suite",
+        ));
+    }
+
+    let mut options = cogent::generator::SearchOptions::default();
+    if let Some(threads) = flag_value(args, "--threads") {
+        options.threads = threads
+            .parse()
+            .map_err(|_| CliError::usage("bad --threads value"))?;
+    }
+    let generator = Cogent::new()
+        .device(device)
+        .precision(precision)
+        .search_options(options);
+
+    let pairs: Vec<(Contraction, SizeMap)> = jobs
+        .iter()
+        .map(|(_, tc, sizes)| (tc.clone(), sizes.clone()))
+        .collect();
+    // Fresh window: only this slate's activity shows in the exposition.
+    cogent::obs::reset_metrics();
+    let was_enabled = cogent::obs::enabled();
+    cogent::obs::set_enabled(true);
+    let results = generator.generate_many(&pairs);
+    cogent::obs::set_enabled(was_enabled);
+
+    let mut failures = 0usize;
+    for ((label, _, _), result) in jobs.iter().zip(&results) {
+        if let Err(e) = result {
+            failures += 1;
+            eprintln!("fail  {label:<24} {e}");
+        }
+    }
+    print!(
+        "{}",
+        cogent::obs::render_prometheus(&cogent::obs::metrics_snapshot())
+    );
+    if failures > 0 {
+        return Err(CliError::runtime(format!(
+            "{failures} of {} generations failed",
+            results.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Audits the cost model against the `gpu-sim` transaction tracer: for
@@ -941,6 +1106,66 @@ mod tests {
             .iter()
             .any(|e| e.get("name").unwrap().as_str() == Some("enumerate")));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_reports_phase_self_times() {
+        let out = profile_report(&s(&["ij-ik-kj", "--size", "8", "--runs", "2"])).unwrap();
+        assert!(out.contains("phase"), "no table header in:\n{out}");
+        assert!(out.contains("coverage:"), "no coverage line in:\n{out}");
+        for phase in ["enumerate", "prune", "rank", "lower", "codegen"] {
+            assert!(out.contains(phase), "phase {phase} missing from:\n{out}");
+        }
+        assert!(out.contains("2 cold run(s)"));
+    }
+
+    #[test]
+    fn profile_json_follows_the_schema() {
+        let out = profile_report(&s(&["ij-ik-kj", "--size", "8", "--json"])).unwrap();
+        let doc = cogent::obs::json::Json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some("cogent.profile.v1")
+        );
+        assert_eq!(doc.get("runs").unwrap().as_u128(), Some(1));
+        assert!(doc.get("wall_ns").unwrap().as_u128().unwrap() > 0);
+        assert!(!doc.get("phases").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn profile_writes_folded_stacks() {
+        let path = std::env::temp_dir().join("cogent_folded_test.txt");
+        let path_s = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        profile_report(&s(&["ij-ik-kj", "--size", "8", "--folded", &path_s])).unwrap();
+        let folded = std::fs::read_to_string(&path).unwrap();
+        // Every line is `path;to;span self_ns`, rooted at the generate span.
+        assert!(folded.lines().count() > 3);
+        assert!(folded.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, ns)| ns.parse::<u128>().is_ok())));
+        assert!(
+            folded
+                .lines()
+                .any(|l| l.starts_with("generate;search;prune ")),
+            "no generate;search;prune path in:\n{folded}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_rejects_bad_runs() {
+        let e = profile_report(&s(&["ij-ik-kj", "--runs", "0"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        let e = profile_report(&s(&["ij-ik-kj", "--runs", "many"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+    }
+
+    #[test]
+    fn stats_without_jobs_is_a_usage_error() {
+        let e = cmd_stats(&s(&["--size", "8"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+        assert!(e.message.contains("nothing to measure"));
     }
 
     #[test]

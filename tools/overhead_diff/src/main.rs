@@ -1,0 +1,128 @@
+//! `overhead_diff`: the observability-overhead gate.
+//!
+//! Compares two `cogent.overhead.v1` reports from `overhead_gate` — one
+//! built with the `strip` feature (instrumentation compiled out) and one
+//! built normally (instrumentation present, tracing disabled) — and
+//! exits nonzero when the dormant instrumentation makes the cold
+//! generation sweep more expensive than
+//!
+//! ```text
+//! stripped_best * max_ratio + abs_slack
+//! ```
+//!
+//! The default ratio is deliberately generous: the disabled path is one
+//! relaxed atomic load per call site, so the real signal this gate
+//! guards against is someone accidentally putting allocation, locking,
+//! or formatting on the untraced path. `abs_slack` absorbs scheduler
+//! noise on loaded single-core CI hosts, where sub-second sweeps can
+//! jitter by tens of milliseconds through no fault of the code.
+//!
+//! Usage: `overhead_diff <stripped.json> <instrumented.json>
+//! [--max-ratio X] [--abs-slack-s X]`
+
+use std::process::ExitCode;
+
+use cogent_obs::json::Json;
+
+/// Schema both inputs must declare.
+const OVERHEAD_SCHEMA: &str = "cogent.overhead.v1";
+
+/// Default ceiling on instrumented/stripped best-sweep ratio.
+const DEFAULT_MAX_RATIO: f64 = 1.35;
+
+/// Default absolute slack (seconds) added to the ceiling.
+const DEFAULT_ABS_SLACK_S: f64 = 0.15;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("overhead_diff: {message}");
+    ExitCode::FAILURE
+}
+
+/// Loads a report and returns `(mode, best_sweep_s, entries)`.
+fn load(path: &str) -> Result<(String, f64, u128), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {path}: {e:?}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != OVERHEAD_SCHEMA {
+        return Err(format!(
+            "{path}: schema {schema:?}, want {OVERHEAD_SCHEMA:?}"
+        ));
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing mode"))?
+        .to_string();
+    let best = doc
+        .get("best_sweep_s")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing best_sweep_s"))?;
+    if !(best.is_finite() && best > 0.0) {
+        return Err(format!("{path}: bad best_sweep_s {best}"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_u128)
+        .ok_or_else(|| format!("{path}: missing entries"))?;
+    Ok((mode, best, entries))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(stripped_path), Some(instrumented_path)) =
+        (args.first(), args.get(1).filter(|a| !a.starts_with("--")))
+    else {
+        return fail("usage: overhead_diff <stripped.json> <instrumented.json> [--max-ratio X] [--abs-slack-s X]");
+    };
+    let max_ratio: f64 = match flag_value(&args, "--max-ratio").map(str::parse) {
+        None => DEFAULT_MAX_RATIO,
+        Some(Ok(v)) if v >= 1.0 => v,
+        Some(_) => return fail("bad --max-ratio (want a number >= 1.0)"),
+    };
+    let abs_slack_s: f64 = match flag_value(&args, "--abs-slack-s").map(str::parse) {
+        None => DEFAULT_ABS_SLACK_S,
+        Some(Ok(v)) if v >= 0.0 => v,
+        Some(_) => return fail("bad --abs-slack-s (want a non-negative number)"),
+    };
+
+    let (stripped, instrumented) = match (load(stripped_path), load(instrumented_path)) {
+        (Ok(s), Ok(i)) => (s, i),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    // Mode cross-check: comparing two reports of the same build (or the
+    // two swapped) silently inverts the gate, so refuse.
+    if stripped.0 != "stripped" || instrumented.0 != "instrumented" {
+        return fail(&format!(
+            "mode mismatch: {stripped_path} is {:?} (want \"stripped\"), {instrumented_path} is {:?} (want \"instrumented\")",
+            stripped.0, instrumented.0
+        ));
+    }
+    if stripped.2 != instrumented.2 {
+        return fail(&format!(
+            "entry-count mismatch: stripped swept {} entries, instrumented {}",
+            stripped.2, instrumented.2
+        ));
+    }
+
+    let ratio = instrumented.1 / stripped.1;
+    let ceiling = stripped.1 * max_ratio + abs_slack_s;
+    println!(
+        "overhead_diff: stripped {:.3}s | instrumented {:.3}s | ratio {ratio:.3} (ceiling {max_ratio} + {abs_slack_s}s slack)",
+        stripped.1, instrumented.1
+    );
+    if instrumented.1 > ceiling {
+        return fail(&format!(
+            "dormant instrumentation overhead breached: instrumented best sweep {:.3}s > {:.3}s ceiling ({:.3}s stripped * {max_ratio} + {abs_slack_s}s)",
+            instrumented.1, ceiling, stripped.1
+        ));
+    }
+    println!("overhead_diff: within budget");
+    ExitCode::SUCCESS
+}
