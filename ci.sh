@@ -63,6 +63,23 @@ test -s target/profile_smoke.folded
 run env COGENT_THREADS=4 cargo run --release $OFFLINE --bin cogent -- stats \
     "abcd-aebf-dfce" --size 24 --threads 4 > target/stats_smoke.prom
 grep -q 'cogent_counter{metric="prune.checked"}' target/stats_smoke.prom
+# Serve robustness: the service-level chaos suite (malformed requests,
+# slowloris, worker panics, corrupted cache files, kill-and-restart
+# byte-identity) and a daemon smoke check — the binary must refuse
+# malformed env/flags with exit 2 and a one-line diagnostic.
+run cargo test -q -p cogent-core --test serve_chaos $OFFLINE
+run cargo test -q -p cogent-core --test persist_prop $OFFLINE
+if COGENT_CACHE_CAP=banana cargo run --release $OFFLINE --bin cogent -- serve 2>/dev/null; then
+    echo "serve smoke: malformed COGENT_CACHE_CAP must refuse startup" >&2
+    exit 1
+fi
+# Traffic replay gate: a deterministic seeded request trace over loopback
+# must match the checked-in service baseline (exact warm hit counts, zero
+# errors; latency gated only against catastrophic regressions).
+# Regenerate results/traffic_replay.json intentionally with:
+#   cargo run --release -p cogent-bench --bin traffic_replay
+run cargo run --release $OFFLINE -p cogent-bench --bin traffic_replay -- \
+    --out target/traffic_replay_ci.json --check results/traffic_replay.json
 # Emission gate: every TCCG entry x every backend dialect (CUDA, OpenCL,
 # HIP) must emit and pass both the text lint and the structural IR lint.
 run cargo run --release $OFFLINE -p cogent-emit-gate --bin emit_gate

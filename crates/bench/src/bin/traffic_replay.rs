@@ -1,0 +1,302 @@
+//! Service-level traffic replay against a live `cogent serve` daemon.
+//!
+//! Spawns the server on a loopback port, then drives a deterministic,
+//! seeded request trace through real HTTP connections:
+//!
+//! * a **cold phase** issuing every unique contraction once (all cache
+//!   misses — the steady-state working set being built), then
+//! * a **warm phase** replaying zipf-distributed repeats of that working
+//!   set from several concurrent client threads (the shape of real
+//!   request traffic: a few hot contractions dominate).
+//!
+//! The trace mixes TCCG suite entries with seeded pseudo-random
+//! contractions so the replay is not biased toward the benchmark suite's
+//! index structure. The workload is fully deterministic (fixed seed, no
+//! wall-clock dependence), so cache hit counts are exactly reproducible
+//! and CI can gate on them; latency percentiles are reported for
+//! trend-watching and gated only against catastrophic (100x) regressions.
+//!
+//! Usage: `cargo run --release -p cogent-bench --bin traffic_replay
+//! [--quick] [--workers N] [--clients N] [--out FILE] [--check BASELINE]`
+//!
+//! Writes `results/traffic_replay.json` (override with `--out`). With
+//! `--check BASELINE`, compares the fresh run against the checked-in
+//! baseline and exits nonzero on a service-level regression. Regenerate
+//! the baseline intentionally with:
+//!   cargo run --release -p cogent-bench --bin traffic_replay
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use cogent_bench::{flag_value, quick_mode, write_json_report};
+use cogent_core::{ServeConfig, Server};
+use cogent_obs::json::Json;
+use cogent_tccg::suite;
+
+/// Deterministic xorshift64* generator: the replay must not depend on
+/// process entropy, or CI could not gate on hit counts.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A seeded pseudo-random contraction in the generator's supported shape:
+/// 1-2 external indices per input, 1-2 contracted, rotated input layouts.
+fn random_spec(rng: &mut Rng) -> String {
+    let na = 1 + rng.below(2);
+    let nb = 1 + rng.below(2);
+    let ni = 1 + rng.below(2);
+    let letters: Vec<char> = (0..na + nb + ni)
+        .map(|i| (b'a' + i as u8) as char)
+        .collect();
+    let c: String = letters[..na + nb].iter().collect();
+    let mut a: Vec<char> = letters[..na]
+        .iter()
+        .chain(&letters[na + nb..])
+        .copied()
+        .collect();
+    let mut b: Vec<char> = letters[na..].to_vec();
+    let rot_a = rng.below(a.len());
+    let rot_b = rng.below(b.len());
+    a.rotate_left(rot_a);
+    b.rotate_left(rot_b);
+    let (a, b): (String, String) = (a.into_iter().collect(), b.into_iter().collect());
+    format!("{c}-{a}-{b}")
+}
+
+/// One POST /v1/generate over a fresh loopback connection. Returns the
+/// HTTP status, whether the response was a cache hit, and the latency.
+fn issue(addr: &str, body: &str) -> (u16, bool, Duration) {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to replay server");
+    let request = format!(
+        "POST /v1/generate HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (
+        status,
+        response.contains("\"cache\":\"hit\""),
+        started.elapsed(),
+    )
+}
+
+/// Replays `jobs` from `clients` concurrent threads; returns per-request
+/// (status, hit, latency) in completion order.
+fn replay(addr: &str, jobs: &[String], clients: usize) -> Vec<(u16, bool, Duration)> {
+    let results = Arc::new(Mutex::new(Vec::with_capacity(jobs.len())));
+    let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let results = Arc::clone(&results);
+            let next = Arc::clone(&next);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let outcome = issue(addr, &jobs[i]);
+                results.lock().unwrap().push(outcome);
+            });
+        }
+    });
+    Arc::try_unwrap(results).unwrap().into_inner().unwrap()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summarize(outcomes: &[(u16, bool, Duration)]) -> (usize, usize, Vec<f64>) {
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .map(|(_, _, d)| d.as_secs_f64() * 1e3)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let errors = outcomes
+        .iter()
+        .filter(|(status, _, _)| *status != 200)
+        .count();
+    let hits = outcomes.iter().filter(|(_, hit, _)| *hit).count();
+    (errors, hits, latencies)
+}
+
+fn get_f64(report: &Json, key: &str) -> f64 {
+    let Json::Object(members) = report else {
+        panic!("baseline is not a JSON object")
+    };
+    match members.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        Some(Json::Float(f)) => *f,
+        Some(Json::UInt(u)) => *u as f64,
+        other => panic!("baseline field {key}: expected a number, got {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = flag_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let clients: usize = flag_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let out_path = flag_value(&args, "--out")
+        .unwrap_or("results/traffic_replay.json")
+        .to_string();
+    let quick = quick_mode(&args);
+
+    // The working set: TCCG entries (small ones first, at their suite
+    // sizes) plus seeded pseudo-random contractions at modest extents.
+    let (tccg_count, random_count, draws) = if quick { (6, 2, 60) } else { (16, 8, 240) };
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    let mut unique: Vec<String> = suite()
+        .iter()
+        .take(tccg_count)
+        .map(|e| format!(r#"{{"contraction":"{}","uniform":16}}"#, e.spec))
+        .collect();
+    for _ in 0..random_count {
+        unique.push(format!(
+            r#"{{"contraction":"{}","uniform":{}}}"#,
+            random_spec(&mut rng),
+            8 + 4 * rng.below(3)
+        ));
+    }
+    unique.sort();
+    unique.dedup();
+
+    // Zipf-ish popularity over the working set: weight 1/(rank+1).
+    let weights: Vec<f64> = (0..unique.len()).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut warm_jobs = Vec::with_capacity(draws);
+    for _ in 0..draws {
+        let mut point = (rng.next() as f64 / u64::MAX as f64) * total_weight;
+        let mut pick = 0;
+        for (rank, w) in weights.iter().enumerate() {
+            point -= w;
+            if point <= 0.0 {
+                pick = rank;
+                break;
+            }
+        }
+        warm_jobs.push(unique[pick].clone());
+    }
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth: clients.max(workers) * 4,
+        max_conns: clients * 8,
+        cache_capacity: unique.len() * 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(config).expect("spawn replay server");
+    let addr = server.addr().to_string();
+    println!(
+        "traffic_replay: {} unique contractions | {draws} warm draws | {workers} worker(s) | {clients} client(s) | {addr}",
+        unique.len()
+    );
+
+    let cold_started = Instant::now();
+    let cold = replay(&addr, &unique, clients);
+    let cold_total_s = cold_started.elapsed().as_secs_f64();
+    let warm_started = Instant::now();
+    let warm = replay(&addr, &warm_jobs, clients);
+    let warm_total_s = warm_started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let (cold_errors, cold_hits, cold_ms) = summarize(&cold);
+    let (warm_errors, warm_hits, warm_ms) = summarize(&warm);
+    let warm_hit_rate = warm_hits as f64 / warm.len().max(1) as f64;
+    let report = Json::obj([
+        ("unique_contractions", Json::from(unique.len())),
+        ("warm_draws", Json::from(draws)),
+        ("workers", Json::from(workers)),
+        ("clients", Json::from(clients)),
+        ("cold_total_s", Json::Float(cold_total_s)),
+        ("warm_total_s", Json::Float(warm_total_s)),
+        ("cold_errors", Json::from(cold_errors)),
+        ("warm_errors", Json::from(warm_errors)),
+        ("cold_hits", Json::from(cold_hits)),
+        ("warm_hits", Json::from(warm_hits)),
+        ("warm_hit_rate", Json::Float(warm_hit_rate)),
+        ("cold_p50_ms", Json::Float(percentile(&cold_ms, 0.50))),
+        ("cold_p99_ms", Json::Float(percentile(&cold_ms, 0.99))),
+        ("warm_p50_ms", Json::Float(percentile(&warm_ms, 0.50))),
+        ("warm_p99_ms", Json::Float(percentile(&warm_ms, 0.99))),
+    ]);
+    write_json_report(&out_path, &report).expect("write report");
+    println!(
+        "cold: {cold_total_s:.2}s (p99 {:.2}ms, {cold_errors} errors) | warm: {warm_total_s:.2}s (p99 {:.2}ms, hit rate {:.1}%, {warm_errors} errors)",
+        percentile(&cold_ms, 0.99),
+        percentile(&warm_ms, 0.99),
+        warm_hit_rate * 100.0,
+    );
+
+    let Some(baseline_path) = flag_value(&args, "--check") else {
+        return;
+    };
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = Json::parse(&text).expect("parse baseline");
+    let mut failures = Vec::new();
+    // Deterministic service-level invariants: the seeded trace must hit
+    // the cache exactly as the baseline run did, with zero errors. (The
+    // quick and full traces differ, so --check only compares runs of the
+    // same mode; the checked-in baseline is a full-mode run.)
+    if !quick {
+        let want_hits = get_f64(&baseline, "warm_hits");
+        if (warm_hits as f64) < want_hits {
+            failures.push(format!("warm_hits {warm_hits} < baseline {want_hits}"));
+        }
+    }
+    if cold_errors + warm_errors > 0 {
+        failures.push(format!(
+            "replay saw {cold_errors} cold + {warm_errors} warm non-200 responses"
+        ));
+    }
+    if warm_hit_rate < 0.5 {
+        failures.push(format!("warm hit rate {warm_hit_rate:.2} below 0.5 floor"));
+    }
+    // Latency is machine-dependent; gate only against catastrophic
+    // serialization bugs (e.g. the warm path falling off the cache).
+    let p99_ceiling = (get_f64(&baseline, "warm_p99_ms") * 100.0).max(500.0);
+    let warm_p99 = percentile(&warm_ms, 0.99);
+    if warm_p99 > p99_ceiling {
+        failures.push(format!(
+            "warm p99 {warm_p99:.1}ms above ceiling {p99_ceiling:.1}ms"
+        ));
+    }
+    if failures.is_empty() {
+        println!("traffic_replay: within baseline {baseline_path}");
+    } else {
+        for failure in &failures {
+            eprintln!("traffic_replay: REGRESSION: {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -45,6 +45,31 @@ pub const CACHE_CAP_ENV_VAR: &str = "COGENT_CACHE_CAP";
 /// the kernels themselves.
 pub const DEFAULT_CAPACITY: usize = 64;
 
+/// Reads `COGENT_CACHE_CAP` strictly: unset or empty means
+/// [`DEFAULT_CAPACITY`], `0` disables caching, and anything that does not
+/// parse as a non-negative integer is an error (one-line diagnostic,
+/// without the `cogent: ` prefix). Front-ends turn the error into their
+/// usage-error convention — exit 2 for the CLI, a refused startup for
+/// `cogent serve`.
+pub fn capacity_from_env() -> Result<usize, String> {
+    parse_capacity(std::env::var(CACHE_CAP_ENV_VAR).ok().as_deref())
+}
+
+/// The parsing rule behind [`capacity_from_env`], split out so the
+/// diagnostic is testable without touching the process environment.
+pub fn parse_capacity(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_CAPACITY);
+    };
+    let value = raw.trim();
+    if value.is_empty() {
+        return Ok(DEFAULT_CAPACITY);
+    }
+    value.parse::<usize>().map_err(|_| {
+        format!("{CACHE_CAP_ENV_VAR}: invalid value {value:?} (want a non-negative integer)")
+    })
+}
+
 /// Everything that determines the output of `Cogent::generate`, flattened
 /// to strings so equality is exact and the hash is stable.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -97,6 +122,37 @@ impl CacheKey {
         self.hash(&mut hasher);
         (hasher.finish() as usize) % shards
     }
+
+    /// Rebuilds a key from its flattened parts (the inverse of
+    /// [`CacheKey::parts`]). Used by the on-disk persistence layer
+    /// ([`crate::persist`]), which stores the flattened strings verbatim.
+    pub fn from_parts(
+        contraction: String,
+        sizes: String,
+        device: String,
+        precision: Precision,
+        options: String,
+    ) -> Self {
+        Self {
+            contraction,
+            sizes,
+            device,
+            precision,
+            options,
+        }
+    }
+
+    /// The key's flattened parts:
+    /// `(contraction, sizes, device, precision, options)`.
+    pub fn parts(&self) -> (&str, &str, &str, Precision, &str) {
+        (
+            &self.contraction,
+            &self.sizes,
+            &self.device,
+            self.precision,
+            &self.options,
+        )
+    }
 }
 
 struct Entry {
@@ -109,6 +165,12 @@ struct Shard {
     map: HashMap<CacheKey, Entry>,
     /// Monotonic use counter backing the LRU order.
     tick: u64,
+    /// Bumped on every insert (and the eviction it may cause); the
+    /// persistence layer compares it against the version it last wrote
+    /// to find dirty shards. Pure lookups refresh the LRU order without
+    /// bumping it — a crash between a `get` and the next insert loses at
+    /// most that recency refresh, never an entry.
+    version: u64,
 }
 
 /// Point-in-time cache statistics.
@@ -175,12 +237,11 @@ impl KernelCache {
 
     /// A cache sized by the `COGENT_CACHE_CAP` environment variable
     /// ([`CACHE_CAP_ENV_VAR`]), defaulting to [`DEFAULT_CAPACITY`].
+    /// Malformed values fall back to the default; front-ends that want to
+    /// reject them instead (the CLI exits 2, `cogent serve` refuses to
+    /// start) should call [`capacity_from_env`] first.
     pub fn from_env() -> Self {
-        let capacity = std::env::var(CACHE_CAP_ENV_VAR)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_CAPACITY);
-        Self::new(capacity)
+        Self::new(capacity_from_env().unwrap_or(DEFAULT_CAPACITY))
     }
 
     /// The configured total capacity (0 = disabled).
@@ -236,6 +297,7 @@ impl KernelCache {
         }
         let mut shard = self.lock_shard(&key);
         shard.tick += 1;
+        shard.version += 1;
         let tick = shard.tick;
         if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
             // Evict the least-recently-used entry. Ties on `last_used`
@@ -279,6 +341,40 @@ impl KernelCache {
             entries,
             capacity: self.capacity,
         }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard's insert-version counter: bumped on every insert, so the
+    /// persistence layer can skip shards that have not changed since it
+    /// last wrote them. Out-of-range indices read as 0.
+    pub fn shard_version(&self, index: usize) -> u64 {
+        self.shards
+            .get(index)
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .version
+            })
+            .unwrap_or(0)
+    }
+
+    /// Clones one shard's entries as `(key, kernel, last_used)` triples,
+    /// in unspecified order (`last_used` orders them: smaller = colder).
+    /// Out-of-range indices yield an empty vector.
+    pub fn snapshot_shard(&self, index: usize) -> Vec<(CacheKey, GeneratedKernel, u64)> {
+        let Some(shard) = self.shards.get(index) else {
+            return Vec::new();
+        };
+        let shard = shard.lock().unwrap_or_else(|poison| poison.into_inner());
+        shard
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), e.kernel.clone(), e.last_used))
+            .collect()
     }
 
     /// Drops every entry (statistics are kept).
@@ -394,6 +490,60 @@ mod tests {
         let key_a = key_for(&a, &sizes, "opts");
         let key_b = key_for(&a.normalized(), &sizes, "opts");
         assert_eq!(key_a, key_b);
+    }
+
+    #[test]
+    fn capacity_parsing_is_strict_about_malformed_values() {
+        assert_eq!(parse_capacity(None), Ok(DEFAULT_CAPACITY));
+        assert_eq!(parse_capacity(Some("")), Ok(DEFAULT_CAPACITY));
+        assert_eq!(parse_capacity(Some("  ")), Ok(DEFAULT_CAPACITY));
+        assert_eq!(parse_capacity(Some("0")), Ok(0));
+        assert_eq!(parse_capacity(Some(" 128 ")), Ok(128));
+        let err = parse_capacity(Some("banana")).unwrap_err();
+        assert_eq!(
+            err,
+            "COGENT_CACHE_CAP: invalid value \"banana\" (want a non-negative integer)"
+        );
+        assert!(parse_capacity(Some("-4")).is_err());
+        assert!(parse_capacity(Some("1.5")).is_err());
+    }
+
+    #[test]
+    fn snapshot_and_versions_track_inserts() {
+        let (tc, sizes, kernel) = kernel_for("ij-ik-kj", 32);
+        let cache = KernelCache::with_shards(4, 1);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.shard_version(0), 0);
+        cache.insert(key_for(&tc, &sizes, "one"), kernel.clone());
+        cache.insert(key_for(&tc, &sizes, "two"), kernel);
+        assert_eq!(cache.shard_version(0), 2);
+        // Lookups refresh LRU order but do not dirty the shard.
+        assert!(cache.get(&key_for(&tc, &sizes, "one")).is_some());
+        assert_eq!(cache.shard_version(0), 2);
+        let mut snap = cache.snapshot_shard(0);
+        snap.sort_by_key(|(_, _, used)| *used);
+        assert_eq!(snap.len(), 2);
+        // "two" was inserted second but "one" was touched after it.
+        assert_eq!(snap[0].0.parts().4, "two");
+        assert_eq!(snap[1].0.parts().4, "one");
+        // Out-of-range indices are harmless.
+        assert_eq!(cache.shard_version(7), 0);
+        assert!(cache.snapshot_shard(7).is_empty());
+    }
+
+    #[test]
+    fn cache_key_parts_round_trip() {
+        let (tc, sizes, _) = kernel_for("ij-ik-kj", 32);
+        let key = key_for(&tc, &sizes, "opts");
+        let (c, s, d, p, o) = key.parts();
+        let rebuilt = CacheKey::from_parts(
+            c.to_string(),
+            s.to_string(),
+            d.to_string(),
+            p,
+            o.to_string(),
+        );
+        assert_eq!(key, rebuilt);
     }
 
     #[test]

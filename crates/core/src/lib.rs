@@ -47,7 +47,9 @@ pub mod guard;
 pub mod learned;
 pub mod library;
 pub mod lower;
+pub mod persist;
 pub mod select;
+pub mod serve;
 
 pub use api::{Cogent, GeneratedKernel};
 pub use audit::{
@@ -67,6 +69,8 @@ pub use guard::{
 };
 pub use learned::LearnedRanker;
 pub use library::{KernelLibrary, KernelVersion};
+pub use persist::{CachePersister, LoadReport, PersistError, SaveReport, CACHE_DIR_ENV_VAR};
 pub use select::{
     search, threads_from_env, RankedConfig, SearchOptions, SearchOutcome, THREADS_ENV_VAR,
 };
+pub use serve::{ServeConfig, ServeError, Server};

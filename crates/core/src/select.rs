@@ -34,13 +34,37 @@ use crate::enumerate::{enumerate_configs_bounded, EnumerationBudget, Enumeration
 /// values mean `1` (serial).
 pub const THREADS_ENV_VAR: &str = "COGENT_THREADS";
 
-/// Reads [`THREADS_ENV_VAR`], clamped to at least 1.
+/// Reads [`THREADS_ENV_VAR`], clamped to at least 1. Malformed values
+/// fall back to serial; front-ends that want to reject them instead (the
+/// CLI exits 2, `cogent serve` refuses to start) should call
+/// [`threads_from_env_checked`] first.
 pub fn threads_from_env() -> usize {
-    std::env::var(THREADS_ENV_VAR)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(1)
-        .max(1)
+    threads_from_env_checked().unwrap_or(1).max(1)
+}
+
+/// Reads [`THREADS_ENV_VAR`] strictly: unset or empty means 1, and
+/// anything that does not parse as a positive integer — including `0` —
+/// is an error (one-line diagnostic, without the `cogent: ` prefix).
+pub fn threads_from_env_checked() -> Result<usize, String> {
+    parse_threads(std::env::var(THREADS_ENV_VAR).ok().as_deref())
+}
+
+/// The parsing rule behind [`threads_from_env_checked`], split out so the
+/// diagnostic is testable without touching the process environment.
+pub fn parse_threads(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(1);
+    };
+    let value = raw.trim();
+    if value.is_empty() {
+        return Ok(1);
+    }
+    match value.parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!(
+            "{THREADS_ENV_VAR}: invalid value {value:?} (want a positive integer)"
+        )),
+        Ok(n) => Ok(n),
+    }
 }
 
 /// A configuration together with its modelled cost.
@@ -634,5 +658,21 @@ mod tests {
         // environment (that would race other tests).
         assert!(threads_from_env() >= 1);
         assert!(SearchOptions::default().threads >= 1);
+    }
+
+    #[test]
+    fn threads_parsing_is_strict_about_malformed_values() {
+        assert_eq!(parse_threads(None), Ok(1));
+        assert_eq!(parse_threads(Some("")), Ok(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Ok(8));
+        let err = parse_threads(Some("zero")).unwrap_err();
+        assert_eq!(
+            err,
+            "COGENT_THREADS: invalid value \"zero\" (want a positive integer)"
+        );
+        // 0 threads is meaningless, not "serial": it must be rejected so a
+        // typo'd deployment does not silently run with a different shape.
+        assert!(parse_threads(Some("0")).is_err());
+        assert!(parse_threads(Some("-2")).is_err());
     }
 }

@@ -1,0 +1,97 @@
+//! Service-level fault injection for the chaos suite.
+//!
+//! The per-request faults mirror `cogent_gpu_sim::FaultInjector`'s role
+//! one layer up: instead of corrupting kernel plans, they corrupt the
+//! *service* — a worker that panics mid-job, a worker that stalls long
+//! enough to fill the admission queue. Client-side chaos (malformed
+//! bytes, slowloris, disconnects, corrupted cache files) needs no server
+//! cooperation and lives entirely in `tests/serve_chaos.rs`.
+//!
+//! Injection is an opt-in backdoor: requests carry an `"inject"` member
+//! that is only honored when the server was started with
+//! `allow_fault_injection` (the chaos tests); production servers reject
+//! it as a 400, so the backdoor cannot be smuggled into a real
+//! deployment.
+
+use std::time::Duration;
+
+use cogent_obs::json::Json;
+
+/// A server-side fault requested by a chaos-test request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The worker panics while processing the job (must surface as a
+    /// typed 500, never kill the process).
+    WorkerPanic,
+    /// The worker sleeps before processing (deterministically creates
+    /// backlog for overload tests).
+    WorkerStall(Duration),
+}
+
+impl ServeFault {
+    /// Parses the `"inject"` member of a request body, if present.
+    ///
+    /// Accepted shapes: `"inject": "panic"` and
+    /// `"inject": {"stall_ms": 250}`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the problem when the member is present but not a
+    /// known fault.
+    pub fn from_request(body: &Json) -> Result<Option<ServeFault>, String> {
+        let Some(inject) = body.get("inject") else {
+            return Ok(None);
+        };
+        if let Some(name) = inject.as_str() {
+            return match name {
+                "panic" => Ok(Some(ServeFault::WorkerPanic)),
+                other => Err(format!("unknown fault {other:?}")),
+            };
+        }
+        if let Some(ms) = inject.get("stall_ms").and_then(Json::as_u128) {
+            let ms = u64::try_from(ms).map_err(|_| "stall_ms too large".to_string())?;
+            return Ok(Some(ServeFault::WorkerStall(Duration::from_millis(ms))));
+        }
+        Err("inject must be \"panic\" or {\"stall_ms\": N}".to_string())
+    }
+
+    /// Applies the fault inside the worker (called from within the
+    /// panic-isolation boundary).
+    pub fn apply(self) {
+        match self {
+            ServeFault::WorkerPanic => {
+                panic!("injected worker panic (chaos test)")
+            }
+            ServeFault::WorkerStall(pause) => std::thread::sleep(pause),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_faults() {
+        let body = Json::obj([("inject", Json::Str("panic".to_string()))]);
+        assert_eq!(
+            ServeFault::from_request(&body).unwrap(),
+            Some(ServeFault::WorkerPanic)
+        );
+        let body = Json::obj([("inject", Json::obj([("stall_ms", Json::UInt(250))]))]);
+        assert_eq!(
+            ServeFault::from_request(&body).unwrap(),
+            Some(ServeFault::WorkerStall(Duration::from_millis(250)))
+        );
+        let body = Json::obj([("contraction", Json::Str("ij-ik-kj".to_string()))]);
+        assert_eq!(ServeFault::from_request(&body).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_faults() {
+        let body = Json::obj([("inject", Json::Str("meltdown".to_string()))]);
+        assert!(ServeFault::from_request(&body).is_err());
+        let body = Json::obj([("inject", Json::UInt(3))]);
+        assert!(ServeFault::from_request(&body).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the crash-safe cache persistence layer: for random
+//! cache populations, access orders, and file corruptions,
+//!
+//! 1. save → load → save is byte-stable (a restarted daemon re-persists
+//!    exactly the files it read);
+//! 2. truncated or bit-flipped shard files are quarantined, never fatal,
+//!    and every intact shard still loads;
+//! 3. the LRU eviction order survives a reload.
+
+use cogent_core::{CacheKey, CachePersister, Cogent, GeneratedKernel, KernelCache};
+use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_ir::{Contraction, SizeMap};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A unique, self-cleaning temp directory (no tempfile crate here).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cogent-persist-prop-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Kernel generation dominates the cost of each case, so a fixed pool is
+/// generated once and the properties fuzz over subsets and orders of it.
+fn pool() -> &'static Vec<(CacheKey, GeneratedKernel)> {
+    static POOL: OnceLock<Vec<(CacheKey, GeneratedKernel)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let specs = [
+            ("ij-ik-kj", 8),
+            ("ij-ik-kj", 16),
+            ("ij-ik-kj", 24),
+            ("abc-bda-dc", 8),
+            ("abc-bda-dc", 12),
+        ];
+        let gen = Cogent::new();
+        specs
+            .iter()
+            .map(|&(spec, n)| {
+                let tc: Contraction = spec.parse().unwrap();
+                let sizes = SizeMap::uniform(&tc, n);
+                let kernel = gen.generate(&tc, &sizes).unwrap();
+                let key = CacheKey::new(
+                    &tc,
+                    &sizes,
+                    &GpuDevice::v100(),
+                    Precision::F64,
+                    &gen.options_fingerprint(),
+                );
+                (key, kernel)
+            })
+            .collect()
+    })
+}
+
+fn shard_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Builds a cache holding `order`-permuted pool entries, then replays the
+/// touch sequence so the recency order is arbitrary.
+fn populate(shards: usize, order: &[usize], touches: &[usize]) -> KernelCache {
+    let cache = KernelCache::with_shards(pool().len() * 4, shards);
+    for &i in order {
+        let (key, kernel) = &pool()[i];
+        cache.insert(key.clone(), kernel.clone());
+    }
+    for &i in touches {
+        let (key, _) = &pool()[i];
+        let _ = cache.get(key);
+    }
+    cache
+}
+
+/// Keys of one shard, coldest first — the order eviction will take them.
+fn recency_order(cache: &KernelCache, shard: usize) -> Vec<CacheKey> {
+    let mut entries = cache.snapshot_shard(shard);
+    entries.sort_by_key(|(_, _, last_used)| *last_used);
+    entries.into_iter().map(|(key, _, _)| key).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn save_load_save_is_byte_stable(
+        order in Just((0..5usize).collect::<Vec<_>>()).prop_shuffle(),
+        touches in prop::collection::vec(0usize..5, 0..8),
+        shards in 1usize..=2,
+    ) {
+        let cache = populate(shards, &order, &touches);
+        let dir1 = TempDir::new("stable-a");
+        CachePersister::new(dir1.path()).unwrap().save_all(&cache).unwrap();
+
+        let reloaded = KernelCache::with_shards(pool().len() * 4, shards);
+        let report = CachePersister::new(dir1.path())
+            .unwrap()
+            .load(&reloaded)
+            .unwrap();
+        prop_assert_eq!(report.entries_loaded, pool().len());
+        prop_assert!(report.quarantined.is_empty());
+
+        let dir2 = TempDir::new("stable-b");
+        CachePersister::new(dir2.path()).unwrap().save_all(&reloaded).unwrap();
+
+        let first = shard_files(dir1.path());
+        let second = shard_files(dir2.path());
+        prop_assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.file_name(), b.file_name());
+            prop_assert_eq!(
+                fs::read(a).unwrap(),
+                fs::read(b).unwrap(),
+                "shard {:?} must survive save → load → save byte-identically",
+                a.file_name()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_shards_are_quarantined_never_fatal(
+        order in Just((0..5usize).collect::<Vec<_>>()).prop_shuffle(),
+        victim in 0usize..8,
+        mode in 0usize..2,
+        raw_offset in 0u32..1_000_000,
+    ) {
+        let cache = populate(2, &order, &[]);
+        let dir = TempDir::new("corrupt");
+        CachePersister::new(dir.path()).unwrap().save_all(&cache).unwrap();
+
+        // The header line carries the payload checksum; hex parsing is
+        // case-insensitive, so a bit flip there could be a no-op. Corrupt
+        // the payload instead, where any changed byte breaks the checksum
+        // — so only files with a non-empty payload are candidates.
+        let candidates: Vec<(PathBuf, Vec<u8>, usize)> = shard_files(dir.path())
+            .into_iter()
+            .map(|path| {
+                let bytes = fs::read(&path).unwrap();
+                let start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+                (path, bytes, start)
+            })
+            .filter(|(_, bytes, start)| *start < bytes.len())
+            .collect();
+        prop_assert!(!candidates.is_empty());
+        let total_files = shard_files(dir.path()).len();
+        let (target, bytes, payload_start) = &candidates[victim % candidates.len()];
+        let offset = payload_start + raw_offset as usize % (bytes.len() - payload_start);
+        let mutated = if mode == 0 {
+            bytes[..offset].to_vec()
+        } else {
+            let mut m = bytes.clone();
+            m[offset] ^= 1 << (raw_offset % 8);
+            m
+        };
+        fs::write(target, mutated).unwrap();
+
+        let reloaded = KernelCache::with_shards(pool().len() * 4, 2);
+        let report = CachePersister::new(dir.path())
+            .unwrap()
+            .load(&reloaded)
+            .unwrap();
+        prop_assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+        prop_assert!(report.entries_loaded < pool().len());
+        // The bad file was renamed aside: a second boot sees only clean
+        // shards and loads without complaint.
+        let report = CachePersister::new(dir.path())
+            .unwrap()
+            .load(&KernelCache::with_shards(pool().len() * 4, 2))
+            .unwrap();
+        prop_assert!(report.quarantined.is_empty());
+        prop_assert_eq!(report.files_seen, total_files - 1);
+    }
+
+    #[test]
+    fn eviction_order_survives_reload(
+        order in Just((0..5usize).collect::<Vec<_>>()).prop_shuffle(),
+        touches in prop::collection::vec(0usize..5, 0..10),
+    ) {
+        let cache = populate(1, &order, &touches);
+        let dir = TempDir::new("lru");
+        CachePersister::new(dir.path()).unwrap().save_all(&cache).unwrap();
+
+        let reloaded = KernelCache::with_shards(pool().len() * 4, 1);
+        CachePersister::new(dir.path()).unwrap().load(&reloaded).unwrap();
+        prop_assert_eq!(
+            recency_order(&cache, 0),
+            recency_order(&reloaded, 0),
+            "coldest-first order must survive the round trip"
+        );
+    }
+}

@@ -136,16 +136,21 @@ const USAGE: &str = "usage:
                   [--size N | --sizes ...] [--device ...] [--f32] [--top K]
                   [--exhaustive] [--json]
   cogent suite    [--group ml|aomo|ccsd|ccsdt]
+  cogent serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                  [--max-conns N] [--deadline-ms N] [--max-deadline-ms N]
+                  [--cache-dir DIR] [--allow-fault-injection]
 
 every command also accepts --trace-out FILE to write its pipeline trace
 as cogent.trace.v3 JSON (\"-\" prints the stderr tree instead)
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
-pipeline trace to stderr, COGENT_THREADS to parallelize the search, and
-COGENT_CACHE_CAP to size the kernel cache (0 disables it)";
+pipeline trace to stderr, COGENT_THREADS to parallelize the search,
+COGENT_CACHE_CAP to size the kernel cache (0 disables it), and
+COGENT_CACHE_DIR to persist the serve cache across restarts";
 
 fn run(args: &[String]) -> Result<(), CliError> {
+    validate_env()?;
     let command = args.first().ok_or("missing command")?;
     let rest = &args[1..];
     match command.as_str() {
@@ -158,8 +163,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(rest),
         "audit" => cmd_audit(rest),
         "suite" => cmd_suite(rest),
+        "serve" => cmd_serve(rest),
         other => Err(CliError::runtime(format!("unknown command {other:?}"))),
     }
+}
+
+/// Strict validation of the `COGENT_*` environment, run before any
+/// command: a typo'd `COGENT_CACHE_CAP=10O` must be a loud exit-2
+/// diagnostic, not a silently applied default.
+fn validate_env() -> Result<(), CliError> {
+    cogent::generator::cache::capacity_from_env().map_err(CliError::usage)?;
+    cogent::generator::select::threads_from_env_checked().map_err(CliError::usage)?;
+    Ok(())
 }
 
 /// Removes `--trace-out FILE` from the argument list, returning the
@@ -380,6 +395,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace-out",
     "--chrome-trace",
     "-o",
+    "--addr",
+    "--workers",
+    "--queue-depth",
+    "--max-conns",
+    "--deadline-ms",
+    "--max-deadline-ms",
+    "--cache-dir",
 ];
 
 /// Short tag for a suite entry's group, as `--group` accepts it.
@@ -855,6 +877,59 @@ fn cmd_audit(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds a [`cogent::generator::ServeConfig`] from the environment
+/// (strictly) plus command-line flags.
+fn parse_serve_config(args: &[String]) -> Result<cogent::generator::ServeConfig, CliError> {
+    let mut config = cogent::generator::ServeConfig::from_env().map_err(CliError::usage)?;
+    config.addr = flag_value(args, "--addr")
+        .unwrap_or("127.0.0.1:7437")
+        .to_string();
+    let positive = |flag: &str| -> Result<Option<usize>, CliError> {
+        match flag_value(args, flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(Some)
+                .ok_or_else(|| {
+                    CliError::usage(format!(
+                        "bad {flag} value {raw:?} (want a positive integer)"
+                    ))
+                }),
+        }
+    };
+    if let Some(n) = positive("--workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = positive("--queue-depth")? {
+        config.queue_depth = n;
+    }
+    if let Some(n) = positive("--max-conns")? {
+        config.max_conns = n;
+    }
+    if let Some(ms) = positive("--deadline-ms")? {
+        config.default_deadline = std::time::Duration::from_millis(ms as u64);
+    }
+    if let Some(ms) = positive("--max-deadline-ms")? {
+        config.max_deadline = std::time::Duration::from_millis(ms as u64);
+    }
+    if let Some(dir) = flag_value(args, "--cache-dir") {
+        config.cache_dir = Some(dir.into());
+    }
+    if has_flag(args, "--allow-fault-injection") {
+        config.allow_fault_injection = true;
+    }
+    Ok(config)
+}
+
+/// Runs the kernel-generation daemon in the foreground until SIGTERM or
+/// SIGINT (see `cogent::generator::serve`).
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let config = parse_serve_config(args)?;
+    cogent::generator::serve::run(config).map_err(|e| CliError::runtime(format!("{e}")))
+}
+
 fn cmd_suite(args: &[String]) -> Result<(), CliError> {
     let group = flag_value(args, "--group");
     for entry in cogent::tccg::suite() {
@@ -972,6 +1047,43 @@ mod tests {
 
         // Runtime failures (here: unknown command) keep exit 1.
         assert_eq!(run(&s(&["frobnicate"])).unwrap_err().exit, 1);
+    }
+
+    #[test]
+    fn serve_config_parses_flags() {
+        let config = parse_serve_config(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "5",
+            "--deadline-ms",
+            "1500",
+            "--allow-fault-injection",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_depth, 5);
+        assert_eq!(
+            config.default_deadline,
+            std::time::Duration::from_millis(1500)
+        );
+        assert!(config.allow_fault_injection);
+    }
+
+    #[test]
+    fn serve_config_rejects_bad_flags() {
+        for bad in [
+            &["--workers", "0"][..],
+            &["--workers", "two"],
+            &["--queue-depth", "-1"],
+            &["--deadline-ms", "soon"],
+        ] {
+            let e = parse_serve_config(&s(bad)).unwrap_err();
+            assert_eq!(e.exit, 2, "{bad:?}");
+        }
     }
 
     #[test]

@@ -61,6 +61,84 @@ fn incomplete_sizes_exits_2() {
 }
 
 #[test]
+fn malformed_cache_cap_env_exits_2_for_every_command() {
+    for command in [&["suite"][..], &["generate", "ij-ik-kj", "--size", "8"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cogent"))
+            .args(command)
+            .env("COGENT_CACHE_CAP", "10O")
+            .output()
+            .expect("spawning the cogent binary");
+        assert_eq!(out.status.code(), Some(2), "{command:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert_eq!(
+            stderr,
+            "cogent: COGENT_CACHE_CAP: invalid value \"10O\" (want a non-negative integer)\n",
+            "{command:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_threads_env_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cogent"))
+        .args(["suite"])
+        .env("COGENT_THREADS", "lots")
+        .output()
+        .expect("spawning the cogent binary");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stderr,
+        "cogent: COGENT_THREADS: invalid value \"lots\" (want a positive integer)\n"
+    );
+
+    // Zero threads is as wrong as garbage: it would deadlock the pool.
+    let out = Command::new(env!("CARGO_BIN_EXE_cogent"))
+        .args(["suite"])
+        .env("COGENT_THREADS", "0")
+        .output()
+        .expect("spawning the cogent binary");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn well_formed_env_still_succeeds() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cogent"))
+        .args(["suite"])
+        .env("COGENT_CACHE_CAP", "16")
+        .env("COGENT_THREADS", "2")
+        .output()
+        .expect("spawning the cogent binary");
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_exit_2() {
+    let out = cogent(&["serve", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(
+        stderr,
+        "cogent: bad --workers value \"0\" (want a positive integer)\n"
+    );
+}
+
+#[test]
+fn serve_refuses_startup_on_malformed_env() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cogent"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .env("COGENT_CACHE_CAP", "banana")
+        .output()
+        .expect("spawning the cogent binary");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("COGENT_CACHE_CAP: invalid value \"banana\""),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn unknown_command_exits_1_and_prints_usage() {
     let out = cogent(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(1));

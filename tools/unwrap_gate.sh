@@ -25,6 +25,13 @@ if [[ "${1:-}" == "--print" ]]; then
 fi
 
 fail=0
+# The serve layer is frozen at a zero budget: a long-lived daemon must
+# never panic on request-handling paths, so serve files may not be added
+# to the allowlist at all.
+if awk '$1 ~ /^crates\/core\/src\/serve\// {found=1} END{exit !found}' "$ALLOWLIST"; then
+    echo "unwrap gate: crates/core/src/serve/ files may not appear in the allowlist (zero budget)" >&2
+    fail=1
+fi
 while IFS= read -r file; do
     count=$(awk '/#!?\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{n++} END{print n+0}' "$file")
     budget=$(awk -v f="$file" '$1 == f {print $2}' "$ALLOWLIST")
