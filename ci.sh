@@ -33,6 +33,14 @@ run env COGENT_THREADS=4 cargo test -q --test determinism $OFFLINE
 run cargo run --release $OFFLINE -p cogent-bench --bin search_bench -- \
     --quick --out target/search_bench_smoke.json
 test -s target/search_bench_smoke.json
+# Cold-path latency gate: the smoke run's per-entry cold_ms, summed over
+# the entries shared with the checked-in baseline, must stay under a
+# loose ratio ceiling (wall clock varies across machines; the gate
+# catches order-of-magnitude regressions, not noise). Regenerate
+# results/search_bench.json intentionally with:
+#   cargo run --release -p cogent-bench --bin search_bench
+run cargo run --release $OFFLINE -p cogent-search-diff --bin search_diff -- \
+    results/search_bench.json target/search_bench_smoke.json
 # Audit smoke + perf-regression gate: audit a TCCG subset (small K) and
 # compare it against the checked-in baseline. bench_diff matches entries
 # by name, prints every offending metric, and exits nonzero when rank

@@ -277,7 +277,13 @@ impl Cogent {
         if let Some((cache, key)) = key {
             // Store without the trace: it describes this particular run,
             // not the kernel, and would pin every span buffer in memory.
-            cache.insert(key, kernel.clone());
+            // Truncated searches are best-effort under a budget that may
+            // have been this request's alone — never cache them, so a
+            // later request with a generous (or no) deadline redoes the
+            // full search instead of inheriting a degraded kernel.
+            if !kernel.search.truncated {
+                cache.insert(key, kernel.clone());
+            }
         }
         kernel.trace = capture.finish();
         Ok(kernel)
@@ -293,7 +299,11 @@ impl Cogent {
     ) -> Result<GeneratedKernel, CogentError> {
         let outcome = search(tc, sizes, &self.device, self.precision, &self.options);
         if outcome.ranked.is_empty() {
-            if outcome.truncated && outcome.enumerated == 0 {
+            // An empty ranking from a truncated search means a budget
+            // (max_configs or the time deadline, in whichever phase) ran
+            // out before any candidate was ranked — not that the space is
+            // genuinely unenumerable.
+            if outcome.truncated {
                 return Err(CogentError::BudgetExhausted {
                     max_configs: self.options.max_configs,
                     time_budget: self.options.time_budget,

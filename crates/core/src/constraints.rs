@@ -12,7 +12,8 @@ use cogent_gpu_model::{occupancy, BlockResources, GpuDevice, Precision};
 use cogent_ir::{Contraction, ContractionAnalysis, IndexClass, SizeMap};
 
 use crate::config::KernelConfig;
-use crate::cost::num_thread_blocks;
+use crate::cost::{num_thread_blocks, num_thread_blocks_fast};
+use crate::intern::{ConfigDims, SearchTables};
 
 /// Why a configuration was pruned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -32,6 +33,30 @@ pub enum PruneReason {
 }
 
 impl PruneReason {
+    /// Every reason, in a fixed order ([`index`](Self::index) inverts it).
+    /// Lets the prune loops tally rejections in a plain array instead of a
+    /// string-keyed map.
+    pub const ALL: [PruneReason; 6] = [
+        PruneReason::SharedMemoryExceeded,
+        PruneReason::BadThreadCount,
+        PruneReason::TooManyRegisters,
+        PruneReason::TooFewBlocks,
+        PruneReason::LowOccupancy,
+        PruneReason::UncoalescedInputFvi,
+    ];
+
+    /// This reason's position in [`ALL`](Self::ALL).
+    pub fn index(&self) -> usize {
+        match self {
+            PruneReason::SharedMemoryExceeded => 0,
+            PruneReason::BadThreadCount => 1,
+            PruneReason::TooManyRegisters => 2,
+            PruneReason::TooFewBlocks => 3,
+            PruneReason::LowOccupancy => 4,
+            PruneReason::UncoalescedInputFvi => 5,
+        }
+    }
+
     /// The stable `prune.reject.<rule>` counter name this reason reports
     /// under in pipeline traces (see the `cogent-obs` crate).
     pub fn counter_key(&self) -> &'static str {
@@ -208,6 +233,69 @@ fn check_fvi_coalescing(
         }
     }
     let _ = IndexClass::Internal;
+    Ok(())
+}
+
+/// [`check_config`] over interned search state: same rules, same order,
+/// same thresholds — but reading precomputed list-size products
+/// ([`ConfigDims`]) and one flat tile row instead of walking owned
+/// `(IndexName, tile)` lists per rule. The `*_fast_matches_public_path`
+/// parity test pins the two byte-for-byte over whole enumerations.
+pub(crate) fn check_config_fast(
+    tables: &SearchTables,
+    dims: ConfigDims,
+    tiles: &[usize],
+    device: &GpuDevice,
+    precision: Precision,
+    rules: &PruneRules,
+) -> Result<(), PruneReason> {
+    let threads = dims.tbx * dims.tby;
+    if threads > device.max_threads_per_block || threads < rules.min_threads {
+        return Err(PruneReason::BadThreadCount);
+    }
+
+    let smem_elements = (dims.tbx * dims.regx + dims.tby * dims.regy) * dims.tbk;
+    let smem_bytes = smem_elements * precision.bytes();
+    if smem_bytes > device.smem_per_block_bytes {
+        return Err(PruneReason::SharedMemoryExceeded);
+    }
+
+    let words = precision.bytes().div_ceil(4);
+    let regs = (dims.regx * dims.regy + dims.regx + dims.regy) * words + 24;
+    if regs > device.max_registers_per_thread {
+        return Err(PruneReason::TooManyRegisters);
+    }
+
+    if rules.require_input_fvi_coalescing {
+        for fvi in [tables.fvi_a, tables.fvi_b] {
+            let need = rules.min_fvi_tile.min(tables.extent(fvi));
+            if tiles[fvi as usize] < need {
+                return Err(PruneReason::UncoalescedInputFvi);
+            }
+        }
+    }
+
+    let blocks = num_thread_blocks_fast(tables, tiles);
+    let min_blocks = (device.sm_count as f64 * rules.min_blocks_per_sm).ceil() as u128;
+    if blocks < min_blocks {
+        return Err(PruneReason::TooFewBlocks);
+    }
+
+    let occ = occupancy(
+        device,
+        BlockResources {
+            threads,
+            smem_bytes,
+            registers_per_thread: regs,
+        },
+    );
+    if occ.blocks_per_sm == 0 {
+        return Err(PruneReason::LowOccupancy);
+    }
+    if occ.fraction < rules.min_occupancy {
+        return Err(PruneReason::LowOccupancy);
+    }
+
     Ok(())
 }
 
@@ -426,5 +514,69 @@ mod tests {
             PruneReason::TooFewBlocks.to_string(),
             "too few thread blocks"
         );
+    }
+
+    #[test]
+    fn all_and_index_are_inverse() {
+        for (i, r) in PruneReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn check_config_fast_matches_public_path() {
+        use crate::enumerate::{enumerate_interned, EnumerationBudget, EnumerationOptions};
+
+        let rule_sets = [
+            PruneRules::default(),
+            // The relaxation ladder the search walks.
+            PruneRules {
+                min_blocks_per_sm: 0.0,
+                min_occupancy: 0.0,
+                min_threads: 1,
+                ..PruneRules::default()
+            },
+            PruneRules {
+                min_blocks_per_sm: 0.0,
+                min_occupancy: 0.0,
+                min_threads: 1,
+                require_input_fvi_coalescing: false,
+                ..PruneRules::default()
+            },
+        ];
+        let device = GpuDevice::v100();
+        for (spec, n) in [
+            ("abcd-aebf-dfce", 24),
+            ("ij-ik-kj", 1024),
+            ("abc-bda-dc", 16),
+            ("i-ik-k", 256),
+            ("abcd-aebf-fdce", 64),
+        ] {
+            let tc: Contraction = spec.parse().unwrap();
+            let norm = tc.normalized();
+            let sizes = SizeMap::uniform(&norm, n);
+            let en = enumerate_interned(
+                &norm,
+                &sizes,
+                &EnumerationOptions::default(),
+                &EnumerationBudget::unlimited(),
+            );
+            for rules in &rule_sets {
+                for i in 0..en.arena.len() {
+                    let choice = en.arena.choice(i);
+                    let cfg = en.menus.materialize(choice);
+                    let slow = check_config(&norm, &cfg, &sizes, &device, Precision::F64, rules);
+                    let fast = check_config_fast(
+                        &en.tables,
+                        en.compiled.dims(choice),
+                        en.arena.tiles(i),
+                        &device,
+                        Precision::F64,
+                        rules,
+                    );
+                    assert_eq!(slow, fast, "{spec} {cfg}");
+                }
+            }
+        }
     }
 }

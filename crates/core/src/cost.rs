@@ -18,6 +18,7 @@ use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_ir::{Contraction, SizeMap, TensorRef};
 
 use crate::config::KernelConfig;
+use crate::intern::{ConfigDims, SearchTables};
 
 /// Per-tensor cost split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -197,6 +198,81 @@ pub fn transaction_cost(
     }
 }
 
+/// `cal_Cont` over interned ids: the contiguous-element walk of
+/// [`contiguous_elements`] reading the flat tile row.
+fn contiguous_fast(ids: &[u32], tables: &SearchTables, tiles: &[usize]) -> usize {
+    let mut cont = 1usize;
+    for &id in ids {
+        let extent = tables.extent(id);
+        let tile = tiles[id as usize].min(extent);
+        cont *= tile;
+        if tile < extent {
+            break;
+        }
+    }
+    cont
+}
+
+/// `cal_Num_TBs` over interned ids (see [`num_thread_blocks`]).
+pub(crate) fn num_thread_blocks_fast(tables: &SearchTables, tiles: &[usize]) -> u128 {
+    tables
+        .out_ids
+        .iter()
+        .map(|&id| {
+            let n = tables.extent(id);
+            n.div_ceil(tiles[id as usize].min(n)) as u128
+        })
+        .product()
+}
+
+/// `cal_Steps` over interned ids (see [`num_steps`]).
+fn num_steps_fast(tables: &SearchTables, tiles: &[usize]) -> u128 {
+    tables
+        .int_ids
+        .iter()
+        .map(|&id| {
+            let n = tables.extent(id);
+            n.div_ceil(tiles[id as usize].min(n)) as u128
+        })
+        .product::<u128>()
+        .max(1)
+}
+
+/// [`transaction_cost`] over interned search state — identical arithmetic
+/// (down to `saturating_mul` association order) reading the precomputed
+/// dims and tile row instead of re-walking `(IndexName, tile)` lists. The
+/// `*_fast_matches_public_path` parity test pins the two byte-for-byte.
+pub(crate) fn transaction_cost_fast(
+    tables: &SearchTables,
+    dims: ConfigDims,
+    tiles: &[usize],
+    device: &GpuDevice,
+    precision: Precision,
+) -> CostBreakdown {
+    cogent_obs::counter("cost.model_evaluations", 1);
+    let steps = num_steps_fast(tables, tiles);
+    let blocks = num_thread_blocks_fast(tables, tiles);
+    let rows_k = dims.tbk.max(1) as u128;
+    let input = |ids: &[u32], row_len: usize, reg_mult: usize| {
+        let cont = contiguous_fast(ids, tables, tiles);
+        row_transactions_hw(device, precision, row_len, cont)
+            .saturating_mul(rows_k)
+            .saturating_mul(reg_mult as u128)
+            .saturating_mul(steps)
+            .saturating_mul(blocks)
+    };
+    let cont_c = contiguous_fast(&tables.c_ids, tables, tiles);
+    let store_c = row_transactions_hw(device, precision, dims.tbx, cont_c)
+        .saturating_mul(dims.tby.max(1) as u128)
+        .saturating_mul((dims.regx * dims.regy) as u128)
+        .saturating_mul(blocks);
+    CostBreakdown {
+        load_a: input(&tables.a_ids, dims.tbx, dims.regx.max(1)),
+        load_b: input(&tables.b_ids, dims.tby, dims.regy.max(1)),
+        store_c,
+    }
+}
+
 /// The literal Algorithm 3 count (unit: coalesced row segments), kept for
 /// fidelity tests and comparison against [`transaction_cost`].
 pub fn paper_transaction_cost(
@@ -342,6 +418,44 @@ mod tests {
         // Register tiling amortizes input loads over 16 outputs per
         // thread; per launch the input traffic must be lower.
         assert!(r.load_a + r.load_b < n.load_a + n.load_b);
+    }
+
+    #[test]
+    fn transaction_cost_fast_matches_public_path() {
+        use crate::enumerate::{enumerate_interned, EnumerationBudget, EnumerationOptions};
+
+        let device = GpuDevice::v100();
+        for (spec, n) in [
+            ("abcd-aebf-dfce", 24),
+            ("ij-ik-kj", 1024),
+            ("abc-bda-dc", 16),
+            ("i-ik-k", 256),
+        ] {
+            let tc: Contraction = spec.parse().unwrap();
+            let norm = tc.normalized();
+            let sizes = SizeMap::uniform(&norm, n);
+            let en = enumerate_interned(
+                &norm,
+                &sizes,
+                &EnumerationOptions::default(),
+                &EnumerationBudget::unlimited(),
+            );
+            for precision in [Precision::F64, Precision::F32] {
+                for i in 0..en.arena.len() {
+                    let choice = en.arena.choice(i);
+                    let cfg = en.menus.materialize(choice);
+                    let slow = transaction_cost(&norm, &cfg, &sizes, &device, precision);
+                    let fast = transaction_cost_fast(
+                        &en.tables,
+                        en.compiled.dims(choice),
+                        en.arena.tiles(i),
+                        &device,
+                        precision,
+                    );
+                    assert_eq!(slow, fast, "{spec} {cfg}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,15 +14,29 @@
 //! * **TBk** — the internal indices towards a serial-tile target
 //!   (∈ {4, 8, 16}); internals beyond the target keep tile 1.
 //!
-//! The full candidate set is the Cartesian product of the three partial
-//! enumerations (§IV-A3), deduplicated.
+//! The full candidate set is the Cartesian product of the partial
+//! enumerations (§IV-A3). The menus themselves are built once per
+//! *clamped size signature* and cached per thread ([`RawMenus`]): the
+//! menu construction only ever compares extents against the (small) tile
+//! targets, so any two size maps that agree after clamping every extent
+//! to the largest target produce byte-identical menus — near-duplicate
+//! problem sizes warm-start each other's enumeration for free.
+//!
+//! The hot loop itself emits into a [`ConfigArena`] (interned ids and
+//! flat tile rows, see [`crate::intern`]) instead of cloning
+//! `IndexName` lists per candidate; [`enumerate_configs`] materializes
+//! owned [`KernelConfig`]s from the arena for API compatibility.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cogent_ir::{Contraction, ContractionAnalysis, IndexName, SizeMap};
 
 use crate::config::{KernelConfig, MappedIndex};
+use crate::intern::{CompiledMenus, ConfigArena, MenuChoice, SearchTables};
+use crate::library::log_distance_slices;
 
 /// Hard bounds on the enumeration, so pathological high-rank contractions
 /// truncate gracefully instead of exhausting memory or wall-clock time.
@@ -48,15 +62,21 @@ impl EnumerationBudget {
         }
     }
 
-    /// Whether `emitted` configurations exhaust the budget. The deadline
-    /// is only consulted every 128 configurations: `Instant::now` is two
-    /// orders of magnitude more expensive than one loop iteration.
-    fn exhausted(&self, emitted: usize) -> bool {
+    /// Whether the budget is exhausted after `emitted` configurations and
+    /// `iterations` visits of the inner loop. The deadline is only
+    /// consulted every 128 *iterations* — `Instant::now` is two orders of
+    /// magnitude more expensive than one loop iteration — and the counter
+    /// is monotonic per visit, never per emission: keying the check on the
+    /// emitted count would let an inner loop that emits rarely (or not at
+    /// all) run arbitrarily past the deadline. Iteration 0 is a multiple
+    /// of 128, so an already-expired deadline stops the loop before any
+    /// work happens.
+    fn exhausted(&self, emitted: usize, iterations: usize) -> bool {
         if emitted >= self.max_configs {
             return true;
         }
         match self.deadline {
-            Some(d) if emitted.is_multiple_of(128) => Instant::now() >= d,
+            Some(d) if iterations.is_multiple_of(128) => Instant::now() >= d,
             _ => false,
         }
     }
@@ -104,14 +124,32 @@ impl EnumerationOptions {
         let tilesize = 6u128.pow(e + i.saturating_sub(1));
         mapping * tilesize
     }
+
+    /// The largest tile target any menu accumulates towards. Extents at or
+    /// above this value are interchangeable as far as menu construction is
+    /// concerned (see [`menu_signature`]).
+    fn max_target(&self) -> usize {
+        self.tb_sizes
+            .iter()
+            .chain(self.reg_sizes.iter())
+            .chain(self.tbk_sizes.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
 }
 
 /// One partial mapping for a hardware dimension.
 type PartialList = Vec<MappedIndex>;
 
 /// Accumulates indices from `order` (already rotated) into a list whose
-/// tile product reaches `target`; the final index's tile is clipped so the
-/// product equals `target` exactly when possible (Algorithm 2 lines 11–42).
+/// tile product reaches `target` (Algorithm 2 lines 11–42). The final
+/// index's tile is clipped to `⌊target / product_so_far⌋` so the product
+/// never overshoots the target; it equals the target exactly only when
+/// the accumulated product divides it, and otherwise *undershoots* (e.g.
+/// tiles `3 × 16` towards target 8 clip to `3 × 2 = 6`). Inexact clips
+/// are tallied on the `enumerate.clip_inexact` counter.
 ///
 /// Returns `None` when even the full index set cannot reach the target and
 /// `accept_partial` is false.
@@ -135,6 +173,9 @@ fn accumulate(
         let v = v_prev * size;
         if v >= target {
             let clip = (target / v_prev).max(1);
+            if v_prev * clip != target {
+                cogent_obs::counter("enumerate.clip_inexact", 1);
+            }
             list.push((name.clone(), clip));
             return Some(list);
         }
@@ -211,6 +252,257 @@ fn names_in(list: &[MappedIndex]) -> BTreeSet<&str> {
     list.iter().map(|(n, _)| n.as_str()).collect()
 }
 
+/// The structured menus of one enumeration, with the register menus
+/// precomputed per thread-list entry (the register menu is a function of
+/// which externals the thread list consumed, nothing else — recomputing
+/// it per Cartesian-product visit, as the original loop did, repeated the
+/// same work thousands of times).
+#[derive(Debug)]
+pub(crate) struct RawMenus {
+    pub tbx: Vec<PartialList>,
+    /// Per `tbx` entry: the REGx menu over the remaining `A`-externals.
+    pub regx: Vec<Vec<PartialList>>,
+    pub tby: Vec<PartialList>,
+    /// Per `tby` entry: the REGy menu over the remaining `B`-externals.
+    pub regy: Vec<Vec<PartialList>>,
+    pub tbk: Vec<PartialList>,
+}
+
+impl RawMenus {
+    /// Owned [`KernelConfig`] for one menu choice (used to materialize
+    /// survivors at the API boundary; the hot loops never call this).
+    pub fn materialize(&self, choice: MenuChoice) -> KernelConfig {
+        let [x, rx, y, ry, k] = choice;
+        KernelConfig {
+            tbx: self.tbx[x as usize].clone(),
+            regx: self.regx[x as usize][rx as usize].clone(),
+            tby: self.tby[y as usize].clone(),
+            regy: self.regy[y as usize][ry as usize].clone(),
+            tbk: self.tbk[k as usize].clone(),
+        }
+    }
+}
+
+fn build_raw_menus(norm: &Contraction, sizes: &SizeMap, options: &EnumerationOptions) -> RawMenus {
+    let analysis = ContractionAnalysis::new(norm);
+    let c_fvi = norm.c().fvi().clone();
+
+    let ext_a: Vec<(&IndexName, usize)> = analysis
+        .externals_a()
+        .iter()
+        .filter(|n| **n != c_fvi)
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+    let ext_b: Vec<(&IndexName, usize)> = analysis
+        .externals_b()
+        .iter()
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+    let ints: Vec<(&IndexName, usize)> = analysis
+        .internals()
+        .iter()
+        .map(|n| (n, sizes.extent_of(n)))
+        .collect();
+
+    let fvi_size = sizes.extent_of(&c_fvi);
+    let tbx = enum_tb(&ext_a, &options.tb_sizes, Some((c_fvi.clone(), fvi_size)));
+    // An input with no external indices (e.g. matrix-vector shapes like
+    // `i-ik-k`) legitimately leaves TBy empty: the block is 1-thread tall.
+    let tby = if ext_b.is_empty() {
+        vec![Vec::new()]
+    } else {
+        enum_tb(&ext_b, &options.tb_sizes, None)
+    };
+    let tbk = if ints.is_empty() {
+        vec![Vec::new()]
+    } else {
+        enum_tb(&ints, &options.tbk_sizes, None)
+    };
+
+    let regx = tbx
+        .iter()
+        .map(|list| {
+            let used = names_in(list);
+            let rem: Vec<(&IndexName, usize)> = ext_a
+                .iter()
+                .filter(|(n, _)| !used.contains(n.as_str()))
+                .copied()
+                .collect();
+            enum_reg(&rem, &options.reg_sizes)
+        })
+        .collect();
+    let regy = tby
+        .iter()
+        .map(|list| {
+            let used = names_in(list);
+            let rem: Vec<(&IndexName, usize)> = ext_b
+                .iter()
+                .filter(|(n, _)| !used.contains(n.as_str()))
+                .copied()
+                .collect();
+            enum_reg(&rem, &options.reg_sizes)
+        })
+        .collect();
+
+    RawMenus {
+        tbx,
+        regx,
+        tby,
+        regy,
+        tbk,
+    }
+}
+
+/// The per-index extents that menu construction can actually distinguish:
+/// every comparison in [`accumulate`] is of the form
+/// `accumulated_product * extent >= target`, and a raw extent enters a
+/// menu list only when it is *below* the target. Clamping each extent to
+/// the largest menu target therefore preserves every branch decision and
+/// every emitted tile — two size maps with equal clamped signatures yield
+/// byte-identical menus.
+fn menu_signature(norm: &Contraction, sizes: &SizeMap, options: &EnumerationOptions) -> Vec<usize> {
+    let clamp = options.max_target();
+    norm.all_indices()
+        .map(|i| sizes.extent_of(i).min(clamp))
+        .collect()
+}
+
+/// Cache key for one menu set.
+struct MenuCacheEntry {
+    contraction: Contraction,
+    options: EnumerationOptions,
+    signature: Vec<usize>,
+    menus: Arc<RawMenus>,
+}
+
+/// Per-thread warm-start cache: searches over near-duplicate problem
+/// sizes (equal clamped signatures) reuse each other's menus instead of
+/// re-running the rotation/accumulation construction. Eviction drops the
+/// entry *farthest* from the incoming signature under the same log-space
+/// distance the kernel library uses for version selection
+/// ([`log_distance_slices`]), so a serve worker cycling through a cluster
+/// of similar workloads keeps the relevant menus resident.
+const MENU_CACHE_CAP: usize = 32;
+
+thread_local! {
+    static MENU_CACHE: RefCell<Vec<MenuCacheEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+fn menus_for(norm: &Contraction, sizes: &SizeMap, options: &EnumerationOptions) -> Arc<RawMenus> {
+    let signature = menu_signature(norm, sizes, options);
+    MENU_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(entry) = cache
+            .iter()
+            .find(|e| e.signature == signature && e.contraction == *norm && e.options == *options)
+        {
+            cogent_obs::counter("enumerate.menu_cache.hit", 1);
+            return Arc::clone(&entry.menus);
+        }
+        cogent_obs::counter("enumerate.menu_cache.miss", 1);
+        let menus = Arc::new(build_raw_menus(norm, sizes, options));
+        if cache.len() >= MENU_CACHE_CAP {
+            // Evict the entry least similar to the incoming signature;
+            // entries for other contractions or option sets count as
+            // infinitely distant. Ties evict the oldest.
+            let mut victim = 0usize;
+            let mut worst = f64::MIN;
+            for (i, e) in cache.iter().enumerate() {
+                let d = if e.contraction == *norm && e.options == *options {
+                    log_distance_slices(&e.signature, &signature)
+                } else {
+                    f64::INFINITY
+                };
+                if d > worst {
+                    worst = d;
+                    victim = i;
+                }
+            }
+            cache.swap_remove(victim);
+        }
+        cache.push(MenuCacheEntry {
+            contraction: norm.clone(),
+            options: options.clone(),
+            signature,
+            menus: Arc::clone(&menus),
+        });
+        menus
+    })
+}
+
+/// Everything one enumeration produced, in interned form: the tables,
+/// the (possibly cache-shared) raw menus, their compiled counterparts,
+/// and the candidate arena.
+pub(crate) struct Enumeration {
+    pub tables: SearchTables,
+    pub menus: Arc<RawMenus>,
+    pub compiled: CompiledMenus,
+    pub arena: ConfigArena,
+    pub truncated: bool,
+}
+
+/// Runs the structured enumeration for an already-normalized contraction,
+/// emitting into a [`ConfigArena`]. This is the search's hot path; the
+/// public [`enumerate_configs_bounded`] materializes owned configs from
+/// it.
+pub(crate) fn enumerate_interned(
+    norm: &Contraction,
+    sizes: &SizeMap,
+    options: &EnumerationOptions,
+    budget: &EnumerationBudget,
+) -> Enumeration {
+    let tables = SearchTables::new(norm, sizes);
+    let menus = menus_for(norm, sizes, options);
+    let compiled = CompiledMenus::compile(&menus, &tables);
+
+    // Menu sizes of the structured enumeration; attributed to whichever
+    // span (normally "enumerate") is open on this thread.
+    cogent_obs::counter("enumerate.tbx_lists", compiled.tbx.len() as u128);
+    cogent_obs::counter("enumerate.tby_lists", compiled.tby.len() as u128);
+    cogent_obs::counter("enumerate.tbk_lists", compiled.tbk.len() as u128);
+
+    let mut arena = ConfigArena::new(tables.num_indices());
+    let mut truncated = false;
+    // Every 5-tuple drawn from the menus is a distinct configuration:
+    // each menu holds pairwise-distinct lists (enum_tb/enum_reg dedup
+    // their own output), the X/Y/K index sets are disjoint, and a REGx
+    // list never repeats a TBx index (it draws from the remaining
+    // externals) — so two choices differing in any component materialize
+    // different configs. The per-candidate `canonical_key` dedup the
+    // original loop carried could therefore never fire and is gone;
+    // `enumerated_configs_are_distinct` pins the argument.
+    let mut iterations = 0usize;
+    'space: for (xi, tbx) in compiled.tbx.iter().enumerate() {
+        for (rxi, regx) in compiled.regx[xi].iter().enumerate() {
+            for (yi, tby) in compiled.tby.iter().enumerate() {
+                for (ryi, regy) in compiled.regy[yi].iter().enumerate() {
+                    for (ki, tbk) in compiled.tbk.iter().enumerate() {
+                        if budget.exhausted(arena.len(), iterations) {
+                            truncated = true;
+                            break 'space;
+                        }
+                        iterations += 1;
+                        arena.push(
+                            [xi as u32, rxi as u32, yi as u32, ryi as u32, ki as u32],
+                            [tbx, regx, tby, regy, tbk],
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if truncated {
+        cogent_obs::counter("enumerate.truncated", 1);
+    }
+    Enumeration {
+        tables,
+        menus,
+        compiled,
+        arena,
+        truncated,
+    }
+}
+
 /// Enumerates the pruned-but-unevaluated configuration space for a
 /// contraction (the input to the cost model).
 ///
@@ -249,91 +541,12 @@ pub fn enumerate_configs_bounded(
     options: &EnumerationOptions,
     budget: &EnumerationBudget,
 ) -> (Vec<KernelConfig>, bool) {
-    let tc = tc.normalized();
-    let analysis = ContractionAnalysis::new(&tc);
-    let c_fvi = tc.c().fvi().clone();
-
-    let ext_a: Vec<(&IndexName, usize)> = analysis
-        .externals_a()
-        .iter()
-        .filter(|n| **n != c_fvi)
-        .map(|n| (n, sizes.extent_of(n)))
+    let norm = tc.normalized();
+    let en = enumerate_interned(&norm, sizes, options, budget);
+    let configs = (0..en.arena.len())
+        .map(|i| en.menus.materialize(en.arena.choice(i)))
         .collect();
-    let ext_b: Vec<(&IndexName, usize)> = analysis
-        .externals_b()
-        .iter()
-        .map(|n| (n, sizes.extent_of(n)))
-        .collect();
-    let ints: Vec<(&IndexName, usize)> = analysis
-        .internals()
-        .iter()
-        .map(|n| (n, sizes.extent_of(n)))
-        .collect();
-
-    let fvi_size = sizes.extent_of(&c_fvi);
-    let tbx_lists = enum_tb(&ext_a, &options.tb_sizes, Some((c_fvi.clone(), fvi_size)));
-    // An input with no external indices (e.g. matrix-vector shapes like
-    // `i-ik-k`) legitimately leaves TBy empty: the block is 1-thread tall.
-    let tby_lists = if ext_b.is_empty() {
-        vec![Vec::new()]
-    } else {
-        enum_tb(&ext_b, &options.tb_sizes, None)
-    };
-    let tbk_lists = if ints.is_empty() {
-        vec![Vec::new()]
-    } else {
-        enum_tb(&ints, &options.tbk_sizes, None)
-    };
-
-    // Menu sizes of the structured enumeration; attributed to whichever
-    // span (normally "enumerate") is open on this thread.
-    cogent_obs::counter("enumerate.tbx_lists", tbx_lists.len() as u128);
-    cogent_obs::counter("enumerate.tby_lists", tby_lists.len() as u128);
-    cogent_obs::counter("enumerate.tbk_lists", tbk_lists.len() as u128);
-
-    let mut seen = BTreeSet::new();
-    let mut out = Vec::new();
-    let mut truncated = false;
-    'space: for tbx in &tbx_lists {
-        let used_x = names_in(tbx);
-        let rem_a: Vec<(&IndexName, usize)> = ext_a
-            .iter()
-            .filter(|(n, _)| !used_x.contains(n.as_str()))
-            .copied()
-            .collect();
-        for regx in enum_reg(&rem_a, &options.reg_sizes) {
-            for tby in &tby_lists {
-                let used_y = names_in(tby);
-                let rem_b: Vec<(&IndexName, usize)> = ext_b
-                    .iter()
-                    .filter(|(n, _)| !used_y.contains(n.as_str()))
-                    .copied()
-                    .collect();
-                for regy in enum_reg(&rem_b, &options.reg_sizes) {
-                    for tbk in &tbk_lists {
-                        if budget.exhausted(out.len()) {
-                            truncated = true;
-                            break 'space;
-                        }
-                        let cfg = KernelConfig {
-                            tbx: tbx.clone(),
-                            regx: regx.clone(),
-                            tby: tby.clone(),
-                            regy: regy.clone(),
-                            tbk: tbk.clone(),
-                        };
-                        if seen.insert(cfg.canonical_key()) {
-                            out.push(cfg);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    if truncated {
-        cogent_obs::counter("enumerate.truncated", 1);
-    }
-    (out, truncated)
+    (configs, en.truncated)
 }
 
 #[cfg(test)]
@@ -373,6 +586,25 @@ mod tests {
     }
 
     #[test]
+    fn accumulate_clip_floors_and_undershoots_on_indivisible_targets() {
+        // The clip is ⌊target / product⌋: with 3 already accumulated and a
+        // target of 8, the final tile is 2 and the product 6 — the list
+        // undershoots rather than overshooting. This is the documented
+        // behavior (and what the original rustdoc misstated as "equals
+        // the target exactly when possible").
+        let e = IndexName::new("e");
+        let f = IndexName::new("f");
+        let order = [(&e, 3usize), (&f, 16usize)];
+        let list = accumulate(&order, 8, None, false).unwrap();
+        assert_eq!(list, vec![(e.clone(), 3), (f.clone(), 2)]);
+        assert_eq!(list.iter().map(|(_, t)| t).product::<usize>(), 6);
+        // A divisible target still lands exactly.
+        let order = [(&e, 4usize), (&f, 16usize)];
+        let list = accumulate(&order, 8, None, false).unwrap();
+        assert_eq!(list.iter().map(|(_, t)| t).product::<usize>(), 8);
+    }
+
+    #[test]
     fn accumulate_partial_acceptance() {
         let e = IndexName::new("e");
         let order = [(&e, 2usize)];
@@ -396,6 +628,21 @@ mod tests {
         assert!(!configs.is_empty());
         for cfg in &configs {
             assert!(cfg.is_consistent_with(&tc), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn enumerated_configs_are_distinct() {
+        // The Cartesian product over the menus never repeats a
+        // configuration (see the comment in `enumerate_interned`); this
+        // pins the argument that the removed per-candidate dedup was dead
+        // code.
+        for (spec, n) in [("abcd-aebf-dfce", 24), ("ij-ik-kj", 64), ("abc-bda-dc", 16)] {
+            let tc: Contraction = spec.parse().unwrap();
+            let sizes = SizeMap::uniform(&tc, n);
+            let configs = enumerate_configs(&tc, &sizes, &EnumerationOptions::default());
+            let distinct: BTreeSet<_> = configs.iter().map(|c| c.canonical_key()).collect();
+            assert_eq!(distinct.len(), configs.len(), "{spec} emitted duplicates");
         }
     }
 
@@ -497,6 +744,70 @@ mod tests {
             enumerate_configs_bounded(&tc, &sizes, &EnumerationOptions::default(), &budget);
         assert!(truncated);
         assert!(configs.is_empty());
+    }
+
+    #[test]
+    fn deadline_is_rechecked_on_iterations_not_emissions() {
+        // Regression for the starvation bug: the deadline used to be
+        // consulted only when `out.len() % 128 == 0`, so a loop that
+        // stopped emitting (then: dedup hits; in principle: any
+        // emission-gated path) never re-read the clock. The check is now
+        // keyed on a monotonic per-visit counter, so a deadline expiring
+        // mid-enumeration truncates within one 128-iteration interval —
+        // pin that by expiring the deadline immediately and confirming
+        // iteration 0 already honors it on a large space.
+        let tc: Contraction = "abcdef-gdab-efgc".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 16);
+        let budget = EnumerationBudget {
+            max_configs: usize::MAX,
+            deadline: Some(Instant::now()),
+        };
+        let (configs, truncated) =
+            enumerate_configs_bounded(&tc, &sizes, &EnumerationOptions::default(), &budget);
+        assert!(truncated);
+        assert!(configs.is_empty());
+    }
+
+    #[test]
+    fn menu_cache_reuse_is_byte_identical() {
+        // Two searches with different raw sizes but equal clamped
+        // signatures share menus; the enumeration must match a cold
+        // thread's byte for byte.
+        let tc = eq1();
+        let options = EnumerationOptions::default();
+        let sizes_a = SizeMap::uniform(&tc, 40);
+        let sizes_b = SizeMap::uniform(&tc, 48);
+        // Warm this thread's cache with the 48 signature, then enumerate
+        // 40 (same clamped signature: both ≥ the max target of 32).
+        let warm_b = enumerate_configs(&tc, &sizes_b, &options);
+        let warm_a = enumerate_configs(&tc, &sizes_a, &options);
+        let (cold_a, cold_b) = std::thread::spawn({
+            let tc = tc.clone();
+            let options = options.clone();
+            move || {
+                (
+                    enumerate_configs(&tc, &SizeMap::uniform(&tc, 40), &options),
+                    enumerate_configs(&tc, &SizeMap::uniform(&tc, 48), &options),
+                )
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(warm_a, cold_a);
+        assert_eq!(warm_b, cold_b);
+    }
+
+    #[test]
+    fn menu_cache_distinguishes_sub_target_extents() {
+        // Extents below the largest menu target are part of the
+        // signature: a 16-extent problem must not reuse 24-extent menus.
+        let tc = eq1();
+        let options = EnumerationOptions::default();
+        let at_24 = enumerate_configs(&tc, &SizeMap::uniform(&tc, 24), &options);
+        let at_16 = enumerate_configs(&tc, &SizeMap::uniform(&tc, 16), &options);
+        assert_ne!(at_24, at_16);
+        let again_24 = enumerate_configs(&tc, &SizeMap::uniform(&tc, 24), &options);
+        assert_eq!(at_24, again_24);
     }
 
     #[test]

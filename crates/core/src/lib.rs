@@ -44,6 +44,7 @@ pub mod constraints;
 pub mod cost;
 pub mod enumerate;
 pub mod guard;
+pub mod intern;
 pub mod learned;
 pub mod library;
 pub mod lower;

@@ -25,9 +25,9 @@ use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_ir::{Contraction, SizeMap};
 
 use crate::config::KernelConfig;
-use crate::constraints::{check_config, PruneReason, PruneRules};
-use crate::cost::{transaction_cost, CostBreakdown};
-use crate::enumerate::{enumerate_configs_bounded, EnumerationBudget, EnumerationOptions};
+use crate::constraints::{check_config_fast, PruneReason, PruneRules};
+use crate::cost::{transaction_cost_fast, CostBreakdown};
+use crate::enumerate::{enumerate_interned, Enumeration, EnumerationBudget, EnumerationOptions};
 
 /// Environment variable seeding [`SearchOptions::threads`] (and the
 /// worker count of `Cogent::generate_many`). Unset, empty or unparsable
@@ -96,8 +96,10 @@ pub struct SearchOutcome {
     /// Whether the thresholds had to be progressively relaxed because the
     /// strict rules pruned everything (tiny problems).
     pub rules_relaxed: bool,
-    /// Whether the enumeration budget truncated the configuration space
-    /// before it was exhausted (pathological high-rank contractions).
+    /// Whether any phase stopped early on a budget: the enumeration hit
+    /// `max_configs` (pathological high-rank contractions), or the
+    /// `time_budget` deadline expired during enumeration, pruning or
+    /// ranking. A truncated outcome is best-effort and is never cached.
     pub truncated: bool,
     /// Survivors ranked by modelled cost, best first (truncated to the
     /// requested `top_k`). Equal costs are broken by the configuration's
@@ -136,8 +138,11 @@ pub struct SearchOptions {
     /// enumerates a few thousand) but bounds memory on pathological
     /// high-rank contractions.
     pub max_configs: usize,
-    /// Enumeration wall-clock budget, measured from the start of the
-    /// search. `None` (the default) means unbounded.
+    /// Wall-clock budget for the whole search, measured from its start.
+    /// The deadline is enforced in every phase — enumeration, each prune
+    /// pass, and ranking all re-check it on a 128-iteration interval and
+    /// stop early with [`SearchOutcome::truncated`] set. `None` (the
+    /// default) means unbounded.
     pub time_budget: Option<Duration>,
     /// Worker threads for the prune and rank phases (1 = serial). The
     /// default comes from the `COGENT_THREADS` environment variable
@@ -219,65 +224,99 @@ where
     results
 }
 
+/// How often the prune/rank loops re-read the wall clock when a deadline
+/// is set (`Instant::now` costs far more than one rule check). Iteration 0
+/// is a multiple of the interval, so an already-expired deadline stops a
+/// chunk before any work happens.
+const DEADLINE_CHECK_INTERVAL: usize = 128;
+
 /// Accumulated results of one pruning pass (strict or relaxed).
 #[derive(Default)]
 struct PrunePass {
-    /// Survivors in enumeration order.
-    survivors: Vec<KernelConfig>,
-    /// Human-readable rejection histogram contributions.
-    histogram: BTreeMap<String, usize>,
-    /// `prune[.relaxed].reject.*` counter contributions.
-    counters: BTreeMap<&'static str, usize>,
-    /// `check_config` invocations performed.
+    /// Surviving arena indices, in enumeration order.
+    survivors: Vec<u32>,
+    /// Rejections per rule, indexed by [`PruneReason::index`]. Static
+    /// tallies only — the string-keyed histogram the outcome reports is
+    /// folded from these once, at assembly, instead of `format!`-ing a
+    /// key per rejection.
+    reasons: [usize; PruneReason::ALL.len()],
+    /// `check_config_fast` invocations performed.
     checked: usize,
+    /// Whether the deadline expired before the pass saw every candidate.
+    truncated: bool,
 }
 
 impl PrunePass {
     fn absorb(&mut self, other: PrunePass) {
         self.survivors.extend(other.survivors);
-        for (key, count) in other.histogram {
-            *self.histogram.entry(key).or_default() += count;
-        }
-        for (key, count) in other.counters {
-            *self.counters.entry(key).or_default() += count;
+        for (mine, theirs) in self.reasons.iter_mut().zip(other.reasons) {
+            *mine += theirs;
         }
         self.checked += other.checked;
+        self.truncated |= other.truncated;
+    }
+
+    /// Folds the static tallies into the outcome's human-readable
+    /// histogram under this pass's key scheme (rule name alone for the
+    /// strict pass, `"<tag>: <rule>"` for relaxation passes).
+    fn fold_into(&self, histogram: &mut BTreeMap<String, usize>, relaxed_tag: Option<&str>) {
+        for (reason, &count) in PruneReason::ALL.iter().zip(&self.reasons) {
+            if count > 0 {
+                let key = match relaxed_tag {
+                    None => reason.to_string(),
+                    Some(tag) => format!("{tag}: {reason}"),
+                };
+                *histogram.entry(key).or_default() += count;
+            }
+        }
     }
 }
 
-/// One full pass of `check_config` over `configs`, chunked across
-/// `threads` workers and merged in enumeration order. `relaxed_tag`
-/// labels rejections of a relaxation pass so they stay distinguishable
-/// from the strict pass in the histogram and counters.
-#[allow(clippy::too_many_arguments)]
-fn prune_pass(
-    norm: &Contraction,
-    configs: &[KernelConfig],
-    sizes: &SizeMap,
-    device: &GpuDevice,
+/// The inputs a prune pass shares across all of its chunks: what to check
+/// against, and whether this is a relaxation pass (`relaxed` selects the
+/// `prune.relaxed.reject.*` counter names so relaxation passes stay
+/// distinguishable from the strict pass).
+#[derive(Clone, Copy)]
+struct PruneCtx<'a> {
+    device: &'a GpuDevice,
     precision: Precision,
-    rules: &PruneRules,
+    rules: &'a PruneRules,
+    relaxed: bool,
+}
+
+/// One full pass of `check_config_fast` over the arena candidates named by
+/// `indices`, chunked across `threads` workers and merged in enumeration
+/// order. A set `deadline` is re-checked every
+/// [`DEADLINE_CHECK_INTERVAL`] candidates; expiry stops the chunk and
+/// marks the pass truncated.
+fn prune_pass(
+    en: &Enumeration,
+    indices: &[u32],
+    ctx: PruneCtx<'_>,
     threads: usize,
-    relaxed_tag: Option<&str>,
+    deadline: Option<Instant>,
 ) -> PrunePass {
-    let counter_key = |reason: &PruneReason| match relaxed_tag {
-        None => reason.counter_key(),
-        Some(_) => reason.relaxed_counter_key(),
-    };
-    let chunks = run_chunked(configs, threads, "prune", |chunk: &[KernelConfig]| {
+    let chunks = run_chunked(indices, threads, "prune", |chunk: &[u32]| {
         let mut pass = PrunePass::default();
-        for cfg in chunk {
-            pass.checked += 1;
-            match check_config(norm, cfg, sizes, device, precision, rules) {
-                Ok(()) => pass.survivors.push(cfg.clone()),
-                Err(reason) => {
-                    let key = match relaxed_tag {
-                        None => reason.to_string(),
-                        Some(tag) => format!("{tag}: {reason}"),
-                    };
-                    *pass.histogram.entry(key).or_default() += 1;
-                    *pass.counters.entry(counter_key(&reason)).or_default() += 1;
+        for (k, &i) in chunk.iter().enumerate() {
+            if let Some(d) = deadline {
+                if k.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= d {
+                    pass.truncated = true;
+                    break;
                 }
+            }
+            pass.checked += 1;
+            let i = i as usize;
+            match check_config_fast(
+                &en.tables,
+                en.compiled.dims(en.arena.choice(i)),
+                en.arena.tiles(i),
+                ctx.device,
+                ctx.precision,
+                ctx.rules,
+            ) {
+                Ok(()) => pass.survivors.push(i as u32),
+                Err(reason) => pass.reasons[reason.index()] += 1,
             }
         }
         // Recorded here, on the thread doing the work: serially these
@@ -285,8 +324,15 @@ fn prune_pass(
         // its relayed "prune.worker" span and reach the global metric
         // registry through the worker's own shard.
         cogent_obs::counter("prune.checked", pass.checked as u128);
-        for (key, count) in &pass.counters {
-            cogent_obs::counter(key, *count as u128);
+        for (reason, &count) in PruneReason::ALL.iter().zip(&pass.reasons) {
+            if count > 0 {
+                let key = if ctx.relaxed {
+                    reason.relaxed_counter_key()
+                } else {
+                    reason.counter_key()
+                };
+                cogent_obs::counter(key, count as u128);
+            }
         }
         pass
     });
@@ -295,6 +341,54 @@ fn prune_pass(
         merged.absorb(chunk);
     }
     merged
+}
+
+/// Costs the surviving candidates, chunked across `threads` workers and
+/// merged in survivor order. Returns `(scored, truncated)`: a set
+/// `deadline` stops a chunk mid-scoring (same interval discipline as
+/// pruning) and reports the truncation.
+fn rank_pass(
+    en: &Enumeration,
+    survivors: &[u32],
+    device: &GpuDevice,
+    precision: Precision,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> (Vec<(u32, CostBreakdown)>, bool) {
+    let chunks = run_chunked(survivors, threads, "rank", |chunk: &[u32]| {
+        // A dedicated "cost" span: the model evaluation is the hot part
+        // of ranking and the profiler attributes it separately from the
+        // sort. transaction_cost_fast counts each evaluation on the
+        // evaluating thread — worker evaluations reach the trace through
+        // their relayed spans, with no main-thread re-counting.
+        let _cost = cogent_obs::span("cost");
+        let mut scored = Vec::with_capacity(chunk.len());
+        let mut truncated = false;
+        for (k, &i) in chunk.iter().enumerate() {
+            if let Some(d) = deadline {
+                if k.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= d {
+                    truncated = true;
+                    break;
+                }
+            }
+            let cost = transaction_cost_fast(
+                &en.tables,
+                en.compiled.dims(en.arena.choice(i as usize)),
+                en.arena.tiles(i as usize),
+                device,
+                precision,
+            );
+            scored.push((i, cost));
+        }
+        (scored, truncated)
+    });
+    let mut scored = Vec::with_capacity(survivors.len());
+    let mut truncated = false;
+    for (chunk, chunk_truncated) in chunks {
+        scored.extend(chunk);
+        truncated |= chunk_truncated;
+    }
+    (scored, truncated)
 }
 
 /// Runs the full model-driven search for `tc` under the representative
@@ -342,76 +436,89 @@ pub fn search(
     let raw_space = EnumerationOptions::raw_space_size(&norm);
     let threads = options.threads.max(1);
 
+    let deadline = options.time_budget.map(|t| Instant::now() + t);
     let budget = EnumerationBudget {
         max_configs: options.max_configs,
-        deadline: options.time_budget.map(|t| Instant::now() + t),
+        deadline,
     };
-    let (configs, truncated) = {
+    let en = {
         let _span = cogent_obs::span("enumerate");
-        let (configs, truncated) =
-            enumerate_configs_bounded(&norm, sizes, &options.enumeration, &budget);
-        cogent_obs::counter("enumerate.configs", configs.len() as u128);
+        let en = enumerate_interned(&norm, sizes, &options.enumeration, &budget);
+        cogent_obs::counter("enumerate.configs", en.arena.len() as u128);
         cogent_obs::counter("enumerate.raw_space", raw_space);
-        (configs, truncated)
+        en
     };
-    let enumerated = configs.len();
+    let enumerated = en.arena.len();
+    let all_indices: Vec<u32> = (0..enumerated as u32).collect();
 
     let prune_span = cogent_obs::span("prune");
     let mut pruned = prune_pass(
-        &norm,
-        &configs,
-        sizes,
-        device,
-        precision,
-        &options.rules,
+        &en,
+        &all_indices,
+        PruneCtx {
+            device,
+            precision,
+            rules: &options.rules,
+            relaxed: false,
+        },
         threads,
-        None,
+        deadline,
     );
+    let mut histogram = BTreeMap::new();
+    pruned.fold_into(&mut histogram, None);
 
     // Progressive relaxation for small problems. Every relaxed
-    // `check_config` invocation is accounted: the passes add to `checked`
-    // and fold their rejections into the histogram/counters under
-    // distinct keys, so `cogent explain` reports the work actually done.
+    // `check_config_fast` invocation is accounted: the passes add to
+    // `checked` and fold their rejections into the histogram/counters
+    // under distinct keys, so `cogent explain` reports the work actually
+    // done. An expired deadline skips relaxation — the budget is already
+    // blown (whether it cut enumeration or the strict pass short), and the
+    // empty survivor set reflects truncation, not genuinely unprunable
+    // rules.
+    let deadline_expired = deadline.is_some_and(|d| Instant::now() >= d);
     let mut rules_relaxed = false;
-    if pruned.survivors.is_empty() {
+    if pruned.survivors.is_empty() && !pruned.truncated && !deadline_expired {
         rules_relaxed = true;
         let mut relaxed = options.rules.clone();
         relaxed.min_blocks_per_sm = 0.0;
         relaxed.min_occupancy = 0.0;
         relaxed.min_threads = 1;
         let pass = prune_pass(
-            &norm,
-            &configs,
-            sizes,
-            device,
-            precision,
-            &relaxed,
-            threads,
-            Some("relaxed(parallelism)"),
-        );
-        let had_survivors = !pass.survivors.is_empty();
-        pruned.absorb(pass);
-        if !had_survivors {
-            relaxed.require_input_fvi_coalescing = false;
-            let pass = prune_pass(
-                &norm,
-                &configs,
-                sizes,
+            &en,
+            &all_indices,
+            PruneCtx {
                 device,
                 precision,
-                &relaxed,
+                rules: &relaxed,
+                relaxed: true,
+            },
+            threads,
+            deadline,
+        );
+        pass.fold_into(&mut histogram, Some("relaxed(parallelism)"));
+        let had_survivors = !pass.survivors.is_empty();
+        let pass_truncated = pass.truncated;
+        pruned.absorb(pass);
+        if !had_survivors && !pass_truncated {
+            relaxed.require_input_fvi_coalescing = false;
+            let pass = prune_pass(
+                &en,
+                &all_indices,
+                PruneCtx {
+                    device,
+                    precision,
+                    rules: &relaxed,
+                    relaxed: true,
+                },
                 threads,
-                Some("relaxed(coalescing)"),
+                deadline,
             );
+            pass.fold_into(&mut histogram, Some("relaxed(coalescing)"));
             pruned.absorb(pass);
         }
     }
-    let PrunePass {
-        survivors,
-        histogram,
-        counters: _,
-        checked: _,
-    } = pruned;
+    let survivors = pruned.survivors;
+    let prune_truncated = pruned.truncated;
     // Per-check counters were recorded by the pruning threads themselves;
     // only the pass-level summary belongs to the main thread.
     cogent_obs::counter("prune.survivors", survivors.len() as u128);
@@ -420,35 +527,29 @@ pub fn search(
 
     let survivor_count = survivors.len();
     let rank_span = cogent_obs::span("rank");
-    let scored = run_chunked(&survivors, threads, "rank", |chunk: &[KernelConfig]| {
-        // A dedicated "cost" span: the model evaluation is the hot part
-        // of ranking and the profiler attributes it separately from the
-        // sort. transaction_cost counts each evaluation on the evaluating
-        // thread — worker evaluations reach the trace through their
-        // relayed spans, with no main-thread re-counting.
-        let _cost = cogent_obs::span("cost");
-        chunk
-            .iter()
-            .map(|config| {
-                let cost = transaction_cost(&norm, config, sizes, device, precision);
-                RankedConfig {
-                    config: config.clone(),
-                    cost,
-                }
-            })
-            .collect::<Vec<_>>()
-    });
-    let mut ranked: Vec<RankedConfig> = scored.into_iter().flatten().collect();
+    let (mut scored, rank_truncated) =
+        rank_pass(&en, &survivors, device, precision, threads, deadline);
     // Deterministic ranking: stable sort on (modelled cost, config total
-    // order). Two entries compare equal only when they are the same
-    // configuration, so the result is independent of enumeration order.
-    ranked.sort_by(|x, y| {
-        x.cost
-            .total()
-            .cmp(&y.cost.total())
-            .then_with(|| x.config.cmp(&y.config))
+    // order) — the compiled menus' rank keys reproduce `KernelConfig`'s
+    // derived `Ord` without materializing a config per comparison. Two
+    // entries compare equal only when they are the same configuration, so
+    // the result is independent of enumeration order.
+    scored.sort_by_key(|&(i, cost)| {
+        (
+            cost.total(),
+            en.compiled.rank_key(en.arena.choice(i as usize)),
+        )
     });
-    ranked.truncate(options.top_k);
+    scored.truncate(options.top_k);
+    // Only the kept top-k candidates are ever materialized into owned
+    // `KernelConfig`s.
+    let ranked: Vec<RankedConfig> = scored
+        .into_iter()
+        .map(|(i, cost)| RankedConfig {
+            config: en.menus.materialize(en.arena.choice(i as usize)),
+            cost,
+        })
+        .collect();
     cogent_obs::counter("rank.kept", ranked.len() as u128);
     if let Some(best) = ranked.first() {
         cogent_obs::counter("rank.best_model_cost", best.cost.total());
@@ -456,13 +557,13 @@ pub fn search(
     drop(rank_span);
 
     SearchOutcome {
-        contraction: norm.clone(),
+        contraction: norm,
         raw_space,
         enumerated,
         survivors: survivor_count,
         prune_histogram: histogram,
         rules_relaxed,
-        truncated,
+        truncated: en.truncated || prune_truncated || rank_truncated,
         ranked,
     }
 }
@@ -628,6 +729,73 @@ mod tests {
             let pruned: usize = o.prune_histogram.values().sum();
             assert_eq!(pruned + o.survivors, o.enumerated);
         }
+    }
+
+    #[test]
+    fn expired_deadline_truncates_the_whole_search() {
+        // Regression: time_budget used to cover only enumeration. A search
+        // started with an already-expired deadline must come back truncated
+        // without doing per-candidate work in any phase.
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let sizes = SizeMap::uniform(&tc, 48);
+        let opts = SearchOptions {
+            time_budget: Some(Duration::ZERO),
+            ..SearchOptions::default()
+        };
+        let o = search(&tc, &sizes, &GpuDevice::v100(), Precision::F64, &opts);
+        assert!(o.truncated);
+        assert_eq!(o.enumerated, 0);
+        assert!(o.ranked.is_empty());
+        assert!(o.prune_histogram.is_empty());
+        assert!(
+            !o.rules_relaxed,
+            "truncation must not masquerade as relaxation"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_truncates_prune_and_rank_phases() {
+        use crate::enumerate::enumerate_interned;
+
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        let norm = tc.normalized();
+        let sizes = SizeMap::uniform(&norm, 48);
+        let en = enumerate_interned(
+            &norm,
+            &sizes,
+            &EnumerationOptions::default(),
+            &EnumerationBudget::unlimited(),
+        );
+        let all: Vec<u32> = (0..en.arena.len() as u32).collect();
+        assert!(all.len() > DEADLINE_CHECK_INTERVAL);
+        let device = GpuDevice::v100();
+        let rules = PruneRules::default();
+        let ctx = PruneCtx {
+            device: &device,
+            precision: Precision::F64,
+            rules: &rules,
+            relaxed: false,
+        };
+        let expired = Some(Instant::now());
+
+        // Prune: iteration 0 already honors the deadline.
+        let pass = prune_pass(&en, &all, ctx, 1, expired);
+        assert!(pass.truncated);
+        assert!(pass.survivors.is_empty());
+        assert_eq!(pass.checked, 0);
+
+        // Rank likewise scores nothing.
+        let (scored, truncated) = rank_pass(&en, &all, &device, Precision::F64, 1, expired);
+        assert!(truncated);
+        assert!(scored.is_empty());
+
+        // A generous deadline changes nothing relative to no deadline.
+        let generous = Some(Instant::now() + Duration::from_secs(3600));
+        let with = prune_pass(&en, &all, ctx, 1, generous);
+        let without = prune_pass(&en, &all, ctx, 1, None);
+        assert!(!with.truncated);
+        assert_eq!(with.survivors, without.survivors);
+        assert_eq!(with.reasons, without.reasons);
     }
 
     #[test]

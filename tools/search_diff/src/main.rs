@@ -1,0 +1,234 @@
+//! `search_diff`: the cold-search latency-regression gate.
+//!
+//! Compares a fresh `search_bench` report against the checked-in baseline
+//! (`results/search_bench.json`):
+//!
+//! * **byte-identity** — the fresh report must declare `byte_identical:
+//!   true` (the bench itself asserts serial/parallel/warm/scaling paths
+//!   agree; this gate refuses a report that recorded a divergence);
+//! * **cold-latency ceiling** — summed per-entry `cold_ms` over the
+//!   entries both reports share may not exceed `--latency-ratio` × the
+//!   baseline sum. Wall clock varies across machines, so the default
+//!   ceiling is loose — it catches the "cold path got an order of
+//!   magnitude slower" class of regression, not single-digit noise.
+//!
+//! Entries are matched **by name** and only the intersection is gated, so
+//! a `--quick` subset run (the CI smoke) still compares correctly against
+//! the full-suite baseline. Violations print observed vs allowed before
+//! the nonzero exit.
+//!
+//! Usage: `search_diff <baseline.json> <fresh.json> [--latency-ratio X]`
+
+use std::process::ExitCode;
+
+use cogent_obs::json::Json;
+
+/// One report's gated numbers.
+struct Report {
+    /// `name → cold_ms` for every suite entry.
+    cold_ms: Vec<(String, f64)>,
+    byte_identical: bool,
+}
+
+fn parse_report(doc: &Json, label: &str) -> Result<Report, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{label}: missing entries array"))?;
+    let mut cold_ms = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: entry {i} has no name"))?;
+        let ms = entry
+            .get("cold_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{label}: entry {name:?} has no cold_ms"))?;
+        cold_ms.push((name.to_string(), ms));
+    }
+    if cold_ms.is_empty() {
+        return Err(format!("{label}: no entries to gate"));
+    }
+    let byte_identical = match doc.get("byte_identical") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err(format!("{label}: missing byte_identical flag")),
+    };
+    Ok(Report {
+        cold_ms,
+        byte_identical,
+    })
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    parse_report(&doc, path)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut latency_ratio = 4.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--latency-ratio" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--latency-ratio needs a value".to_string())?;
+                latency_ratio = value
+                    .parse()
+                    .map_err(|_| format!("--latency-ratio: not a number: {value:?}"))?;
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: search_diff <baseline.json> <fresh.json> [--latency-ratio X]".into());
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+
+    if !fresh.byte_identical {
+        return Err(format!(
+            "{fresh_path}: byte_identical is false — \
+             serial/parallel/warm search paths diverged"
+        ));
+    }
+
+    // Gate the intersection: a --quick smoke subset against the full
+    // baseline compares only the entries both actually ran.
+    let mut baseline_sum = 0.0f64;
+    let mut fresh_sum = 0.0f64;
+    let mut shared = 0usize;
+    for (name, fresh_ms) in &fresh.cold_ms {
+        if let Some((_, baseline_ms)) = baseline.cold_ms.iter().find(|(n, _)| n == name) {
+            baseline_sum += baseline_ms;
+            fresh_sum += fresh_ms;
+            shared += 1;
+        }
+    }
+    if shared == 0 {
+        return Err(format!(
+            "no shared entries between {baseline_path} and {fresh_path}"
+        ));
+    }
+    let allowed = baseline_sum * latency_ratio;
+    println!(
+        "search_diff: {shared} shared entr{} | cold {fresh_sum:.1} ms vs \
+         baseline {baseline_sum:.1} ms (ceiling {allowed:.1} ms = {latency_ratio}x)",
+        if shared == 1 { "y" } else { "ies" }
+    );
+    if fresh_sum > allowed {
+        return Err(format!(
+            "cold search latency regressed: {fresh_sum:.1} ms over {shared} shared \
+             entries exceeds {latency_ratio}x the baseline's {baseline_sum:.1} ms"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {
+            println!("search_diff: cold path within tolerance");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("search_diff: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)], byte_identical: bool) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(n, ms)| format!(r#"{{"name":"{n}","cold_ms":{ms}}}"#))
+            .collect();
+        format!(
+            r#"{{"byte_identical":{byte_identical},"entries":[{}]}}"#,
+            rows.join(",")
+        )
+    }
+
+    fn parse(text: &str) -> Report {
+        parse_report(&Json::parse(text).unwrap(), "test").unwrap()
+    }
+
+    #[test]
+    fn parses_entries_and_flag() {
+        let r = parse(&report(&[("a", 1.5), ("b", 2.0)], true));
+        assert_eq!(r.cold_ms.len(), 2);
+        assert!(r.byte_identical);
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        assert!(parse_report(&Json::parse("{}").unwrap(), "t").is_err());
+        let no_flag = r#"{"entries":[{"name":"a","cold_ms":1}]}"#;
+        assert!(parse_report(&Json::parse(no_flag).unwrap(), "t").is_err());
+        let empty = r#"{"byte_identical":true,"entries":[]}"#;
+        assert!(parse_report(&Json::parse(empty).unwrap(), "t").is_err());
+    }
+
+    fn run_pair(baseline: &str, fresh: &str, extra: &[&str]) -> Result<(), String> {
+        let dir = std::env::temp_dir().join(format!(
+            "search-diff-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let b = dir.join("baseline.json");
+        let f = dir.join("fresh.json");
+        std::fs::write(&b, baseline).unwrap();
+        std::fs::write(&f, fresh).unwrap();
+        let mut args = vec![
+            b.to_str().unwrap().to_string(),
+            f.to_str().unwrap().to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let result = run(&args);
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
+    #[test]
+    fn within_ceiling_passes_and_regression_fails() {
+        let baseline = report(&[("a", 10.0), ("b", 10.0)], true);
+        let ok = report(&[("a", 20.0), ("b", 20.0)], true);
+        assert!(run_pair(&baseline, &ok, &[]).is_ok());
+        let slow = report(&[("a", 50.0), ("b", 50.0)], true);
+        let err = run_pair(&baseline, &slow, &[]).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // A looser ceiling admits it.
+        assert!(run_pair(&baseline, &slow, &["--latency-ratio", "20"]).is_ok());
+    }
+
+    #[test]
+    fn divergence_is_fatal_regardless_of_latency() {
+        let baseline = report(&[("a", 10.0)], true);
+        let diverged = report(&[("a", 1.0)], false);
+        let err = run_pair(&baseline, &diverged, &[]).unwrap_err();
+        assert!(err.contains("byte_identical"), "{err}");
+    }
+
+    #[test]
+    fn quick_subset_gates_only_the_intersection() {
+        let baseline = report(&[("a", 10.0), ("b", 10.0), ("c", 1000.0)], true);
+        // Fresh ran only a and b; c's huge baseline must not dilute the
+        // ceiling for them.
+        let fresh = report(&[("a", 90.0), ("b", 90.0)], true);
+        let err = run_pair(&baseline, &fresh, &[]).unwrap_err();
+        assert!(err.contains("2 shared"), "{err}");
+        // Disjoint suites are an error, not a silent pass.
+        let disjoint = report(&[("z", 1.0)], true);
+        let err = run_pair(&baseline, &disjoint, &[]).unwrap_err();
+        assert!(err.contains("no shared"), "{err}");
+    }
+}
