@@ -70,7 +70,7 @@ run cargo run --release $OFFLINE --bin cogent -- profile "abcd-aebf-dfce" --size
 test -s target/profile_smoke.folded
 run env COGENT_THREADS=4 cargo run --release $OFFLINE --bin cogent -- stats \
     "abcd-aebf-dfce" --size 24 --threads 4 > target/stats_smoke.prom
-grep -q 'cogent_counter{metric="prune.checked"}' target/stats_smoke.prom
+grep -q 'cogent_prune_checked_total' target/stats_smoke.prom
 # Serve robustness: the service-level chaos suite (malformed requests,
 # slowloris, worker panics, corrupted cache files, kill-and-restart
 # byte-identity) and a daemon smoke check — the binary must refuse
@@ -81,6 +81,10 @@ if COGENT_CACHE_CAP=banana cargo run --release $OFFLINE --bin cogent -- serve 2>
     echo "serve smoke: malformed COGENT_CACHE_CAP must refuse startup" >&2
     exit 1
 fi
+# Flight-recorder smoke: a live daemon must echo request ids, serve the
+# cogent.flight.v1 debug endpoint, write slow/drain dumps plus the
+# structured access log, and round-trip through `cogent flight`.
+run ./tools/flight_smoke.sh
 # Traffic replay gate: a deterministic seeded request trace over loopback
 # must match the checked-in service baseline (exact warm hit counts, zero
 # errors; latency gated only against catastrophic regressions).

@@ -70,20 +70,34 @@ fn main() {
             .unwrap_or_else(|e| panic!("warmup generate failed for {tc}: {e}"));
     }
 
+    // The flight recorder is always on in `cogent serve`, so its
+    // per-request cost (timeline marks + ring push) rides inside the
+    // timed loop and is bounded by the same instrumented/stripped
+    // ceiling as the rest of the dormant instrumentation. Under the
+    // `strip` feature the ring push compiles to a no-op.
+    let recorder = cogent_obs::flight::FlightRecorder::new(256);
     let mut sweeps_s: Vec<f64> = Vec::with_capacity(reps);
-    for _ in 0..reps {
+    for rep in 0..reps {
         let started = Instant::now();
-        for (tc, sizes) in &jobs {
+        for (i, (tc, sizes)) in jobs.iter().enumerate() {
+            let mut timeline = cogent_obs::flight::FlightTimeline::start(
+                &format!("overhead-{rep}-{i}"),
+                "generate",
+            );
+            timeline.mark("started");
             generator
                 .generate(tc, sizes)
                 .unwrap_or_else(|e| panic!("timed generate failed for {tc}: {e}"));
+            timeline.set_search_ns(timeline.elapsed_ns());
+            recorder.record(timeline.finish(200));
         }
         sweeps_s.push(started.elapsed().as_secs_f64());
     }
     let best_sweep_s = sweeps_s.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
-        "overhead_gate: mode {mode} | {} entries x {reps} reps | best sweep {best_sweep_s:.3}s",
-        jobs.len()
+        "overhead_gate: mode {mode} | {} entries x {reps} reps | best sweep {best_sweep_s:.3}s | {} flight records",
+        jobs.len(),
+        recorder.recorded()
     );
 
     let report = Json::obj([

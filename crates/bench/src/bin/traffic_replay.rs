@@ -7,7 +7,11 @@
 //!   misses — the steady-state working set being built), then
 //! * a **warm phase** replaying zipf-distributed repeats of that working
 //!   set from several concurrent client threads (the shape of real
-//!   request traffic: a few hot contractions dominate).
+//!   request traffic: a few hot contractions dominate), with every fifth
+//!   draw going to `/v1/explain` so the endpoint mix is exercised too.
+//!
+//! The report records per-endpoint p50/p99 latency and an error-status
+//! taxonomy alongside the aggregate percentiles.
 //!
 //! The trace mixes TCCG suite entries with seeded pseudo-random
 //! contractions so the replay is not biased toward the benchmark suite's
@@ -78,13 +82,21 @@ fn random_spec(rng: &mut Rng) -> String {
     format!("{c}-{a}-{b}")
 }
 
-/// One POST /v1/generate over a fresh loopback connection. Returns the
-/// HTTP status, whether the response was a cache hit, and the latency.
-fn issue(addr: &str, body: &str) -> (u16, bool, Duration) {
+/// One replayed request: which endpoint it hit and how it went.
+struct Outcome {
+    endpoint: &'static str,
+    status: u16,
+    hit: bool,
+    latency: Duration,
+}
+
+/// One POST over a fresh loopback connection. Returns the HTTP status,
+/// whether the response was a cache hit, and the latency.
+fn issue(addr: &str, path: &str, body: &str) -> (u16, bool, Duration) {
     let started = Instant::now();
     let mut stream = TcpStream::connect(addr).expect("connect to replay server");
     let request = format!(
-        "POST /v1/generate HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("write request");
@@ -102,9 +114,9 @@ fn issue(addr: &str, body: &str) -> (u16, bool, Duration) {
     )
 }
 
-/// Replays `jobs` from `clients` concurrent threads; returns per-request
-/// (status, hit, latency) in completion order.
-fn replay(addr: &str, jobs: &[String], clients: usize) -> Vec<(u16, bool, Duration)> {
+/// Replays `jobs` (endpoint path + body) from `clients` concurrent
+/// threads; returns per-request outcomes in completion order.
+fn replay(addr: &str, jobs: &[(&'static str, String)], clients: usize) -> Vec<Outcome> {
     let results = Arc::new(Mutex::new(Vec::with_capacity(jobs.len())));
     let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     std::thread::scope(|scope| {
@@ -116,12 +128,21 @@ fn replay(addr: &str, jobs: &[String], clients: usize) -> Vec<(u16, bool, Durati
                 if i >= jobs.len() {
                     break;
                 }
-                let outcome = issue(addr, &jobs[i]);
-                results.lock().unwrap().push(outcome);
+                let (endpoint, body) = &jobs[i];
+                let (status, hit, latency) = issue(addr, endpoint, body);
+                results.lock().unwrap().push(Outcome {
+                    endpoint,
+                    status,
+                    hit,
+                    latency,
+                });
             });
         }
     });
-    Arc::try_unwrap(results).unwrap().into_inner().unwrap()
+    Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("replay threads still hold results"))
+        .into_inner()
+        .unwrap()
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -132,18 +153,58 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-fn summarize(outcomes: &[(u16, bool, Duration)]) -> (usize, usize, Vec<f64>) {
+fn summarize(outcomes: &[Outcome]) -> (usize, usize, Vec<f64>) {
     let mut latencies: Vec<f64> = outcomes
         .iter()
-        .map(|(_, _, d)| d.as_secs_f64() * 1e3)
+        .map(|o| o.latency.as_secs_f64() * 1e3)
         .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let errors = outcomes
-        .iter()
-        .filter(|(status, _, _)| *status != 200)
-        .count();
-    let hits = outcomes.iter().filter(|(_, hit, _)| *hit).count();
+    let errors = outcomes.iter().filter(|o| o.status != 200).count();
+    let hits = outcomes.iter().filter(|o| o.hit).count();
     (errors, hits, latencies)
+}
+
+/// Per-endpoint latency percentiles over every outcome (cold + warm),
+/// keyed by endpoint label (`generate`, `explain`).
+fn endpoint_stats(outcomes: &[&Outcome]) -> Json {
+    let mut by_endpoint: std::collections::BTreeMap<&str, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for outcome in outcomes {
+        by_endpoint
+            .entry(outcome.endpoint.trim_start_matches("/v1/"))
+            .or_default()
+            .push(outcome.latency.as_secs_f64() * 1e3);
+    }
+    Json::Object(
+        by_endpoint
+            .into_iter()
+            .map(|(endpoint, mut ms)| {
+                ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                (
+                    endpoint.to_string(),
+                    Json::obj([
+                        ("requests", Json::from(ms.len())),
+                        ("p50_ms", Json::Float(percentile(&ms, 0.50))),
+                        ("p99_ms", Json::Float(percentile(&ms, 0.99))),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Error-status taxonomy over every outcome: `{"200": N, "429": M, ...}`.
+fn status_taxonomy(outcomes: &[&Outcome]) -> Json {
+    let mut counts: std::collections::BTreeMap<u16, usize> = std::collections::BTreeMap::new();
+    for outcome in outcomes {
+        *counts.entry(outcome.status).or_default() += 1;
+    }
+    Json::Object(
+        counts
+            .into_iter()
+            .map(|(status, n)| (status.to_string(), Json::from(n)))
+            .collect(),
+    )
 }
 
 fn get_f64(report: &Json, key: &str) -> f64 {
@@ -189,11 +250,13 @@ fn main() {
     unique.sort();
     unique.dedup();
 
-    // Zipf-ish popularity over the working set: weight 1/(rank+1).
+    // Zipf-ish popularity over the working set: weight 1/(rank+1). Every
+    // fifth warm draw goes to /v1/explain instead of /v1/generate so the
+    // replay exercises the endpoint mix real traffic has.
     let weights: Vec<f64> = (0..unique.len()).map(|r| 1.0 / (r + 1) as f64).collect();
     let total_weight: f64 = weights.iter().sum();
     let mut warm_jobs = Vec::with_capacity(draws);
-    for _ in 0..draws {
+    for draw in 0..draws {
         let mut point = (rng.next() as f64 / u64::MAX as f64) * total_weight;
         let mut pick = 0;
         for (rank, w) in weights.iter().enumerate() {
@@ -203,8 +266,17 @@ fn main() {
                 break;
             }
         }
-        warm_jobs.push(unique[pick].clone());
+        let endpoint = if draw % 5 == 4 {
+            "/v1/explain"
+        } else {
+            "/v1/generate"
+        };
+        warm_jobs.push((endpoint, unique[pick].clone()));
     }
+    let cold_jobs: Vec<(&'static str, String)> = unique
+        .iter()
+        .map(|body| ("/v1/generate", body.clone()))
+        .collect();
 
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -222,7 +294,7 @@ fn main() {
     );
 
     let cold_started = Instant::now();
-    let cold = replay(&addr, &unique, clients);
+    let cold = replay(&addr, &cold_jobs, clients);
     let cold_total_s = cold_started.elapsed().as_secs_f64();
     let warm_started = Instant::now();
     let warm = replay(&addr, &warm_jobs, clients);
@@ -232,6 +304,7 @@ fn main() {
     let (cold_errors, cold_hits, cold_ms) = summarize(&cold);
     let (warm_errors, warm_hits, warm_ms) = summarize(&warm);
     let warm_hit_rate = warm_hits as f64 / warm.len().max(1) as f64;
+    let all: Vec<&Outcome> = cold.iter().chain(warm.iter()).collect();
     let report = Json::obj([
         ("unique_contractions", Json::from(unique.len())),
         ("warm_draws", Json::from(draws)),
@@ -248,6 +321,8 @@ fn main() {
         ("cold_p99_ms", Json::Float(percentile(&cold_ms, 0.99))),
         ("warm_p50_ms", Json::Float(percentile(&warm_ms, 0.50))),
         ("warm_p99_ms", Json::Float(percentile(&warm_ms, 0.99))),
+        ("endpoints", endpoint_stats(&all)),
+        ("status_counts", status_taxonomy(&all)),
     ]);
     write_json_report(&out_path, &report).expect("write report");
     println!(

@@ -11,7 +11,9 @@ use std::time::{Duration, Instant};
 use cogent_gpu_model::{GpuDevice, Precision};
 use cogent_gpu_sim::plan::StoreMode;
 use cogent_ir::{Contraction, SizeMap};
+use cogent_obs::flight::FlightTimeline;
 use cogent_obs::json::Json;
+use cogent_obs::{Capture, PipelineTrace};
 
 use crate::audit::{audit_contraction, AuditOptions};
 use crate::cache::CacheKey;
@@ -290,16 +292,24 @@ fn base_generator(spec: &GenerateSpec) -> Cogent {
 
 /// Runs one admitted job. Called from a worker inside the panic-isolation
 /// boundary; `deadline` is the request deadline (already checked to be in
-/// the future when the job was dequeued).
-pub fn execute(kind: &JobKind, deadline: Instant, state: &SharedState) -> Response {
+/// the future when the job was dequeued). The `timeline` accumulates the
+/// request's flight-recorder facts (cache outcome, search time and phase
+/// seams, truncation, provenance); pass
+/// [`FlightTimeline::detached`] when nothing records the flight.
+pub fn execute(
+    kind: &JobKind,
+    deadline: Instant,
+    state: &SharedState,
+    timeline: &mut FlightTimeline,
+) -> Response {
     match kind {
-        JobKind::Generate(spec) => generate_response(spec, deadline, state, true),
-        JobKind::Explain(spec) => generate_response(spec, deadline, state, false),
+        JobKind::Generate(spec) => generate_response(spec, deadline, state, true, timeline),
+        JobKind::Explain(spec) => generate_response(spec, deadline, state, false, timeline),
         JobKind::Batch(specs) => {
             let results: Vec<Json> = specs
                 .iter()
                 .map(|spec| {
-                    let response = generate_response(spec, deadline, state, true);
+                    let response = generate_response(spec, deadline, state, true, timeline);
                     match Json::parse(&response.body) {
                         Ok(json) => Json::obj([
                             ("status", Json::UInt(u128::from(response.status))),
@@ -311,7 +321,23 @@ pub fn execute(kind: &JobKind, deadline: Instant, state: &SharedState) -> Respon
                 .collect();
             Response::json(200, "OK", &Json::obj([("results", Json::Array(results))]))
         }
-        JobKind::Audit { spec, top_k } => audit_response(spec, *top_k, deadline),
+        JobKind::Audit { spec, top_k } => audit_response(spec, *top_k, deadline, timeline),
+    }
+}
+
+/// Splices the top-level phase seams of a search trace into the flight
+/// timeline as `phase:<name>` events, rebased onto the request clock.
+/// Two levels deep: the nested capture's children (the `generate` span)
+/// plus their children (the actual pipeline phases).
+fn absorb_search_phases(timeline: &mut FlightTimeline, trace: &PipelineTrace, base_ns: u64) {
+    for child in &trace.root.children {
+        timeline.mark_at(&format!("phase:{}", child.name), base_ns + child.start_ns);
+        for grandchild in &child.children {
+            timeline.mark_at(
+                &format!("phase:{}", grandchild.name),
+                base_ns + grandchild.start_ns,
+            );
+        }
     }
 }
 
@@ -321,6 +347,7 @@ fn generate_response(
     deadline: Instant,
     state: &SharedState,
     with_sources: bool,
+    timeline: &mut FlightTimeline,
 ) -> Response {
     if let Some(fault) = spec.fault {
         fault.apply();
@@ -334,8 +361,13 @@ fn generate_response(
         &base.options_fingerprint(),
     );
     if let Some(hit) = state.cache.get(&key) {
+        timeline.mark("cache.hit");
+        timeline.set_cache("hit");
+        timeline.set_provenance(&hit.provenance.to_string());
         return Response::json(200, "OK", &kernel_json(&hit, "hit", with_sources));
     }
+    timeline.mark("cache.miss");
+    timeline.set_cache("miss");
     let Some(budget) = deadline.checked_duration_since(Instant::now()) else {
         return deadline_response();
     };
@@ -343,8 +375,17 @@ fn generate_response(
         time_budget: Some(budget),
         ..SearchOptions::default()
     };
-    match base.search_options(options).generate(&spec.tc, &spec.sizes) {
+    let search_base_ns = timeline.elapsed_ns();
+    let capture = Capture::start("serve.search");
+    let result = base.search_options(options).generate(&spec.tc, &spec.sizes);
+    timeline.add_search_ns(timeline.elapsed_ns().saturating_sub(search_base_ns));
+    if let Some(trace) = capture.finish() {
+        absorb_search_phases(timeline, &trace, search_base_ns);
+    }
+    match result {
         Ok(kernel) => {
+            timeline.set_truncated(kernel.search.truncated);
+            timeline.set_provenance(&kernel.provenance.to_string());
             // Only cache (and persist) complete searches: a
             // deadline-truncated search is not the canonical kernel for
             // this key, and caching it would break warm-path
@@ -390,7 +431,12 @@ pub fn deadline_response() -> Response {
     )
 }
 
-fn audit_response(spec: &GenerateSpec, top_k: usize, deadline: Instant) -> Response {
+fn audit_response(
+    spec: &GenerateSpec,
+    top_k: usize,
+    deadline: Instant,
+    timeline: &mut FlightTimeline,
+) -> Response {
     if let Some(fault) = spec.fault {
         fault.apply();
     }
@@ -409,14 +455,21 @@ fn audit_response(spec: &GenerateSpec, top_k: usize, deadline: Instant) -> Respo
         .tc
         .to_tccg_string()
         .unwrap_or_else(|| spec.tc.to_string());
-    match audit_contraction(
+    let search_base_ns = timeline.elapsed_ns();
+    let capture = Capture::start("serve.audit");
+    let result = audit_contraction(
         &name,
         &spec.tc,
         &spec.sizes,
         &spec.device,
         spec.precision,
         &options,
-    ) {
+    );
+    timeline.add_search_ns(timeline.elapsed_ns().saturating_sub(search_base_ns));
+    if let Some(trace) = capture.finish() {
+        absorb_search_phases(timeline, &trace, search_base_ns);
+    }
+    match result {
         Ok(audit) => Response::json(200, "OK", &audit_json(&audit)),
         Err(CogentError::BudgetExhausted { .. }) => deadline_response(),
         Err(err) => Response::error(
@@ -629,13 +682,30 @@ mod tests {
             &state,
         )
         .unwrap();
-        let cold = execute(&kind, deadline, &state);
+        let mut cold_timeline = FlightTimeline::detached();
+        let cold = execute(&kind, deadline, &state, &mut cold_timeline);
         assert_eq!(cold.status, 200);
         assert!(cold.body.contains("\"cache\":\"miss\""));
         assert!(cold.body.contains("__global__"));
-        let warm = execute(&kind, deadline + Duration::from_secs(5), &state);
+        let mut warm_timeline = FlightTimeline::detached();
+        let warm = execute(
+            &kind,
+            deadline + Duration::from_secs(5),
+            &state,
+            &mut warm_timeline,
+        );
         assert_eq!(warm.status, 200);
         assert!(warm.body.contains("\"cache\":\"hit\""));
+        // The timelines record the cache outcome and the search cost.
+        let cold_record = cold_timeline.finish(200);
+        assert_eq!(cold_record.cache, "miss");
+        assert!(cold_record.search_ns > 0, "cold path searched");
+        assert!(!cold_record.provenance.is_empty());
+        assert!(cold_record.events.iter().any(|e| e.label == "cache.miss"));
+        let warm_record = warm_timeline.finish(200);
+        assert_eq!(warm_record.cache, "hit");
+        assert_eq!(warm_record.search_ns, 0, "warm path never searches");
+        assert!(warm_record.events.iter().any(|e| e.label == "cache.hit"));
         // Modulo the hit/miss marker, the payloads agree byte for byte.
         assert_eq!(
             warm.body.replace("\"cache\":\"hit\"", "\"cache\":\"miss\""),
@@ -652,7 +722,7 @@ mod tests {
             &state,
         )
         .unwrap();
-        let resp = execute(&kind, deadline, &state);
+        let resp = execute(&kind, deadline, &state, &mut FlightTimeline::detached());
         assert_eq!(resp.status, 200);
         assert!(!resp.body.contains("cuda_source"));
         assert!(resp.body.contains("\"search\""));
@@ -667,7 +737,12 @@ mod tests {
             &state,
         )
         .unwrap();
-        let resp = execute(&kind, Instant::now() - Duration::from_millis(1), &state);
+        let resp = execute(
+            &kind,
+            Instant::now() - Duration::from_millis(1),
+            &state,
+            &mut FlightTimeline::detached(),
+        );
         assert_eq!(resp.status, 504);
         assert!(resp.body.contains("deadline_exceeded"));
     }

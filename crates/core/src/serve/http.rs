@@ -300,6 +300,36 @@ impl Response {
         self
     }
 
+    /// Tags the response with its request id: always as an
+    /// `X-Request-Id` header, and — for JSON error envelopes (status ≥
+    /// 400) — as `error.request_id` in the body too, so the id survives
+    /// clients that only log bodies. Success bodies are never rewritten:
+    /// warm 200s must stay byte-identical across requests and restarts.
+    pub fn with_request_id(mut self, id: &str) -> Self {
+        if self.status >= 400 && self.content_type == "application/json" {
+            if let Ok(Json::Object(mut members)) = Json::parse(&self.body) {
+                let mut tagged = false;
+                if let Some((_, Json::Object(error))) =
+                    members.iter_mut().find(|(k, _)| k == "error")
+                {
+                    if !error.iter().any(|(k, _)| k == "request_id") {
+                        error.push(("request_id".to_string(), Json::Str(id.to_string())));
+                        tagged = true;
+                    }
+                }
+                if tagged {
+                    let mut body = String::new();
+                    Json::Object(members).write(&mut body);
+                    body.push('\n');
+                    self.body = body;
+                }
+            }
+        }
+        self.extra_headers
+            .push(("X-Request-Id".to_string(), id.to_string()));
+        self
+    }
+
     /// Serializes and writes the response. Write errors are swallowed —
     /// the peer may already be gone, and the connection closes either way.
     pub fn send(&self, stream: &mut TcpStream) {
@@ -368,5 +398,35 @@ mod tests {
         let resp = Response::error(429, "Too Many Requests", "saturated", "queue full");
         assert!(resp.body.contains("\"code\":\"saturated\""));
         assert!(resp.body.contains("\"detail\":\"queue full\""));
+    }
+
+    #[test]
+    fn request_id_tags_headers_and_error_bodies() {
+        // Errors carry the id in both the header and the envelope.
+        let resp = Response::error(504, "Gateway Timeout", "deadline_exceeded", "too slow")
+            .with_request_id("req-000007");
+        assert!(resp
+            .extra_headers
+            .iter()
+            .any(|(k, v)| k == "X-Request-Id" && v == "req-000007"));
+        assert!(
+            resp.body.contains("\"request_id\":\"req-000007\""),
+            "{}",
+            resp.body
+        );
+        // Tagging twice does not duplicate the body member.
+        let twice = Response::error(500, "Internal Server Error", "worker_panic", "boom")
+            .with_request_id("a")
+            .with_request_id("a");
+        assert_eq!(twice.body.matches("request_id").count(), 1);
+        // Success bodies stay byte-identical; only the header is added.
+        let ok_body = "{\"cache\":\"hit\"}\n".to_string();
+        let ok = Response::json(200, "OK", &Json::parse(ok_body.trim()).unwrap())
+            .with_request_id("req-000008");
+        assert_eq!(ok.body, ok_body);
+        assert!(ok
+            .extra_headers
+            .iter()
+            .any(|(k, v)| k == "X-Request-Id" && v == "req-000008"));
     }
 }

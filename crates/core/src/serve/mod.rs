@@ -33,14 +33,16 @@ pub mod handlers;
 pub mod http;
 pub mod queue;
 
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cogent_obs::flight::{FlightRecorder, FlightTimeline};
 use cogent_obs::json::Json;
 use cogent_obs::{metrics_snapshot, render_prometheus, Capture};
 
@@ -80,6 +82,18 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Honor the `"inject"` request member (chaos tests only).
     pub allow_fault_injection: bool,
+    /// Requests slower than this trigger a flight dump (when a flight
+    /// directory is configured).
+    pub slow_threshold: Duration,
+    /// How many recent requests the flight recorder retains.
+    pub flight_capacity: usize,
+    /// Directory receiving `cogent.flight.v1` dumps on panic, slow
+    /// requests, and drain; `None` disables file dumps (the
+    /// `GET /v1/debug/flight` endpoint still works).
+    pub flight_dir: Option<PathBuf>,
+    /// Structured access log destination (`-` for stdout); `None`
+    /// disables the log.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +110,10 @@ impl Default for ServeConfig {
             cache_capacity: crate::cache::DEFAULT_CAPACITY,
             cache_dir: None,
             allow_fault_injection: false,
+            slow_threshold: Duration::from_secs(10),
+            flight_capacity: 256,
+            flight_dir: None,
+            access_log: None,
         }
     }
 }
@@ -124,6 +142,49 @@ impl ServeConfig {
     }
 }
 
+/// Where the structured access log goes.
+enum AccessLogSink {
+    /// `--access-log -`.
+    Stdout,
+    /// `--access-log FILE` (append).
+    File(std::fs::File),
+}
+
+impl AccessLogSink {
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        match self {
+            AccessLogSink::Stdout => {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                writeln!(lock, "{line}")
+            }
+            AccessLogSink::File(file) => writeln!(file, "{line}"),
+        }
+    }
+}
+
+/// Issues fallback request ids (`req-000001`, ...) for requests that do
+/// not carry an `X-Request-Id` header. Process-wide and monotone, so ids
+/// in a flight dump sort in admission order.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn next_request_id() -> String {
+    format!("req-{:06}", REQUEST_SEQ.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The request's id: the client-supplied `X-Request-Id` when it is
+/// printable ASCII of sane length, a generated counter id otherwise.
+fn request_id_of(request: &Request) -> String {
+    match request.header("x-request-id") {
+        Some(id)
+            if !id.is_empty() && id.len() <= 128 && id.bytes().all(|b| b.is_ascii_graphic()) =>
+        {
+            id.to_string()
+        }
+        _ => next_request_id(),
+    }
+}
+
 /// State shared by connection threads, workers, and handlers.
 pub struct SharedState {
     /// The kernel cache serving warm requests.
@@ -136,8 +197,15 @@ pub struct SharedState {
     pub default_deadline: Duration,
     /// Upper clamp for client deadlines.
     pub max_deadline: Duration,
+    /// The flight recorder holding recent request timelines.
+    pub flight: FlightRecorder,
     draining: AtomicBool,
     quarantined_files: AtomicUsize,
+    started: Instant,
+    slow_threshold: Duration,
+    flight_dir: Option<PathBuf>,
+    flight_dumps: AtomicUsize,
+    access_log: Option<Mutex<AccessLogSink>>,
 }
 
 impl SharedState {
@@ -150,14 +218,68 @@ impl SharedState {
             allow_fault_injection,
             default_deadline: Duration::from_secs(30),
             max_deadline: Duration::from_secs(300),
+            flight: FlightRecorder::new(64),
             draining: AtomicBool::new(false),
             quarantined_files: AtomicUsize::new(0),
+            started: Instant::now(),
+            slow_threshold: Duration::from_secs(10),
+            flight_dir: None,
+            flight_dumps: AtomicUsize::new(0),
+            access_log: None,
         }
     }
 
     /// Whether the server is draining (shutdown in progress).
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Closes a request's timeline: writes the access-log line, folds the
+    /// per-endpoint SLO histograms, pushes the record into the flight
+    /// ring, and dumps the ring when the request breached the slow
+    /// threshold. The single exit point every request outcome funnels
+    /// through, whichever thread ends up owning the timeline.
+    fn finish_request(&self, timeline: FlightTimeline, status: u16) {
+        let record = timeline.finish(status);
+        if let Some(sink) = &self.access_log {
+            let line = record.access_log_line();
+            let mut sink = sink.lock().unwrap_or_else(|e| e.into_inner());
+            if sink.write_line(&line).is_err() {
+                cogent_obs::counter("serve.access_log.error", 1);
+            }
+        }
+        cogent_obs::histogram(
+            &format!("serve.endpoint.{}.latency_ns", record.endpoint),
+            u128::from(record.total_ns),
+        );
+        cogent_obs::histogram(
+            &format!("serve.endpoint.{}.queue_wait_ns", record.endpoint),
+            u128::from(record.queue_wait_ns),
+        );
+        let slow = u128::from(record.total_ns) > self.slow_threshold.as_nanos();
+        self.flight.record(record);
+        if slow {
+            cogent_obs::counter("serve.flight.slow_request", 1);
+            self.dump_flight("slow");
+        }
+    }
+
+    /// Writes the flight ring as a `cogent.flight.v1` JSON file into the
+    /// configured flight directory (`flight-<reason>-<seq>.json`). A
+    /// no-op without a directory; write failures are counted, never
+    /// fatal.
+    fn dump_flight(&self, reason: &str) {
+        let Some(dir) = &self.flight_dir else {
+            return;
+        };
+        let seq = self.flight_dumps.fetch_add(1, Ordering::SeqCst);
+        let path = dir.join(format!("flight-{reason}-{seq:04}.json"));
+        let mut text = String::new();
+        self.flight.to_json().write(&mut text);
+        text.push('\n');
+        if std::fs::write(&path, text).is_err() {
+            cogent_obs::counter("serve.flight.dump_error", 1);
+        }
     }
 }
 
@@ -167,6 +289,10 @@ impl SharedState {
 struct Job {
     kind: handlers::JobKind,
     deadline: Instant,
+    /// When the connection thread pushed the job (queue-wait attribution).
+    enqueued: Instant,
+    /// The request's flight timeline; the worker finishes it.
+    timeline: FlightTimeline,
     reply: mpsc::SyncSender<Response>,
 }
 
@@ -247,14 +373,39 @@ impl Server {
                 Some(persister)
             }
         };
+        let flight_dir = match &config.flight_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(ServeError::Spawn)?;
+                Some(dir.clone())
+            }
+        };
+        let access_log = match &config.access_log {
+            None => None,
+            Some(path) if path.as_os_str() == "-" => Some(Mutex::new(AccessLogSink::Stdout)),
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(ServeError::Spawn)?;
+                Some(Mutex::new(AccessLogSink::File(file)))
+            }
+        };
         let state = Arc::new(SharedState {
             cache,
             persister,
             allow_fault_injection: config.allow_fault_injection,
             default_deadline: config.default_deadline,
             max_deadline: config.max_deadline,
+            flight: FlightRecorder::new(config.flight_capacity),
             draining: AtomicBool::new(false),
             quarantined_files: AtomicUsize::new(quarantined),
+            started: Instant::now(),
+            slow_threshold: config.slow_threshold,
+            flight_dir,
+            flight_dumps: AtomicUsize::new(0),
+            access_log,
         });
         let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
             addr: config.addr.clone(),
@@ -340,6 +491,9 @@ impl Server {
         // connections answer 503.
         self.queue.clear();
         self.join_threads();
+        // Drain dump: the final flight ring is an operator artifact for
+        // post-mortems even on clean shutdowns.
+        self.state.dump_flight("drain");
         if let Some(persister) = &self.state.persister {
             if persister.save_all(&self.state.cache).is_err() {
                 cogent_obs::counter("serve.persist.error", 1);
@@ -393,6 +547,7 @@ fn accept_loop(
                         "too_many_connections",
                         "connection limit reached; retry shortly",
                     )
+                    .with_request_id(&next_request_id())
                     .send(&mut stream);
                     continue;
                 }
@@ -432,13 +587,19 @@ fn handle_connection(
     limits: &ReadLimits,
     worker_count: usize,
 ) {
+    let accepted = Instant::now();
     let capture = Capture::start("serve.conn");
     let response = match http::read_request(stream, limits) {
-        Ok(request) => Some(route(&request, state, queue, worker_count)),
+        Ok(request) => Some(route(&request, state, queue, worker_count, accepted)),
         Err(err) => match err.status() {
             Some((status, reason, code)) => {
                 cogent_obs::counter("serve.http_error", 1);
-                Some(Response::error(status, reason, code, &err.detail()))
+                let id = next_request_id();
+                state.finish_request(
+                    FlightTimeline::start_at(accepted, &id, "http_error"),
+                    status,
+                );
+                Some(Response::error(status, reason, code, &err.detail()).with_request_id(&id))
             }
             // Mid-request disconnect: nobody is listening; just count it.
             None => {
@@ -454,27 +615,95 @@ fn handle_connection(
     let _ = capture.finish();
 }
 
+/// Records the flight timeline for an endpoint answered inline on the
+/// connection thread (no queue hop) and tags the response with the id.
+fn finish_simple(
+    state: &SharedState,
+    accepted: Instant,
+    id: &str,
+    endpoint: &str,
+    response: Response,
+) -> Response {
+    state.finish_request(
+        FlightTimeline::start_at(accepted, id, endpoint),
+        response.status,
+    );
+    response.with_request_id(id)
+}
+
+/// A flight-record endpoint label for a request that never parsed far
+/// enough to know its handler (`/v1/generate` → `generate`).
+fn endpoint_label(path: &str) -> String {
+    let trimmed = path.trim_start_matches("/v1/").trim_matches('/');
+    if trimmed.is_empty() {
+        "unknown".to_string()
+    } else {
+        trimmed.replace('/', "_")
+    }
+}
+
 fn route(
     request: &Request,
     state: &Arc<SharedState>,
     queue: &Arc<JobQueue<Job>>,
     worker_count: usize,
+    accepted: Instant,
 ) -> Response {
+    let id = request_id_of(request);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => healthz(state, queue, worker_count),
-        ("GET", "/metrics") => Response::text(200, "OK", render_prometheus(&metrics_snapshot())),
-        ("GET", _) => Response::error(
-            404,
-            "Not Found",
-            "not_found",
-            "known GET endpoints: /healthz, /metrics",
+        ("GET", "/healthz") => finish_simple(
+            state,
+            accepted,
+            &id,
+            "healthz",
+            healthz(state, queue, worker_count),
         ),
-        ("POST", path) => dispatch(path, &request.body, state, queue, worker_count),
-        (method, _) => Response::error(
-            405,
-            "Method Not Allowed",
+        ("GET", "/metrics") => finish_simple(
+            state,
+            accepted,
+            &id,
+            "metrics",
+            Response::text(200, "OK", render_prometheus(&metrics_snapshot())),
+        ),
+        ("GET", "/v1/debug/flight") => finish_simple(
+            state,
+            accepted,
+            &id,
+            "debug_flight",
+            Response::json(200, "OK", &state.flight.to_json()),
+        ),
+        ("GET", _) => finish_simple(
+            state,
+            accepted,
+            &id,
+            "not_found",
+            Response::error(
+                404,
+                "Not Found",
+                "not_found",
+                "known GET endpoints: /healthz, /metrics, /v1/debug/flight",
+            ),
+        ),
+        ("POST", path) => dispatch(
+            path,
+            &request.body,
+            state,
+            queue,
+            worker_count,
+            accepted,
+            &id,
+        ),
+        (method, _) => finish_simple(
+            state,
+            accepted,
+            &id,
             "method_not_allowed",
-            &format!("method {method:?} not supported; use GET or POST"),
+            Response::error(
+                405,
+                "Method Not Allowed",
+                "method_not_allowed",
+                &format!("method {method:?} not supported; use GET or POST"),
+            ),
         ),
     }
 }
@@ -482,34 +711,50 @@ fn route(
 /// Parses, admits, and awaits one POST job. Parse failures answer 4xx
 /// without consuming a queue slot; admission failures are the explicit
 /// backpressure path.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     path: &str,
     body: &[u8],
     state: &Arc<SharedState>,
     queue: &Arc<JobQueue<Job>>,
     worker_count: usize,
+    accepted: Instant,
+    id: &str,
 ) -> Response {
     if state.draining() {
-        return draining_response();
+        return finish_simple(
+            state,
+            accepted,
+            id,
+            &endpoint_label(path),
+            draining_response(),
+        );
     }
     let (kind, deadline) = match handlers::parse_job(path, body, state) {
         Ok(parsed) => parsed,
         Err(response) => {
             cogent_obs::counter("serve.request.rejected", 1);
-            return response;
+            return finish_simple(state, accepted, id, &endpoint_label(path), response);
         }
     };
     cogent_obs::counter(&format!("serve.request.{}", kind.endpoint()), 1);
+    let mut timeline = FlightTimeline::start_at(accepted, id, kind.endpoint());
+    timeline.mark("queued");
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job {
         kind,
         deadline,
+        enqueued: Instant::now(),
+        timeline,
         reply: reply_tx,
     };
     match queue.try_push(job) {
         Ok(depth) => cogent_obs::gauge("serve.queue_depth", depth as f64),
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(job)) => {
             cogent_obs::counter("serve.backpressure.rejected", 1);
+            let mut timeline = job.timeline;
+            timeline.mark("rejected.queue_full");
+            state.finish_request(timeline, 429);
             return Response::error(
                 429,
                 "Too Many Requests",
@@ -519,19 +764,40 @@ fn dispatch(
             .with_header(
                 "Retry-After",
                 queue.retry_after_secs(worker_count).to_string(),
-            );
+            )
+            .with_request_id(id);
         }
-        Err(PushError::Closed(_)) => return draining_response(),
+        Err(PushError::Closed(job)) => {
+            let mut timeline = job.timeline;
+            timeline.mark("rejected.draining");
+            state.finish_request(timeline, 503);
+            return draining_response().with_request_id(id);
+        }
     }
     // The worker enforces the deadline itself (expired-in-queue jobs
     // answer 504 without running); the grace here only covers a worker
     // wedged inside non-interruptible code.
     let grace = deadline.saturating_duration_since(Instant::now()) + Duration::from_secs(10);
     match reply_rx.recv_timeout(grace) {
+        // The worker tagged the response and finished the timeline.
         Ok(response) => response,
-        Err(mpsc::RecvTimeoutError::Timeout) => handlers::deadline_response(),
+        // The worker still owns the real timeline; an orphan record keeps
+        // the outcome the *client* saw visible in the flight ring.
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            let mut orphan = FlightTimeline::start_at(accepted, id, "reply_timeout");
+            orphan.mark("reply.timeout");
+            let response = handlers::deadline_response().with_request_id(id);
+            state.finish_request(orphan, response.status);
+            response
+        }
         // The job was dropped unanswered (abrupt shutdown).
-        Err(mpsc::RecvTimeoutError::Disconnected) => draining_response(),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            let mut orphan = FlightTimeline::start_at(accepted, id, "reply_dropped");
+            orphan.mark("reply.dropped");
+            let response = draining_response().with_request_id(id);
+            state.finish_request(orphan, response.status);
+            response
+        }
     }
 }
 
@@ -553,10 +819,27 @@ fn healthz(state: &Arc<SharedState>, queue: &Arc<JobQueue<Job>>, worker_count: u
             Json::Str(if draining { "draining" } else { "ok" }.to_string()),
         ),
         (
+            "uptime_s",
+            Json::UInt(u128::from(state.started.elapsed().as_secs())),
+        ),
+        ("version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+        (
+            "cores_visible",
+            Json::UInt(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as u128,
+            ),
+        ),
+        (
             "queue",
             Json::obj([
                 ("depth", Json::UInt(queue.len() as u128)),
                 ("capacity", Json::UInt(queue.capacity() as u128)),
+                (
+                    "wait_ewma_ns",
+                    Json::UInt(u128::from(queue.queue_wait_ewma_ns())),
+                ),
             ]),
         ),
         ("workers", Json::UInt(worker_count as u128)),
@@ -594,17 +877,29 @@ fn worker_loop(queue: &Arc<JobQueue<Job>>, state: &Arc<SharedState>) {
     while let Some(job) = queue.pop() {
         let started = Instant::now();
         let capture = Capture::start("serve.job");
-        let response = if Instant::now() >= job.deadline {
+        let Job {
+            kind,
+            deadline,
+            enqueued,
+            mut timeline,
+            reply,
+        } = job;
+        let wait = started.duration_since(enqueued);
+        queue.record_queue_wait(wait);
+        timeline.set_queue_wait_ns(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+        timeline.mark("started");
+        let mut panicked = false;
+        let response = if started >= deadline {
             cogent_obs::counter("serve.deadline.queued_expired", 1);
+            timeline.mark("deadline.queued_expired");
             handlers::deadline_response()
         } else {
-            let kind = &job.kind;
-            let deadline = job.deadline;
             match catch_unwind(AssertUnwindSafe(|| {
-                handlers::execute(kind, deadline, state)
+                handlers::execute(&kind, deadline, state, &mut timeline)
             })) {
                 Ok(response) => response,
                 Err(_) => {
+                    panicked = true;
                     cogent_obs::counter("serve.worker_panic", 1);
                     Response::error(
                         500,
@@ -616,11 +911,22 @@ fn worker_loop(queue: &Arc<JobQueue<Job>>, state: &Arc<SharedState>) {
                 }
             }
         };
+        if panicked {
+            timeline.mark("panic");
+        }
         cogent_obs::histogram("serve.latency_ns", started.elapsed().as_nanos());
         queue.record_latency(started.elapsed());
+        let response = response.with_request_id(timeline.id());
+        let status = response.status;
         // The connection may have given up (timeout / disconnect); an
         // unreceived reply is not an error.
-        let _ = job.reply.send(response);
+        let _ = reply.send(response);
+        state.finish_request(timeline, status);
+        if panicked {
+            // After finish_request, so the dump contains this request's
+            // own record with its panic-marked timeline.
+            state.dump_flight("panic");
+        }
         let _ = capture.finish();
     }
 }
@@ -683,11 +989,16 @@ mod tests {
         Server::spawn(config).expect("server spawns")
     }
 
-    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    fn request_full(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw.as_bytes()).expect("write");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let response = request_full(addr, raw);
         let status: u16 = response
             .split_whitespace()
             .nth(1)
@@ -717,6 +1028,13 @@ mod tests {
         let (status, body) = request(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"uptime_s\":"), "{body}");
+        assert!(
+            body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{body}"
+        );
+        assert!(body.contains("\"cores_visible\":"), "{body}");
+        assert!(body.contains("\"wait_ewma_ns\":"), "{body}");
 
         let (status, body) = post(
             addr,
@@ -735,7 +1053,59 @@ mod tests {
 
         let (status, metrics) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
         assert_eq!(status, 200);
-        assert!(metrics.contains("serve.request.generate"), "{metrics}");
+        assert!(
+            metrics.contains("cogent_serve_request_generate_total"),
+            "{metrics}"
+        );
+        if !cogent_obs::STRIPPED {
+            assert!(
+                metrics.contains("cogent_serve_endpoint_generate_latency_ns"),
+                "{metrics}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_ids_echo_and_the_flight_ring_round_trips() {
+        let server = spawn_test_server(|_| {});
+        let addr = server.addr();
+        let body = r#"{"contraction":"ij-ik-kj","uniform":8}"#;
+        let full = request_full(
+            addr,
+            &format!(
+                "POST /v1/generate HTTP/1.1\r\nHost: t\r\nX-Request-Id: test-abc-1\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(full.starts_with("HTTP/1.1 200"), "{full}");
+        assert!(full.contains("X-Request-Id: test-abc-1"), "{full}");
+
+        // A generated fallback id appears when the client sends none.
+        let full = request_full(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(full.contains("X-Request-Id: req-"), "{full}");
+
+        if cogent_obs::STRIPPED {
+            server.shutdown();
+            return;
+        }
+        let (status, dump) = request(addr, "GET /v1/debug/flight HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        let records = cogent_obs::flight::parse_dump(&dump).expect("valid flight schema");
+        let record = records
+            .iter()
+            .find(|r| r.id == "test-abc-1")
+            .expect("the generate request is in the ring");
+        assert_eq!(record.endpoint, "generate");
+        assert_eq!(record.status, 200);
+        for label in ["accepted", "queued", "started", "responded"] {
+            assert!(
+                record.events.iter().any(|e| e.label == label),
+                "timeline missing {label:?}: {:?}",
+                record.events
+            );
+        }
         server.shutdown();
     }
 

@@ -34,6 +34,8 @@ pub struct JobQueue<T> {
     /// EWMA of job service latency, nanoseconds (atomic so workers update
     /// it without the queue lock).
     ewma_ns: AtomicU64,
+    /// EWMA of admission-queue wait, nanoseconds (same smoothing).
+    wait_ewma_ns: AtomicU64,
 }
 
 impl<T> JobQueue<T> {
@@ -47,6 +49,7 @@ impl<T> JobQueue<T> {
             takeable: Condvar::new(),
             capacity: capacity.max(1),
             ewma_ns: AtomicU64::new(0),
+            wait_ewma_ns: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +147,24 @@ impl<T> JobQueue<T> {
         self.ewma_ns.store(next, Ordering::Relaxed);
     }
 
+    /// Folds one observed admission-queue wait into its EWMA (α = 1/8).
+    pub fn record_queue_wait(&self, wait: Duration) {
+        let sample = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        let prev = self.wait_ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample
+        } else {
+            prev - prev / 8 + sample / 8
+        };
+        self.wait_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// The smoothed admission-queue wait, nanoseconds (0 before any
+    /// sample). Exposed through `/healthz` for operators.
+    pub fn queue_wait_ewma_ns(&self) -> u64 {
+        self.wait_ewma_ns.load(Ordering::Relaxed)
+    }
+
     /// Honest `Retry-After` estimate when the queue is full: the time for
     /// `workers` to drain the current backlog at the observed service
     /// rate, rounded up to at least one second.
@@ -213,5 +234,16 @@ mod tests {
             q.record_latency(Duration::from_millis(10));
         }
         assert!(q.retry_after_secs(2) < estimate);
+    }
+
+    #[test]
+    fn queue_wait_ewma_smooths_samples() {
+        let q = JobQueue::<u32>::new(2);
+        assert_eq!(q.queue_wait_ewma_ns(), 0, "no samples yet");
+        q.record_queue_wait(Duration::from_millis(8));
+        assert_eq!(q.queue_wait_ewma_ns(), 8_000_000, "first sample seeds");
+        q.record_queue_wait(Duration::from_millis(0));
+        let after = q.queue_wait_ewma_ns();
+        assert!((6_000_000..8_000_000).contains(&after), "{after}");
     }
 }

@@ -468,6 +468,149 @@ fn tight_deadline_degrades_to_a_truncated_search_not_an_error() {
     server.shutdown();
 }
 
+/// Like [`post`], but with a client-chosen `X-Request-Id`; returns
+/// (status, body, full response text) so headers are assertable.
+fn post_with_id(addr: SocketAddr, path: &str, id: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nX-Request-Id: {id}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let mut buffer = Vec::new();
+    let _ = stream.read_to_end(&mut buffer);
+    let full = String::from_utf8_lossy(&buffer).to_string();
+    let (status, body) = parse_response(&full);
+    (status, body, full)
+}
+
+#[test]
+fn worker_panic_dumps_a_flight_recording_with_the_failing_request() {
+    if cogent_obs::STRIPPED {
+        return;
+    }
+    let dir = TempDir::new("flight-panic");
+    let server = Server::spawn(ServeConfig {
+        flight_dir: Some(dir.path().to_path_buf()),
+        ..chaos_config()
+    })
+    .expect("spawn");
+    let addr = server.addr();
+
+    let (status, body, full) = post_with_id(
+        addr,
+        "/v1/generate",
+        "chaos-panic-7",
+        r#"{"contraction":"ij-ik-kj","uniform":8,"inject":"panic"}"#,
+    );
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("worker_panic"), "{body}");
+    assert!(
+        body.contains("\"request_id\":\"chaos-panic-7\""),
+        "the 500 envelope must carry the request id: {body}"
+    );
+    assert!(full.contains("X-Request-Id: chaos-panic-7"), "{full}");
+
+    // The dump is written on the worker thread right after the reply;
+    // give it a moment to land.
+    std::thread::sleep(Duration::from_millis(300));
+    let dump_path = std::fs::read_dir(dir.path())
+        .expect("read_dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-panic-") && n.ends_with(".json"))
+        })
+        .expect("a panic must produce a flight dump");
+    let text = std::fs::read_to_string(&dump_path).expect("read dump");
+    let records = cogent_obs::flight::parse_dump(&text).expect("valid cogent.flight.v1 dump");
+    let record = records
+        .iter()
+        .find(|r| r.id == "chaos-panic-7")
+        .expect("the failing request is in the dump");
+    assert_eq!(record.status, 500);
+    assert_eq!(record.endpoint, "generate");
+    for label in ["accepted", "queued", "started", "panic", "responded"] {
+        assert!(
+            record.events.iter().any(|e| e.label == label),
+            "panic timeline missing {label:?}: {:?}",
+            record.events
+        );
+    }
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_echo_through_429_504_and_500() {
+    let server = Server::spawn(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..chaos_config()
+    })
+    .expect("spawn");
+    let addr = server.addr();
+
+    // 500: injected panic.
+    let (status, body, full) = post_with_id(
+        addr,
+        "/v1/generate",
+        "chaos-id-500",
+        r#"{"contraction":"ij-ik-kj","uniform":8,"inject":"panic"}"#,
+    );
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("\"request_id\":\"chaos-id-500\""), "{body}");
+    assert!(full.contains("X-Request-Id: chaos-id-500"), "{full}");
+
+    // 504: the injected stall outlives the deadline.
+    let (status, body, full) = post_with_id(
+        addr,
+        "/v1/generate",
+        "chaos-id-504",
+        r#"{"contraction":"ij-ik-kj","uniform":8,"deadline_ms":100,"inject":{"stall_ms":400}}"#,
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"request_id\":\"chaos-id-504\""), "{body}");
+    assert!(full.contains("X-Request-Id: chaos-id-504"), "{full}");
+
+    // 429: stall the lone worker, fill the one queue slot, then knock.
+    let stall = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/generate",
+            r#"{"contraction":"ij-ik-kj","uniform":8,"inject":{"stall_ms":1500}}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let filler = std::thread::spawn(move || {
+        post(
+            addr,
+            "/v1/generate",
+            r#"{"contraction":"ij-ik-kj","uniform":8,"inject":{"stall_ms":100}}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let (status, body, full) = post_with_id(
+        addr,
+        "/v1/generate",
+        "chaos-id-429",
+        r#"{"contraction":"abc-bda-dc","uniform":8}"#,
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"request_id\":\"chaos-id-429\""), "{body}");
+    assert!(full.contains("X-Request-Id: chaos-id-429"), "{full}");
+    let _ = stall.join();
+    let _ = filler.join();
+
+    assert_healthy(addr);
+    server.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_drains_and_then_refuses() {
     let server = Server::spawn(chaos_config()).expect("spawn");

@@ -61,6 +61,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;

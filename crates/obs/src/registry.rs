@@ -261,13 +261,28 @@ pub fn threads_seen() -> u64 {
     THREADS_SEEN.load(Ordering::Relaxed)
 }
 
-/// Escapes a Prometheus label value (backslash, double quote, newline).
-fn escape_label(value: &str) -> String {
+/// Maps a dotted internal metric name (`serve.queue_depth`) onto the
+/// Prometheus name charset `[a-zA-Z0-9_:]`; every other character
+/// becomes `_`. An empty name renders as a single `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_string();
+    }
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Escapes a `# HELP` docstring (backslash and newline, per the text
+/// exposition format).
+fn escape_help(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
             '\n' => out.push_str("\\n"),
             _ => out.push(c),
         }
@@ -275,53 +290,85 @@ fn escape_label(value: &str) -> String {
     out
 }
 
+/// Groups metrics by their sanitized family name. Distinct internal
+/// names that collide after sanitization merge into one family (the
+/// HELP line lists every source name), so the rendering stays valid for
+/// strict parsers no matter what was recorded.
+fn families<'a, V>(
+    metrics: impl IntoIterator<Item = (&'a String, V)>,
+    suffix: &str,
+) -> BTreeMap<String, (Vec<&'a str>, Vec<V>)> {
+    let mut grouped: BTreeMap<String, (Vec<&'a str>, Vec<V>)> = BTreeMap::new();
+    for (name, value) in metrics {
+        let family = format!("cogent_{}{suffix}", sanitize_metric_name(name));
+        let entry = grouped.entry(family).or_default();
+        entry.0.push(name);
+        entry.1.push(value);
+    }
+    grouped
+}
+
 /// Renders a snapshot in the Prometheus text exposition format (v0.0.4).
-/// Metric names become the `metric` label of three families
-/// (`cogent_counter`, `cogent_gauge`, `cogent_histogram`); histograms
-/// expose `_sum`, `_count` and nearest-rank quantiles. Deterministic:
-/// families and metrics are emitted in sorted order.
+/// Each internal metric becomes its own family with `# HELP` / `# TYPE`
+/// lines and a name sanitized to `[a-zA-Z0-9_:]` (counters get a
+/// `_total` suffix); histograms render as summaries with nearest-rank
+/// quantiles plus `_sum` / `_count`. Deterministic: families are emitted
+/// in sorted order and collisions after sanitization merge losslessly.
 pub fn render_prometheus(snapshot: &MetricsShard) -> String {
     let mut out = String::new();
-    out.push_str("# cogent.stats.v1 — merged process-wide metrics\n");
-    out.push_str("# TYPE cogent_counter counter\n");
-    for (name, value) in &snapshot.counters {
+    out.push_str(
+        "# cogent.stats.v2 — merged process-wide metrics (Prometheus text format v0.0.4)\n",
+    );
+    for (family, (sources, values)) in families(&snapshot.counters, "_total") {
         out.push_str(&format!(
-            "cogent_counter{{metric=\"{}\"}} {value}\n",
-            escape_label(name)
+            "# HELP {family} Counter {} (merged across threads).\n",
+            escape_help(&sources.join(", "))
         ));
+        out.push_str(&format!("# TYPE {family} counter\n"));
+        let total: u128 = values.iter().copied().sum();
+        out.push_str(&format!("{family} {total}\n"));
     }
-    out.push_str("# TYPE cogent_gauge gauge\n");
-    for (name, &(_, value)) in &snapshot.gauges {
+    for (family, (sources, values)) in families(&snapshot.gauges, "") {
         out.push_str(&format!(
-            "cogent_gauge{{metric=\"{}\"}} {value}\n",
-            escape_label(name)
+            "# HELP {family} Gauge {} (last writer wins).\n",
+            escape_help(&sources.join(", "))
         ));
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        // Colliding gauges resolve exactly like a shard merge would:
+        // highest (sequence, bit-pattern) write wins.
+        if let Some(&&(_, value)) = values
+            .iter()
+            .max_by_key(|&&&(seq, value)| (seq, value.to_bits()))
+        {
+            out.push_str(&format!("{family} {value}\n"));
+        }
     }
-    out.push_str("# TYPE cogent_histogram summary\n");
-    for (name, histogram) in &snapshot.histograms {
-        let label = escape_label(name);
+    for (family, (sources, values)) in families(&snapshot.histograms, "") {
+        out.push_str(&format!(
+            "# HELP {family} Histogram {} (log-bucketed; nearest-rank quantiles).\n",
+            escape_help(&sources.join(", "))
+        ));
+        out.push_str(&format!("# TYPE {family} summary\n"));
+        let mut merged = Histogram::new();
+        for histogram in values {
+            merged.merge(histogram);
+        }
         for (q, value) in [
-            ("0.5", histogram.p50()),
-            ("0.9", histogram.p90()),
-            ("0.99", histogram.p99()),
+            ("0.5", merged.p50()),
+            ("0.9", merged.p90()),
+            ("0.99", merged.p99()),
         ] {
             if let Some(v) = value {
-                out.push_str(&format!(
-                    "cogent_histogram{{metric=\"{label}\",quantile=\"{q}\"}} {v}\n"
-                ));
+                out.push_str(&format!("{family}{{quantile=\"{q}\"}} {v}\n"));
             }
         }
-        out.push_str(&format!(
-            "cogent_histogram_sum{{metric=\"{label}\"}} {}\n",
-            histogram.sum()
-        ));
-        out.push_str(&format!(
-            "cogent_histogram_count{{metric=\"{label}\"}} {}\n",
-            histogram.count()
-        ));
+        out.push_str(&format!("{family}_sum {}\n", merged.sum()));
+        out.push_str(&format!("{family}_count {}\n", merged.count()));
     }
+    out.push_str("# HELP cogent_spans_closed Spans folded into the metric registry.\n");
     out.push_str("# TYPE cogent_spans_closed counter\n");
     out.push_str(&format!("cogent_spans_closed {}\n", snapshot.spans_closed));
+    out.push_str("# HELP cogent_threads_seen Threads that ever registered a metric shard.\n");
     out.push_str("# TYPE cogent_threads_seen counter\n");
     out.push_str(&format!("cogent_threads_seen {}\n", threads_seen()));
     out
@@ -398,19 +445,51 @@ mod tests {
     fn prometheus_rendering_is_deterministic_and_escaped() {
         let mut shard = MetricsShard::new();
         shard.add_counter("cache.hit", 12);
-        shard.add_counter("weird\"name\\x", 1);
         shard.set_gauge_seq("audit.spearman", 7, 0.9375);
         shard.record_histogram("lat_ns", 100);
         shard.record_histogram("lat_ns", 200);
         shard.spans_closed = 5;
         let text = render_prometheus(&shard);
-        assert!(text.contains("cogent_counter{metric=\"cache.hit\"} 12\n"));
-        assert!(text.contains("cogent_counter{metric=\"weird\\\"name\\\\x\"} 1\n"));
-        assert!(text.contains("cogent_gauge{metric=\"audit.spearman\"} 0.9375\n"));
-        assert!(text.contains("cogent_histogram_count{metric=\"lat_ns\"} 2\n"));
-        assert!(text.contains("cogent_histogram_sum{metric=\"lat_ns\"} 300\n"));
-        assert!(text.contains("cogent_histogram{metric=\"lat_ns\",quantile=\"0.5\"}"));
+        assert!(text.contains("# HELP cogent_cache_hit_total Counter cache.hit"));
+        assert!(text.contains("# TYPE cogent_cache_hit_total counter\n"));
+        assert!(text.contains("cogent_cache_hit_total 12\n"));
+        assert!(text.contains("# TYPE cogent_audit_spearman gauge\n"));
+        assert!(text.contains("cogent_audit_spearman 0.9375\n"));
+        assert!(text.contains("# TYPE cogent_lat_ns summary\n"));
+        assert!(text.contains("cogent_lat_ns_count 2\n"));
+        assert!(text.contains("cogent_lat_ns_sum 300\n"));
+        assert!(text.contains("cogent_lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE cogent_spans_closed counter\n"));
         assert!(text.contains("cogent_spans_closed 5\n"));
         assert_eq!(text, render_prometheus(&shard), "stable output");
+    }
+
+    #[test]
+    fn prometheus_names_stay_inside_the_charset() {
+        let mut shard = MetricsShard::new();
+        shard.add_counter("weird\"name\\x", 1);
+        shard.add_counter("weird name x", 2); // collides after sanitizing
+        shard.add_counter("serve.status.200", 3);
+        shard.set_gauge_seq("Ünïcode metric", 1, 1.5);
+        shard.record_histogram("latency (ns)", 10);
+        let text = render_prometheus(&shard);
+        // Every exposed metric name uses only [a-zA-Z0-9_:] — check each
+        // non-comment line up to the first '{' or ' '.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name: &str = line.split(['{', ' ']).next().unwrap_or(line);
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in line {line:?}"
+            );
+        }
+        // Colliding names merge into one counter family and add up.
+        assert!(text.contains("cogent_weird_name_x_total 3\n"));
+        assert!(text
+            .contains("# HELP cogent_weird_name_x_total Counter weird name x, weird\"name\\\\x"));
+        assert!(text.contains("cogent_serve_status_200_total 3\n"));
+        assert!(text.contains("cogent__n_code_metric 1.5\n"));
+        assert!(text.contains("cogent_latency__ns__count 1\n"));
+        assert_eq!(sanitize_metric_name(""), "_");
     }
 }

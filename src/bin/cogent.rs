@@ -139,6 +139,9 @@ const USAGE: &str = "usage:
   cogent serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                   [--max-conns N] [--deadline-ms N] [--max-deadline-ms N]
                   [--cache-dir DIR] [--allow-fault-injection]
+                  [--slow-threshold-ms N] [--flight-dir DIR]
+                  [--access-log FILE|-]
+  cogent flight   <dump.json> [--top N]
 
 every command also accepts --trace-out FILE to write its pipeline trace
 as cogent.trace.v3 JSON (\"-\" prints the stderr tree instead)
@@ -164,6 +167,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "audit" => cmd_audit(rest),
         "suite" => cmd_suite(rest),
         "serve" => cmd_serve(rest),
+        "flight" => cmd_flight(rest),
         other => Err(CliError::runtime(format!("unknown command {other:?}"))),
     }
 }
@@ -402,6 +406,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--deadline-ms",
     "--max-deadline-ms",
     "--cache-dir",
+    "--slow-threshold-ms",
+    "--flight-dir",
+    "--access-log",
 ];
 
 /// Short tag for a suite entry's group, as `--group` accepts it.
@@ -920,6 +927,15 @@ fn parse_serve_config(args: &[String]) -> Result<cogent::generator::ServeConfig,
     if has_flag(args, "--allow-fault-injection") {
         config.allow_fault_injection = true;
     }
+    if let Some(ms) = positive("--slow-threshold-ms")? {
+        config.slow_threshold = std::time::Duration::from_millis(ms as u64);
+    }
+    if let Some(dir) = flag_value(args, "--flight-dir") {
+        config.flight_dir = Some(dir.into());
+    }
+    if let Some(dest) = flag_value(args, "--access-log") {
+        config.access_log = Some(dest.into());
+    }
     Ok(config)
 }
 
@@ -928,6 +944,82 @@ fn parse_serve_config(args: &[String]) -> Result<cogent::generator::ServeConfig,
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let config = parse_serve_config(args)?;
     cogent::generator::serve::run(config).map_err(|e| CliError::runtime(format!("{e}")))
+}
+
+/// Analyzes a `cogent.flight.v1` dump (from `--flight-dir` or
+/// `GET /v1/debug/flight`): tables the slowest requests with phase
+/// attribution, then merges every timeline into one phase profile.
+fn cmd_flight(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or_else(|| CliError::usage("missing flight dump argument"))?;
+    let top: usize = match flag_value(args, "--top") {
+        None => 10,
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| CliError::usage(format!("bad --top value {raw:?}")))?,
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let mut records = cogent::obs::flight::parse_dump(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    if records.is_empty() {
+        println!("flight dump {path}: no recorded requests");
+        return Ok(());
+    }
+    records.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+
+    println!("flight dump {path}: {} request(s)", records.len());
+    println!();
+    println!(
+        "{:<24} {:>4} {:<10} {:>12} {:>12} {:>12}  {:<5} slowest phase",
+        "id", "code", "endpoint", "total_ms", "queue_ms", "search_ms", "cache"
+    );
+    for record in records.iter().take(top) {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let profile = cogent::obs::profile::PhaseProfile::from_trace(&record.to_trace());
+        let slowest = profile
+            .phases
+            .iter()
+            .max_by_key(|p| p.total_ns)
+            .map(|p| format!("{} ({:.1}ms)", p.name, p.total_ns as f64 / 1e6))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<24} {:>4} {:<10} {:>12.2} {:>12.2} {:>12.2}  {:<5} {}",
+            record.id,
+            record.status,
+            record.endpoint,
+            ms(record.total_ns),
+            ms(record.queue_wait_ns),
+            ms(record.search_ns),
+            record.cache,
+            slowest
+        );
+    }
+    if records.len() > top {
+        println!("... {} more (raise --top to see them)", records.len() - top);
+    }
+
+    let mut merged: Option<cogent::obs::profile::PhaseProfile> = None;
+    for record in &records {
+        let profile = cogent::obs::profile::PhaseProfile::from_trace(&record.to_trace());
+        match &mut merged {
+            None => merged = Some(profile),
+            Some(acc) => acc.merge(&profile),
+        }
+    }
+    if let Some(merged) = merged {
+        println!();
+        println!(
+            "--- merged phase attribution ({} requests) ---",
+            records.len()
+        );
+        print!("{}", merged.render_table());
+    }
+    Ok(())
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), CliError> {
@@ -1074,16 +1166,75 @@ mod tests {
     }
 
     #[test]
+    fn serve_config_parses_flight_flags() {
+        let config = parse_serve_config(&s(&[
+            "--slow-threshold-ms",
+            "250",
+            "--flight-dir",
+            "/tmp/flight",
+            "--access-log",
+            "-",
+        ]))
+        .unwrap();
+        assert_eq!(config.slow_threshold, std::time::Duration::from_millis(250));
+        assert_eq!(
+            config.flight_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/flight"))
+        );
+        assert_eq!(
+            config.access_log.as_deref(),
+            Some(std::path::Path::new("-"))
+        );
+
+        let defaults = parse_serve_config(&s(&[])).unwrap();
+        assert!(defaults.flight_dir.is_none());
+        assert!(defaults.access_log.is_none());
+    }
+
+    #[test]
     fn serve_config_rejects_bad_flags() {
         for bad in [
             &["--workers", "0"][..],
             &["--workers", "two"],
             &["--queue-depth", "-1"],
             &["--deadline-ms", "soon"],
+            &["--slow-threshold-ms", "0"],
         ] {
             let e = parse_serve_config(&s(bad)).unwrap_err();
             assert_eq!(e.exit, 2, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn flight_command_analyzes_a_dump() {
+        use cogent::obs::flight::{FlightRecorder, FlightTimeline};
+        if cogent::obs::STRIPPED {
+            return;
+        }
+        let recorder = FlightRecorder::new(8);
+        for (id, endpoint) in [("req-a", "generate"), ("req-b", "explain")] {
+            let mut timeline = FlightTimeline::start(id, endpoint);
+            timeline.mark("queued");
+            timeline.mark("started");
+            recorder.record(timeline.finish(200));
+        }
+        let mut text = String::new();
+        recorder.to_json().write(&mut text);
+        let path = std::env::temp_dir().join("cogent_flight_cli_test.json");
+        std::fs::write(&path, &text).unwrap();
+        let path_s = path.to_str().unwrap().to_string();
+
+        assert!(cmd_flight(&s(&[&path_s])).is_ok());
+        assert!(cmd_flight(&s(&[&path_s, "--top", "1"])).is_ok());
+        let e = cmd_flight(&s(&[&path_s, "--top", "0"])).unwrap_err();
+        assert_eq!(e.exit, 2);
+
+        std::fs::write(&path, "{\"schema\":\"bogus\"}").unwrap();
+        assert!(cmd_flight(&s(&[&path_s])).is_err());
+        let _ = std::fs::remove_file(&path);
+
+        let e = cmd_flight(&s(&[])).unwrap_err();
+        assert_eq!(e.exit, 2, "missing dump argument is a usage error");
     }
 
     #[test]
