@@ -10,7 +10,7 @@ use cogent_ir::transform::merge_all;
 use cogent_ir::{Contraction, IndexName, SizeMap};
 
 use crate::cache::{CacheKey, KernelCache};
-use crate::codegen::{emit_opencl_kernel, emit_source};
+use crate::codegen::{emit_driver, lower_with_passes, print_backend, Backend, PassConfig};
 use crate::config::KernelConfig;
 use crate::guard::{
     divergence_check, naive_config, naive_plan, record_violations, validate_generated, CogentError,
@@ -59,6 +59,7 @@ pub struct Cogent {
     store_mode: StoreMode,
     verify_numeric: bool,
     divergence_tolerance: f64,
+    passes: PassConfig,
     cache: Option<Arc<KernelCache>>,
 }
 
@@ -80,6 +81,7 @@ impl Cogent {
             store_mode: StoreMode::Assign,
             verify_numeric: false,
             divergence_tolerance: 1e-8,
+            passes: PassConfig::None,
             cache: None,
         }
     }
@@ -134,6 +136,21 @@ impl Cogent {
         self
     }
 
+    /// Selects the KIR optimization-pass pipeline applied between
+    /// lowering and emission (default [`PassConfig::None`], which keeps
+    /// the emitted kernels byte-identical to the baseline generator).
+    /// Applied passes are recorded in
+    /// [`GeneratedKernel::provenance`]`.passes`.
+    pub fn passes(mut self, passes: PassConfig) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// The configured pass pipeline.
+    pub fn pass_config(&self) -> &PassConfig {
+        &self.passes
+    }
+
     /// Attaches a kernel cache. `generate` consults it before searching
     /// and stores fresh results in it; a warm hit skips the entire
     /// pipeline. The cache is behind an [`Arc`], so several generators
@@ -162,7 +179,7 @@ impl Cogent {
     /// cache entries.
     pub fn options_fingerprint(&self) -> String {
         format!(
-            "enum={:?};rules={:?};top_k={};max_configs={};time_budget={:?};refine_top={};store={:?};verify={};tol={:e}",
+            "enum={:?};rules={:?};top_k={};max_configs={};time_budget={:?};refine_top={};store={:?};verify={};tol={:e};passes={}",
             self.options.enumeration,
             self.options.rules,
             self.options.top_k,
@@ -172,6 +189,7 @@ impl Cogent {
             self.store_mode,
             self.verify_numeric,
             self.divergence_tolerance,
+            self.passes.fingerprint(),
         )
     }
 
@@ -416,19 +434,30 @@ impl Cogent {
                 u128::from(source == PlanSource::NaiveFallback),
             );
         }
+        let (cuda_source, opencl_source, applied_passes) = {
+            let _span = cogent_obs::span("codegen");
+            // Lower once, run the configured pass pipeline once, and print
+            // every dialect from the same transformed tree. With
+            // `PassConfig::None` this is byte-identical to the baseline
+            // emitters.
+            let (prog, applied) = lower_with_passes(&plan, self.precision, &self.passes)?;
+            let cuda = format!(
+                "{}\n{}",
+                print_backend(&prog, self.precision, Backend::Cuda),
+                emit_driver(&plan, self.precision)
+            );
+            let opencl = print_backend(&prog, self.precision, Backend::OpenCl);
+            cogent_obs::counter("codegen.cuda_lines", cuda.lines().count() as u128);
+            cogent_obs::counter("codegen.cuda_bytes", cuda.len() as u128);
+            cogent_obs::counter("codegen.opencl_bytes", opencl.len() as u128);
+            cogent_obs::counter("codegen.passes_applied", applied.len() as u128);
+            (cuda, opencl, applied)
+        };
         let provenance = Provenance {
             source,
             rejected,
             numeric_verified,
-        };
-
-        let (cuda_source, opencl_source) = {
-            let _span = cogent_obs::span("codegen");
-            let cuda = emit_source(&plan, self.precision);
-            let opencl = emit_opencl_kernel(&plan, self.precision);
-            cogent_obs::counter("codegen.cuda_bytes", cuda.len() as u128);
-            cogent_obs::counter("codegen.opencl_bytes", opencl.len() as u128);
-            (cuda, opencl)
+            passes: applied_passes,
         };
         Ok(GeneratedKernel {
             contraction: outcome.contraction.clone(),

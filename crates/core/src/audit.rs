@@ -29,11 +29,14 @@
 use std::time::Instant;
 
 use cogent_gpu_model::{GpuDevice, Precision};
+use cogent_gpu_sim::plan::KernelPlan;
 use cogent_gpu_sim::{trace_transactions, TraceOptions, TraceReport};
 use cogent_ir::{Contraction, SizeMap};
+use cogent_kir::{estimate_traffic, TrafficReport};
 use cogent_obs::json::Json;
 use cogent_obs::metrics::Histogram;
 
+use crate::codegen::{lower_with_passes, PassConfig};
 use crate::cost::CostBreakdown;
 use crate::guard::CogentError;
 use crate::select::{search, SearchOptions};
@@ -85,6 +88,48 @@ impl ConfigAudit {
     }
 }
 
+/// Predicted memory-system effect of the default KIR pass pipeline on
+/// the model's pick, from the [`cogent_kir::estimate_traffic`] warp-level
+/// traffic model: the baseline lowering vs. the same plan after
+/// `vectorize-loads`, `smem-pad`, `double-buffer`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTraffic {
+    /// Passes that actually applied to the pick, in order.
+    pub passes: Vec<String>,
+    /// Traffic of the baseline (passes-off) lowering.
+    pub before: TrafficReport,
+    /// Traffic after the default pipeline.
+    pub after: TrafficReport,
+}
+
+impl PassTraffic {
+    /// Did the pipeline strictly reduce global-memory warp requests?
+    pub fn improved(&self) -> bool {
+        self.after.global_requests < self.before.global_requests
+    }
+
+    /// Did the pipeline *increase* global-memory warp requests? (A
+    /// correct pipeline never should; the audit surfaces it if one does.)
+    pub fn regressed(&self) -> bool {
+        self.after.global_requests > self.before.global_requests
+    }
+}
+
+/// Runs the traffic estimator on the model pick's plan, baseline vs.
+/// default pipeline. `None` when either lowering or estimate fails —
+/// the audit's fidelity metrics are still valid without it.
+fn pass_traffic(plan: &KernelPlan, precision: Precision) -> Option<PassTraffic> {
+    let (baseline, _) = lower_with_passes(plan, precision, &PassConfig::None).ok()?;
+    let before = estimate_traffic(&baseline).ok()?;
+    let (optimized, passes) = lower_with_passes(plan, precision, &PassConfig::Default).ok()?;
+    let after = estimate_traffic(&optimized).ok()?;
+    Some(PassTraffic {
+        passes,
+        before,
+        after,
+    })
+}
+
 /// Audit results for one contraction.
 #[derive(Debug, Clone)]
 pub struct ContractionAudit {
@@ -105,6 +150,9 @@ pub struct ContractionAudit {
     pub search_latency_ns: u64,
     /// Wall-clock time of the whole audit (search + tracing).
     pub audit_latency_ns: u64,
+    /// Predicted effect of the default KIR pass pipeline on the model's
+    /// pick (`None` when the estimator declined the plan).
+    pub pass_traffic: Option<PassTraffic>,
 }
 
 /// Spearman rank correlation between two paired samples, with
@@ -191,11 +239,15 @@ pub fn audit_contraction(
     }
     let mut configs = Vec::new();
     let mut rel_error_ppm = Histogram::new();
+    let mut traffic = None;
     for (model_rank, ranked) in outcome.ranked.iter().take(options.top_k).enumerate() {
         let plan = ranked
             .config
             .lower(&outcome.contraction, sizes)
             .map_err(CogentError::Plan)?;
+        if model_rank == 0 {
+            traffic = pass_traffic(&plan, precision);
+        }
         let measured = {
             // Separately spanned so `cogent profile` can split an audit's
             // wall time between the search and the simulator re-measure.
@@ -230,6 +282,7 @@ pub fn audit_contraction(
         rel_error_ppm,
         search_latency_ns,
         audit_latency_ns: started.elapsed().as_nanos() as u64,
+        pass_traffic: traffic,
     })
 }
 
@@ -252,6 +305,12 @@ pub struct AuditReport {
     pub rel_error_ppm: Histogram,
     /// Sum of per-contraction search latencies.
     pub total_search_latency_ns: u64,
+    /// Contractions where the default pass pipeline strictly reduced
+    /// predicted global-memory requests on the model pick.
+    pub traffic_improved: usize,
+    /// Contractions where the pipeline *increased* predicted requests
+    /// (should always be 0; surfaced so a bad pass is loud).
+    pub traffic_regressed: usize,
 }
 
 impl AuditReport {
@@ -282,6 +341,14 @@ impl AuditReport {
             rel_error_ppm.merge(&c.rel_error_ppm);
         }
         let total_search_latency_ns = contractions.iter().map(|c| c.search_latency_ns).sum();
+        let traffic_improved = contractions
+            .iter()
+            .filter(|c| c.pass_traffic.as_ref().is_some_and(PassTraffic::improved))
+            .count();
+        let traffic_regressed = contractions
+            .iter()
+            .filter(|c| c.pass_traffic.as_ref().is_some_and(PassTraffic::regressed))
+            .count();
         Self {
             top_k,
             contractions,
@@ -291,6 +358,8 @@ impl AuditReport {
             max_regret,
             rel_error_ppm,
             total_search_latency_ns,
+            traffic_improved,
+            traffic_regressed,
         }
     }
 
@@ -316,6 +385,13 @@ impl AuditReport {
                         "total_search_latency_ns",
                         Json::from(self.total_search_latency_ns),
                     ),
+                    (
+                        "pass_traffic",
+                        Json::obj([
+                            ("improved", Json::from(self.traffic_improved)),
+                            ("regressed", Json::from(self.traffic_regressed)),
+                        ]),
+                    ),
                 ]),
             ),
         ])
@@ -325,7 +401,7 @@ impl AuditReport {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:>5} {:>9} {:>8} {:>12} {:>12} {:>12} {:>10}\n",
+            "{:<24} {:>5} {:>9} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}\n",
             "contraction",
             "k",
             "spearman",
@@ -333,11 +409,12 @@ impl AuditReport {
             "relerr p50",
             "relerr p90",
             "relerr p99",
-            "search"
+            "search",
+            "Δreq"
         ));
         for c in &self.contractions {
             out.push_str(&format!(
-                "{:<24} {:>5} {:>9.4} {:>8.4} {:>12} {:>12} {:>12} {:>10}\n",
+                "{:<24} {:>5} {:>9.4} {:>8.4} {:>12} {:>12} {:>12} {:>10} {:>8}\n",
                 c.name,
                 c.configs.len(),
                 c.spearman,
@@ -346,10 +423,11 @@ impl AuditReport {
                 fmt_ppm(c.rel_error_ppm.p90()),
                 fmt_ppm(c.rel_error_ppm.p99()),
                 cogent_obs::render::fmt_ns(c.search_latency_ns),
+                fmt_traffic_delta(c.pass_traffic.as_ref()),
             ));
         }
         out.push_str(&format!(
-            "aggregate over {}: spearman mean {:.4} min {:.4} | regret mean {:.4} max {:.4} | rel err p50 {} p90 {} p99 {} | search {}\n",
+            "aggregate over {}: spearman mean {:.4} min {:.4} | regret mean {:.4} max {:.4} | rel err p50 {} p90 {} p99 {} | search {} | pass requests reduced {}/{}, regressed {}\n",
             self.contractions.len(),
             self.mean_spearman,
             self.min_spearman,
@@ -359,6 +437,9 @@ impl AuditReport {
             fmt_ppm(self.rel_error_ppm.p90()),
             fmt_ppm(self.rel_error_ppm.p99()),
             cogent_obs::render::fmt_ns(self.total_search_latency_ns),
+            self.traffic_improved,
+            self.contractions.len(),
+            self.traffic_regressed,
         ));
         out
     }
@@ -369,6 +450,19 @@ fn fmt_ppm(ppm: Option<u128>) -> String {
     match ppm {
         Some(v) => format!("{:.3}%", v as f64 / 10_000.0),
         None => "-".to_string(),
+    }
+}
+
+/// Formats the pass pipeline's predicted request change as a signed
+/// percentage (negative = fewer warp requests after the pipeline).
+fn fmt_traffic_delta(traffic: Option<&PassTraffic>) -> String {
+    match traffic {
+        None => "-".to_string(),
+        Some(t) => {
+            let before = t.before.global_requests.max(1) as f64;
+            let delta = t.after.global_requests as f64 - t.before.global_requests as f64;
+            format!("{:+.1}%", delta / before * 100.0)
+        }
     }
 }
 
@@ -384,6 +478,24 @@ fn histogram_json(h: &Histogram) -> Json {
     ])
 }
 
+fn pass_traffic_json(traffic: Option<&PassTraffic>) -> Json {
+    match traffic {
+        None => Json::Null,
+        Some(t) => Json::obj([
+            (
+                "passes",
+                Json::Array(t.passes.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+            ("requests_before", Json::from(t.before.global_requests)),
+            ("requests_after", Json::from(t.after.global_requests)),
+            ("replays_before", Json::from(t.before.smem_replays)),
+            ("replays_after", Json::from(t.after.smem_replays)),
+            ("barriers_before", Json::from(t.before.barriers)),
+            ("barriers_after", Json::from(t.after.barriers)),
+        ]),
+    }
+}
+
 fn contraction_json(c: &ContractionAudit) -> Json {
     Json::obj([
         ("name", Json::Str(c.name.clone())),
@@ -393,6 +505,7 @@ fn contraction_json(c: &ContractionAudit) -> Json {
         ("rel_error_ppm", histogram_json(&c.rel_error_ppm)),
         ("search_latency_ns", Json::from(c.search_latency_ns)),
         ("audit_latency_ns", Json::from(c.audit_latency_ns)),
+        ("pass_traffic", pass_traffic_json(c.pass_traffic.as_ref())),
         (
             "configs",
             Json::Array(
@@ -466,6 +579,12 @@ mod tests {
         let best = *measured.iter().min().unwrap();
         let expect = (measured[0] - best) as f64 / best as f64;
         assert!((audit.regret - expect).abs() < 1e-12);
+        // The traffic estimator accepted the pick and the default
+        // pipeline never made it worse.
+        let traffic = audit.pass_traffic.as_ref().unwrap();
+        assert!(traffic.after.global_requests <= traffic.before.global_requests);
+        assert!(traffic.after.smem_replays <= traffic.before.smem_replays);
+        assert!(!traffic.regressed());
     }
 
     #[test]
@@ -523,6 +642,16 @@ mod tests {
         assert_eq!(agg.get("contractions").unwrap().as_u128(), Some(2));
         assert!(agg.get("mean_spearman").unwrap().as_f64().is_some());
         assert!(agg.get("rel_error_ppm").unwrap().get("p99").is_some());
+        assert!(agg.get("pass_traffic").unwrap().get("regressed").is_some());
+        let entry = match json.get("contractions").unwrap() {
+            Json::Array(entries) => entries[0].clone(),
+            other => panic!("contractions should be an array, got {other:?}"),
+        };
+        assert!(entry
+            .get("pass_traffic")
+            .unwrap()
+            .get("requests_before")
+            .is_some());
         // The document round-trips through the parser.
         assert!(Json::parse(&json.to_string()).is_ok());
         let text = report.render_text();

@@ -19,6 +19,7 @@ mod driver;
 mod hip;
 mod lint;
 mod opencl;
+mod passes;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -28,3 +29,5 @@ pub use driver::{emit_driver, emit_source};
 pub use hip::emit_hip_kernel;
 pub use lint::{lint_kernel_plan, lint_kernel_source, LintFindings};
 pub use opencl::emit_opencl_kernel;
+pub(crate) use passes::print_backend;
+pub use passes::{emit_backend_kernel_with_passes, lower_with_passes, vector_width, PassConfig};

@@ -37,14 +37,19 @@ use super::cuda::emit_kernel_dialect;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn emit_opencl_kernel(plan: &KernelPlan, precision: Precision) -> String {
-    let dialect = Dialect {
+    emit_kernel_dialect(plan, precision, &opencl_dialect(precision))
+}
+
+/// The OpenCL dialect for a precision: double-precision kernels carry the
+/// `cl_khr_fp64` extension pragma.
+pub(crate) fn opencl_dialect(precision: Precision) -> Dialect {
+    Dialect {
         preamble: match precision {
             Precision::F64 => OPENCL_FP64_PREAMBLE,
             Precision::F32 => "",
         },
         ..OPENCL
-    };
-    emit_kernel_dialect(plan, precision, &dialect)
+    }
 }
 
 #[cfg(test)]

@@ -609,6 +609,9 @@ pub struct Provenance {
     pub rejected: Vec<RejectedCandidate>,
     /// Whether the returned plan passed the numeric divergence check.
     pub numeric_verified: bool,
+    /// KIR optimization passes applied to the emitted kernel, in
+    /// application order (empty for the baseline emission).
+    pub passes: Vec<String>,
 }
 
 impl Provenance {
@@ -635,7 +638,11 @@ impl fmt::Display for Provenance {
                 "degraded: naive fallback plan after {} rejected candidate(s)",
                 self.rejected.len()
             ),
+        }?;
+        if !self.passes.is_empty() {
+            write!(f, "; passes: {}", self.passes.join(", "))?;
         }
+        Ok(())
     }
 }
 
@@ -675,6 +682,16 @@ pub enum CogentError {
     /// [`KernelLibrary::build`](crate::library::KernelLibrary::build) was
     /// given an empty representative-size slate.
     NoRepresentatives,
+    /// A `--passes` list named a pass the KIR pipeline does not know.
+    UnknownPass {
+        /// The offending pass name.
+        name: String,
+    },
+    /// A KIR optimization pass failed on the lowered program.
+    PassFailed {
+        /// The pass's own diagnostic.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CogentError {
@@ -711,6 +728,15 @@ impl fmt::Display for CogentError {
             }
             CogentError::NoRepresentatives => {
                 f.write_str("kernel library needs at least one representative size")
+            }
+            CogentError::UnknownPass { name } => {
+                write!(
+                    f,
+                    "unknown KIR pass {name:?} (expected vectorize-loads, smem-pad or double-buffer)"
+                )
+            }
+            CogentError::PassFailed { detail } => {
+                write!(f, "KIR pass pipeline failed: {detail}")
             }
         }
     }
@@ -892,6 +918,7 @@ mod tests {
             source: PlanSource::Search { model_rank: 0 },
             rejected: Vec::new(),
             numeric_verified: true,
+            passes: Vec::new(),
         };
         assert!(!clean.degraded());
         let degraded = Provenance {
@@ -901,8 +928,10 @@ mod tests {
                 reason: RejectReason::Divergence { max_abs_diff: 1.0 },
             }],
             numeric_verified: false,
+            passes: vec!["smem-pad".into()],
         };
         assert!(degraded.degraded());
         assert!(degraded.to_string().contains("naive fallback"));
+        assert!(degraded.to_string().contains("passes: smem-pad"));
     }
 }

@@ -726,6 +726,16 @@ fn encode_provenance(provenance: &Provenance) -> Json {
     Json::obj([
         ("source", source),
         ("numeric_verified", Json::Bool(provenance.numeric_verified)),
+        (
+            "passes",
+            Json::Array(
+                provenance
+                    .passes
+                    .iter()
+                    .map(|p| Json::Str(p.clone()))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -739,11 +749,23 @@ fn decode_provenance(json: &Json) -> Result<Provenance, String> {
         "naive_fallback" => PlanSource::NaiveFallback,
         other => return Err(format!("unknown plan source {other:?}")),
     };
+    // Entries written before the pass framework carry no "passes" member;
+    // they were emitted with the baseline pipeline, so empty is exact.
+    let mut passes = Vec::new();
+    if json.get("passes").is_some() {
+        for p in get_array(json, "passes")? {
+            let Json::Str(name) = p else {
+                return Err("passes entry is not a string".to_string());
+            };
+            passes.push(name.clone());
+        }
+    }
     Ok(Provenance {
         source,
         // Only undegraded entries are persisted (see `encode_entry`).
         rejected: Vec::new(),
         numeric_verified: get_bool(json, "numeric_verified")?,
+        passes,
     })
 }
 

@@ -524,6 +524,17 @@ fn kernel_json(kernel: &GeneratedKernel, cache: &str, with_sources: bool) -> Jso
             "provenance".to_string(),
             Json::Str(kernel.provenance.to_string()),
         ),
+        (
+            "passes".to_string(),
+            Json::Array(
+                kernel
+                    .provenance
+                    .passes
+                    .iter()
+                    .map(|p| Json::Str(p.clone()))
+                    .collect(),
+            ),
+        ),
         ("gflops".to_string(), Json::Float(kernel.report.gflops)),
         (
             "predicted_time_s".to_string(),

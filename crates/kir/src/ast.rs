@@ -16,6 +16,7 @@
 //! explicit ([`Expr::Paren`]) so a printed program is byte-stable: the
 //! printer never has to guess parenthesization.
 
+use cogent_gpu_sim::plan::MapDim;
 use cogent_ir::IndexName;
 
 /// A scalar or array-element expression.
@@ -54,9 +55,15 @@ impl Expr {
         Expr::Sym(name.into())
     }
 
-    /// Explicitly grouped expression.
+    /// Explicitly grouped expression. Collapses nested grouping —
+    /// `paren(paren(x))` is `paren(x)` — so tree rewrites that wrap an
+    /// already-grouped subexpression (layout substitutions in the pass
+    /// pipeline) cannot print redundant `((…))`.
     pub fn paren(inner: Expr) -> Self {
-        Expr::Paren(Box::new(inner))
+        match inner {
+            Expr::Paren(_) => inner,
+            _ => Expr::Paren(Box::new(inner)),
+        }
     }
 
     /// A binary operation node.
@@ -75,6 +82,8 @@ pub enum BinOp {
     Mod,
     /// Less-than comparison (bounds guards).
     Lt,
+    /// Equality comparison (the vectorization alignment guard).
+    Eq,
     /// Logical conjunction (guard chains).
     And,
 }
@@ -89,6 +98,7 @@ impl BinOp {
             BinOp::Div => "/",
             BinOp::Mod => "%",
             BinOp::Lt => "<",
+            BinOp::Eq => "==",
             BinOp::And => "&&",
         }
     }
@@ -198,8 +208,32 @@ pub enum Stmt {
         braced: bool,
         body: Vec<Stmt>,
     },
-    /// `if (cond)` guarding a single unbraced statement.
-    If { cond: Expr, body: Vec<Stmt> },
+    /// `if (cond) body [else else_body]`. The base lowering emits only
+    /// the unbraced, else-less form guarding a single statement; passes
+    /// introduce braced bodies and else branches (the vectorization
+    /// alignment fallback, the double-buffer prefetch guard).
+    If {
+        cond: Expr,
+        body: Vec<Stmt>,
+        /// The `else` branch; empty means no `else` is printed.
+        else_body: Vec<Stmt>,
+        /// Braced bodies vs. a single indented statement.
+        braced: bool,
+    },
+    /// A `width`-wide vector copy between a staged tile and global
+    /// memory: `*(vec*)&dst[dst_off] = *(const vec*)&src[src_off];`.
+    /// Produced only by the vectorized-load pass; the interpreter
+    /// executes it as `width` consecutive scalar copies.
+    VecCopy {
+        /// Vector lanes (2 for `double2`, 4 for `float4`).
+        width: usize,
+        /// Destination array name (a shared tile) and element offset.
+        dst: String,
+        dst_off: Expr,
+        /// Source array name (a global tensor) and element offset.
+        src: String,
+        src_off: Expr,
+    },
     /// The block-wide barrier between schema phases.
     Barrier,
     /// A semantically tagged region; transparent to printing.
@@ -259,6 +293,41 @@ pub struct TensorShapes {
     pub b: Vec<IndexName>,
 }
 
+/// One index binding as the lowering saw it: enough schedule context for
+/// the pass pipeline, the pass-aware lint, and the traffic estimator to
+/// reason about the program without re-deriving the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingMeta {
+    /// The contraction index.
+    pub name: IndexName,
+    /// Representative extent `N_i` the plan was built for.
+    pub extent: usize,
+    /// Tile size `T_i`.
+    pub tile: usize,
+    /// Hardware dimension the index is mapped to.
+    pub dim: MapDim,
+}
+
+/// Schedule metadata carried on the program. The base lowering records
+/// the binding table; passes append their names and set the structural
+/// flags they introduce, so downstream consumers (lint, traffic
+/// estimator, provenance) dispatch on what was *actually applied* rather
+/// than pattern-matching the tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelMeta {
+    /// Names of the passes applied, in application order.
+    pub passes: Vec<String>,
+    /// All index bindings, in plan binding order.
+    pub bindings: Vec<BindingMeta>,
+    /// SMEM row padding in elements (0 = unpadded): the staged tiles use
+    /// a pitched inner stride of `T_first + smem_pad`.
+    pub smem_pad: usize,
+    /// Vector width of the staging loads (0 = scalar staging).
+    pub vec_width: usize,
+    /// Staging is double-buffered (one barrier per step, prefetch `If`).
+    pub double_buffered: bool,
+}
+
 /// A complete lowered kernel: the single source of truth shared by the
 /// pretty-printers, the interpreter, and the structural lint.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,4 +354,6 @@ pub struct KernelProgram {
     pub launch: Launch,
     /// Tensor index names for buffer shaping and guard-coverage checks.
     pub shapes: TensorShapes,
+    /// Schedule metadata and applied-pass provenance.
+    pub meta: KernelMeta,
 }

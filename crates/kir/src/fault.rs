@@ -145,7 +145,13 @@ fn for_each_phase(stmts: &mut [Stmt], tag: PhaseTag, f: &mut impl FnMut(&mut Vec
                     for_each_phase(body, tag, f);
                 }
             }
-            Stmt::For { body, .. } | Stmt::If { body, .. } => for_each_phase(body, tag, f),
+            Stmt::For { body, .. } => for_each_phase(body, tag, f),
+            Stmt::If {
+                body, else_body, ..
+            } => {
+                for_each_phase(body, tag, f);
+                for_each_phase(else_body, tag, f);
+            }
             _ => {}
         }
     }
@@ -155,7 +161,10 @@ fn step_loop_body(stmts: &mut [Stmt]) -> Option<&mut Vec<Stmt>> {
     fn has_compute(stmts: &[Stmt]) -> bool {
         stmts.iter().any(|s| match s {
             Stmt::Phase { tag, body } => *tag == PhaseTag::Compute || has_compute(body),
-            Stmt::For { body, .. } | Stmt::If { body, .. } => has_compute(body),
+            Stmt::For { body, .. } => has_compute(body),
+            Stmt::If {
+                body, else_body, ..
+            } => has_compute(body) || has_compute(else_body),
             _ => false,
         })
     }

@@ -92,6 +92,7 @@ fn int_bin(op: BinOp, l: i64, r: i64) -> Result<i64, KirError> {
             l % r
         }
         BinOp::Lt => i64::from(l < r),
+        BinOp::Eq => i64::from(l == r),
         BinOp::And => i64::from(l != 0 && r != 0),
     })
 }
@@ -311,15 +312,50 @@ impl<T: Element> Machine<'_, T> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, body } => {
+            Stmt::If {
+                cond,
+                body,
+                else_body,
+                ..
+            } => {
                 let mut taken = Vec::with_capacity(active.len());
+                let mut untaken = Vec::new();
                 for &t in active {
                     if self.eval_int(cond, t)? != 0 {
                         taken.push(t);
+                    } else {
+                        untaken.push(t);
                     }
                 }
                 if !taken.is_empty() {
                     self.exec_stmts(body, &taken)?;
+                }
+                if !else_body.is_empty() && !untaken.is_empty() {
+                    self.exec_stmts(else_body, &untaken)?;
+                }
+                Ok(())
+            }
+            Stmt::VecCopy {
+                width,
+                dst,
+                dst_off,
+                src,
+                src_off,
+            } => {
+                // A vector copy is semantically `width` consecutive scalar
+                // copies; executing it element-wise reuses the scalar
+                // bounds checks, so a misaligned rewrite still faults.
+                for &t in active {
+                    let d0 = self.eval_int(dst_off, t)?;
+                    let s0 = self.eval_int(src_off, t)?;
+                    for k in 0..(*width as i64) {
+                        let item = LineItem::Assign {
+                            target: LValue::Elem(dst.clone(), vec![Expr::Int(d0 + k)]),
+                            op: AssignOp::Assign,
+                            value: Expr::Index(src.clone(), vec![Expr::Int(s0 + k)]),
+                        };
+                        self.assign(&item, t)?;
+                    }
                 }
                 Ok(())
             }

@@ -23,22 +23,36 @@
 //! simulator's dynamic fault classes, closing the loop: the fault matrix
 //! can demonstrate that each injected bug class is caught by the
 //! interpreter and/or the structural lint.
+//!
+//! On top of the lowered tree sits the optimization layer:
+//! [`pass::PassManager`] runs layout-changing rewrites (vectorized
+//! staging, shared-memory padding, double buffering) expressed through
+//! the [`layout`] algebra, and [`traffic::estimate_traffic`] predicts
+//! each variant's warp-level global-memory requests, bank-conflict
+//! replays and barrier count — the numbers the `cogent audit` benefit
+//! gate compares.
 
 pub mod ast;
 pub mod error;
 pub mod fault;
 pub mod interp;
+pub mod layout;
 pub mod lint;
 pub mod lower;
+pub mod pass;
 pub mod print;
+pub mod traffic;
 
 pub use ast::{
-    ArrayDecl, AssignOp, BinOp, Define, Expr, KernelProgram, LValue, Launch, LineItem, LoopStep,
-    MemSpace, PhaseTag, Stmt, TensorParam, TensorShapes,
+    ArrayDecl, AssignOp, BinOp, Define, Expr, KernelMeta, KernelProgram, LValue, Launch, LineItem,
+    LoopStep, MemSpace, PhaseTag, Stmt, TensorParam, TensorShapes,
 };
 pub use error::KirError;
 pub use fault::apply_exec_faults;
 pub use interp::{interpret, interpret_plan};
+pub use layout::{Layout, SymLayout, SymMode};
 pub use lint::{lint_kernel_program, IrLintReport};
 pub use lower::{kernel_name, lower_to_kir};
+pub use pass::{pipeline_from_names, Pass, PassManager, PassOutcome, PassReport};
 pub use print::{ctype, print_kernel, Dialect, CUDA, HIP, OPENCL, OPENCL_FP64_PREAMBLE};
+pub use traffic::{estimate_traffic, TrafficReport};

@@ -16,10 +16,19 @@
 //!    global load on *every* index of the staged tensor, and the output
 //!    store is guarded on every index of C, so partial tiles can never
 //!    read or write out of bounds.
+//!
+//! The checks are pass-aware: they dispatch on the structural flags in
+//! `KernelProgram::meta`. A double-buffered program is held to the
+//! pipelined barrier schema (staging prologue + barrier before the step
+//! loop, guarded prefetch before compute, one barrier per step) instead
+//! of the baseline two-barrier schema, and a vectorized program must
+//! keep its tiles and pitch multiples of the vector width and every
+//! `VecCopy` dominated by both the runtime alignment check and a guard
+//! covering all of the staged tensor's extents.
 
 use std::collections::HashSet;
 
-use crate::ast::{Expr, KernelProgram, LValue, LineItem, LoopStep, PhaseTag, Stmt};
+use crate::ast::{BinOp, Expr, KernelProgram, LValue, LineItem, LoopStep, PhaseTag, Stmt};
 
 /// The result of a structural lint pass: human-readable findings, empty
 /// when the program is well-formed.
@@ -159,11 +168,35 @@ impl<'p> SymbolChecker<'p> {
                     self.check_stmts(body);
                     self.scopes.pop();
                 }
-                Stmt::If { cond, body } => {
+                Stmt::If {
+                    cond,
+                    body,
+                    else_body,
+                    ..
+                } => {
                     self.check_expr(cond);
                     self.scopes.push(HashSet::new());
                     self.check_stmts(body);
                     self.scopes.pop();
+                    self.scopes.push(HashSet::new());
+                    self.check_stmts(else_body);
+                    self.scopes.pop();
+                }
+                Stmt::VecCopy {
+                    dst,
+                    dst_off,
+                    src,
+                    src_off,
+                    ..
+                } => {
+                    for array in [dst, src] {
+                        if !self.arrays.contains(array.as_str()) {
+                            self.findings
+                                .push(format!("vector copy names undeclared array '{array}'"));
+                        }
+                    }
+                    self.check_expr(dst_off);
+                    self.check_expr(src_off);
                 }
                 Stmt::Phase { body, .. } => self.check_stmts(body),
             }
@@ -204,7 +237,77 @@ fn find_step_loop(stmts: &[Stmt]) -> Option<&[Stmt]> {
     None
 }
 
+/// The pipelined barrier schema of a double-buffered program: staging
+/// prologue + barrier ahead of the step loop; inside it, a guarded
+/// prefetch (an `If` holding both staging phases) before compute and a
+/// single barrier after it.
+fn check_barriers_double_buffered(prog: &KernelProgram, findings: &mut Vec<String>) {
+    let Some(step_pos) = prog
+        .body
+        .iter()
+        .position(|s| matches!(s, Stmt::For { body, .. } if contains_compute(body)))
+    else {
+        findings.push("no serial step loop containing a compute phase".into());
+        return;
+    };
+    let before = &prog.body[..step_pos];
+    let is_stage = |s: &Stmt| matches!(s, Stmt::Phase { tag, .. } if matches!(tag, PhaseTag::StageA | PhaseTag::StageB));
+    match before.iter().rposition(is_stage) {
+        None => findings
+            .push("double-buffered kernel has no staging prologue before the step loop".into()),
+        Some(last) => {
+            if !before[last..].iter().any(|s| matches!(s, Stmt::Barrier)) {
+                findings.push("no barrier between the staging prologue and the step loop".into());
+            }
+        }
+    }
+    let Stmt::For {
+        body: step_body, ..
+    } = &prog.body[step_pos]
+    else {
+        return;
+    };
+    let mut markers = Vec::new();
+    for s in step_body {
+        match s {
+            Stmt::If { body, .. } if find_phase(body, PhaseTag::StageA).is_some() => {
+                if find_phase(body, PhaseTag::StageB).is_none() {
+                    findings.push("prefetch guard stages only one of the two tiles".into());
+                }
+                markers.push(Marker::Stage);
+            }
+            Stmt::Phase { tag, .. } => match tag {
+                PhaseTag::StageA | PhaseTag::StageB => findings.push(
+                    "double-buffered prefetch staging is not guarded by the step bound".into(),
+                ),
+                PhaseTag::Compute => markers.push(Marker::Compute),
+                _ => {}
+            },
+            Stmt::Barrier => markers.push(Marker::Barrier),
+            _ => {}
+        }
+    }
+    let stage = markers.iter().position(|m| *m == Marker::Stage);
+    let compute = markers.iter().position(|m| *m == Marker::Compute);
+    match (stage, compute) {
+        (Some(stage), Some(compute)) => {
+            if compute < stage {
+                findings.push("prefetch staging follows the compute phase it feeds".into());
+            }
+            if !markers[compute..].contains(&Marker::Barrier) {
+                findings.push("no barrier after the compute phase of a pipelined step".into());
+            }
+        }
+        (None, _) => findings.push("step loop has no guarded prefetch staging".into()),
+        (_, None) => findings.push("step loop has no compute phase".into()),
+    }
+}
+
 fn check_barriers(prog: &KernelProgram, findings: &mut Vec<String>) {
+    if prog.meta.double_buffered {
+        check_barriers_double_buffered(prog, findings);
+        return;
+    }
     let Some(step_body) = find_step_loop(&prog.body) else {
         findings.push("no serial step loop containing a compute phase".into());
         return;
@@ -297,6 +400,13 @@ fn staging_guard(stmts: &[Stmt]) -> Option<Option<&Expr>> {
                     return Some(found);
                 }
             }
+            Stmt::If {
+                body, else_body, ..
+            } => {
+                if let Some(found) = staging_guard(body).or_else(|| staging_guard(else_body)) {
+                    return Some(found);
+                }
+            }
             Stmt::Line(items) => {
                 for item in items {
                     if let LineItem::Assign {
@@ -386,6 +496,145 @@ fn check_guards(prog: &KernelProgram, findings: &mut Vec<String>) {
     }
 }
 
+/// True when `expr` (or a subexpression) is the runtime alignment check
+/// `N_first % V == 0`.
+fn has_alignment_check(expr: &Expr, n_first: &str, width: usize) -> bool {
+    match expr {
+        Expr::Bin(BinOp::Eq, l, r) => {
+            if let (Expr::Bin(BinOp::Mod, base, w), Expr::Int(0)) = (l.as_ref(), r.as_ref()) {
+                if matches!(base.as_ref(), Expr::Sym(n) if n == n_first)
+                    && matches!(w.as_ref(), Expr::Int(v) if *v == width as i64)
+                {
+                    return true;
+                }
+            }
+            has_alignment_check(l, n_first, width) || has_alignment_check(r, n_first, width)
+        }
+        Expr::Paren(inner) => has_alignment_check(inner, n_first, width),
+        Expr::Bin(_, l, r) | Expr::Min(l, r) => {
+            has_alignment_check(l, n_first, width) || has_alignment_check(r, n_first, width)
+        }
+        Expr::Cond(c, t, e) => {
+            has_alignment_check(c, n_first, width)
+                || has_alignment_check(t, n_first, width)
+                || has_alignment_check(e, n_first, width)
+        }
+        _ => false,
+    }
+}
+
+/// Collects every `VecCopy` destination together with the `If`
+/// conditions dominating it.
+fn collect_vec_copies<'p>(
+    stmts: &'p [Stmt],
+    conds: &mut Vec<&'p Expr>,
+    out: &mut Vec<(&'p str, Vec<&'p Expr>)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::VecCopy { dst, .. } => out.push((dst.as_str(), conds.clone())),
+            Stmt::For { body, .. } | Stmt::Phase { body, .. } => {
+                collect_vec_copies(body, conds, out)
+            }
+            Stmt::If {
+                cond,
+                body,
+                else_body,
+                ..
+            } => {
+                conds.push(cond);
+                collect_vec_copies(body, conds, out);
+                conds.pop();
+                collect_vec_copies(else_body, conds, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Vectorization invariants, active only when `meta.vec_width > 0`.
+fn check_vector(prog: &KernelProgram, findings: &mut Vec<String>) {
+    let width = prog.meta.vec_width;
+    if width == 0 {
+        return;
+    }
+    let tensors = [
+        (
+            prog.smem.first().map(|d| d.name.as_str()),
+            "A",
+            &prog.shapes.a,
+        ),
+        (
+            prog.smem.get(1).map(|d| d.name.as_str()),
+            "B",
+            &prog.shapes.b,
+        ),
+    ];
+    for (_, tensor, indices) in &tensors {
+        let Some(first) = indices.first() else {
+            continue;
+        };
+        let Some(binding) = prog.meta.bindings.iter().find(|b| b.name == *first) else {
+            findings.push(format!(
+                "vectorized tensor {tensor}: first index '{first}' has no binding"
+            ));
+            continue;
+        };
+        if binding.tile % width != 0 {
+            findings.push(format!(
+                "vectorized tensor {tensor}: tile T_{first} = {} is not a multiple of the \
+                 vector width {width}",
+                binding.tile
+            ));
+        }
+        if prog.meta.smem_pad > 0
+            && indices.len() >= 2
+            && !(binding.tile + prog.meta.smem_pad).is_multiple_of(width)
+        {
+            findings.push(format!(
+                "vectorized tensor {tensor}: pitched row ({} + {}) breaks width-{width} \
+                 store alignment",
+                binding.tile, prog.meta.smem_pad
+            ));
+        }
+    }
+    let mut copies = Vec::new();
+    collect_vec_copies(&prog.body, &mut Vec::new(), &mut copies);
+    if copies.is_empty() {
+        findings.push("program is marked vectorized but contains no vector copy".into());
+    }
+    for (dst, conds) in copies {
+        let Some((_, tensor, indices)) = tensors.iter().find(|(name, _, _)| *name == Some(dst))
+        else {
+            findings.push(format!("vector copy targets unknown shared tile '{dst}'"));
+            continue;
+        };
+        let mut covered = HashSet::new();
+        for cond in &conds {
+            guard_extents(cond, &mut covered);
+        }
+        for need in required_extents(indices) {
+            if !covered.contains(&need) {
+                findings.push(format!(
+                    "vector copy into tensor {tensor}'s tile is not guarded on {need}"
+                ));
+            }
+        }
+        if let Some(first) = indices.first() {
+            let n_first = format!("N_{first}");
+            if !conds
+                .iter()
+                .any(|c| has_alignment_check(c, &n_first, width))
+            {
+                findings.push(format!(
+                    "vector copy into tensor {tensor}'s tile is not dominated by the \
+                     '{n_first} % {width} == 0' alignment check"
+                ));
+            }
+        }
+    }
+}
+
 /// Runs every structural check over the program.
 pub fn lint_kernel_program(prog: &KernelProgram) -> IrLintReport {
     let mut checker = SymbolChecker::new(prog);
@@ -401,6 +650,7 @@ pub fn lint_kernel_program(prog: &KernelProgram) -> IrLintReport {
     let mut findings = checker.findings;
     check_barriers(prog, &mut findings);
     check_guards(prog, &mut findings);
+    check_vector(prog, &mut findings);
     IrLintReport { findings }
 }
 

@@ -10,10 +10,11 @@ use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim, StoreMode};
 use cogent_ir::TensorRef;
 
 use crate::ast::{
-    ArrayDecl, AssignOp, BinOp, Define, Expr, KernelProgram, LValue, Launch, LineItem, LoopStep,
-    MemSpace, PhaseTag, Stmt, TensorParam, TensorShapes,
+    ArrayDecl, AssignOp, BinOp, BindingMeta, Define, Expr, KernelMeta, KernelProgram, LValue,
+    Launch, LineItem, LoopStep, MemSpace, PhaseTag, Stmt, TensorParam, TensorShapes,
 };
 use crate::error::KirError;
+use crate::layout::{SymLayout, SymMode};
 
 /// A deterministic kernel name derived from the contraction's TCCG string
 /// when every index is a single character. Otherwise the name is built
@@ -97,26 +98,42 @@ fn ceil_div_tiles(idx: &str) -> Expr {
     )
 }
 
-/// The Horner-form offset over `tensor`'s indices, innermost (fastest)
-/// index first, with radix symbols `<radix>_<idx>`.
-fn horner_offset(tensor: &TensorRef, radix: &str, coord: impl Fn(&str) -> Expr) -> Expr {
-    let mut expr: Option<Expr> = None;
-    for idx in tensor.indices().iter().rev() {
-        let c = coord(idx.as_str());
-        expr = Some(match expr {
-            None => c,
-            Some(inner) => Expr::bin(
-                BinOp::Add,
-                c,
-                Expr::bin(
-                    BinOp::Mul,
-                    Expr::sym(format!("{radix}_{idx}")),
-                    Expr::paren(inner),
-                ),
-            ),
-        });
-    }
-    expr.unwrap_or(Expr::Int(0))
+/// The symbolic layout of `tensor` with radix symbols `<radix>_<idx>`:
+/// one mode per index, first (fastest-varying) index first, coordinates
+/// supplied by `coord`. Applying the layout ([`SymLayout::offset`])
+/// yields the Horner-form address; inverting it
+/// ([`SymLayout::decompose`]) yields the mixed-radix digit extraction.
+fn tensor_layout(tensor: &TensorRef, radix: &str, coord: impl Fn(&str) -> Expr) -> SymLayout {
+    SymLayout::new(
+        tensor
+            .indices()
+            .iter()
+            .map(|idx| SymMode {
+                coord: coord(idx.as_str()),
+                shape: Expr::sym(format!("{radix}_{idx}")),
+            })
+            .collect(),
+    )
+}
+
+/// [`tensor_layout`] over the tile radixes `T_<idx>` with fallible
+/// coordinates (the compute phase's register/thread coordinates need the
+/// plan's binding table).
+fn tile_layout(
+    tensor: &TensorRef,
+    coord: impl Fn(&str) -> Result<Expr, KirError>,
+) -> Result<SymLayout, KirError> {
+    let modes = tensor
+        .indices()
+        .iter()
+        .map(|idx| {
+            Ok(SymMode {
+                coord: coord(idx.as_str())?,
+                shape: t_sym(idx.as_str()),
+            })
+        })
+        .collect::<Result<Vec<_>, KirError>>()?;
+    Ok(SymLayout::new(modes))
 }
 
 /// The conjunction `coord(i) < N_i && …` over `tensor`'s indices.
@@ -132,17 +149,10 @@ fn guard_chain(tensor: &TensorRef, coord: impl Fn(&str) -> Expr) -> Expr {
     expr.unwrap_or(Expr::Int(1))
 }
 
-/// `T_i * T_j * …` — the element count of a staged tile.
+/// `T_i * T_j * …` — the element count of a staged tile (the size of
+/// its tile layout).
 fn tile_elems(tensor: &TensorRef) -> Expr {
-    let mut expr: Option<Expr> = None;
-    for idx in tensor.indices() {
-        let t = t_sym(idx.as_str());
-        expr = Some(match expr {
-            None => t,
-            Some(acc) => Expr::bin(BinOp::Mul, acc, t),
-        });
-    }
-    expr.unwrap_or(Expr::Int(1))
+    tensor_layout(tensor, "T", |i| Expr::sym(format!("c_{i}"))).size()
 }
 
 /// A `const int <name> = <init>;` line.
@@ -164,34 +174,22 @@ fn decl_mut(name: impl Into<String>, init: Expr) -> Stmt {
 }
 
 /// The mixed-radix decomposition of `var` over the bindings of `dim`:
-/// `int <p>_rem = var;` then one digit-extraction line per index.
+/// `int <p>_rem = var;` then one digit-extraction line per index — the
+/// inverse of the group's tile layout.
 fn group_decomposition(plan: &KernelPlan, dim: MapDim, var: Expr, prefix: &str) -> Vec<Stmt> {
     let group: Vec<&IndexBinding> = plan.group_bindings(dim).collect();
-    if group.is_empty() {
-        return Vec::new();
-    }
-    let rem = format!("{prefix}_rem");
-    let mut out = vec![decl_mut(rem.clone(), var)];
-    for (i, b) in group.iter().enumerate() {
-        let digit = format!("{prefix}_{}", b.name);
-        if i + 1 < group.len() {
-            out.push(Stmt::Line(vec![
-                LineItem::DeclInt {
-                    name: digit,
-                    init: Expr::bin(BinOp::Mod, Expr::sym(rem.clone()), t_sym(b.name.as_str())),
-                    mutable: false,
-                },
-                LineItem::Assign {
-                    target: LValue::Var(rem.clone()),
-                    op: AssignOp::DivAssign,
-                    value: t_sym(b.name.as_str()),
-                },
-            ]));
-        } else {
-            out.push(decl_const(digit, Expr::sym(rem.clone())));
-        }
-    }
-    out
+    let layout = SymLayout::new(
+        group
+            .iter()
+            .map(|b| SymMode {
+                coord: Expr::sym(format!("{prefix}_{}", b.name)),
+                shape: t_sym(b.name.as_str()),
+            })
+            .collect(),
+    );
+    layout.decompose(&format!("{prefix}_rem"), var, |k| {
+        format!("{prefix}_{}", group[k].name)
+    })
 }
 
 /// The coordinate of `idx` as seen from the compute phase (register loads
@@ -210,30 +208,16 @@ fn compute_coord(plan: &KernelPlan, idx: &str, rx: &str, ry: &str) -> Result<Exp
     })
 }
 
-/// The cooperative GMEM→SMEM staging phase for one input tensor.
+/// The cooperative GMEM→SMEM staging phase for one input tensor: the
+/// flat loop index `p` is inverted through the *tile* layout into
+/// per-index digits, the digits are shifted by the block/step origin,
+/// and the shifted coordinate is pushed through the *global* layout to
+/// form the guarded load address.
 fn stage_phase(tensor: &TensorRef, smem: &str, gmem: &str, tag: PhaseTag) -> Stmt {
-    let mut body = vec![decl_mut("q", Expr::sym("p"))];
-    let n = tensor.rank();
-    for (i, idx) in tensor.indices().iter().enumerate() {
-        let digit = format!("c_{idx}");
-        if i + 1 < n {
-            body.push(Stmt::Line(vec![
-                LineItem::DeclInt {
-                    name: digit,
-                    init: Expr::bin(BinOp::Mod, Expr::sym("q"), t_sym(idx.as_str())),
-                    mutable: false,
-                },
-                LineItem::Assign {
-                    target: LValue::Var("q".into()),
-                    op: AssignOp::DivAssign,
-                    value: t_sym(idx.as_str()),
-                },
-            ]));
-        } else {
-            body.push(decl_const(digit, Expr::sym("q")));
-        }
-    }
-    for idx in tensor.indices() {
+    let tile = tensor_layout(tensor, "T", |i| Expr::sym(format!("c_{i}")));
+    let indices = tensor.indices();
+    let mut body = tile.decompose("q", Expr::sym("p"), |k| format!("c_{}", indices[k]));
+    for idx in indices {
         body.push(decl_const(
             format!("u_{idx}"),
             Expr::bin(
@@ -244,13 +228,20 @@ fn stage_phase(tensor: &TensorRef, smem: &str, gmem: &str, tag: PhaseTag) -> Stm
         ));
     }
     let guard = guard_chain(tensor, |i| Expr::sym(format!("u_{i}")));
-    let offset = horner_offset(tensor, "N", |i| Expr::sym(format!("u_{i}")));
+    let global = tensor_layout(tensor, "N", |i| Expr::sym(format!("u_{i}")));
+    // The staged tile is stored through the identity layout over the
+    // tile's footprint: `s_X[p]`. Passes re-layout this store (padding
+    // re-strides it, vectorization widens it).
+    let staged = SymLayout::new(vec![SymMode {
+        coord: Expr::sym("p"),
+        shape: tile.size(),
+    }]);
     body.push(Stmt::Line(vec![LineItem::Assign {
-        target: LValue::Elem(smem.into(), vec![Expr::sym("p")]),
+        target: LValue::Elem(smem.into(), vec![staged.offset()]),
         op: AssignOp::Assign,
         value: Expr::Cond(
             Box::new(Expr::paren(guard)),
-            Box::new(Expr::Index(gmem.into(), vec![offset])),
+            Box::new(Expr::Index(gmem.into(), vec![global.offset()])),
             Box::new(Expr::Int(0)),
         ),
     }]));
@@ -261,7 +252,7 @@ fn stage_phase(tensor: &TensorRef, smem: &str, gmem: &str, tag: PhaseTag) -> Stm
             Stmt::For {
                 var: "p".into(),
                 init: Expr::sym("tid"),
-                limit: tile_elems(tensor),
+                limit: tile.size(),
                 step: LoopStep::AddAssign(Expr::sym("THREADS")),
                 unroll: false,
                 braced: true,
@@ -482,28 +473,14 @@ pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
 
     // (2)+(3) SMEM -> REG and outer product.
     let mut ktile_body = group_decomposition(plan, MapDim::SerialK, Expr::sym("j"), "k");
-    let a_coord = |i: &str| compute_coord(plan, i, "rx", "ry");
-    let mut a_off: Option<Expr> = None;
-    for idx in tc.a().indices().iter().rev() {
-        let c = a_coord(idx.as_str())?;
-        a_off = Some(match a_off {
-            None => c,
-            Some(inner) => Expr::bin(
-                BinOp::Add,
-                c,
-                Expr::bin(
-                    BinOp::Mul,
-                    Expr::sym(format!("T_{idx}")),
-                    Expr::paren(inner),
-                ),
-            ),
-        });
-    }
+    // SMEM→register loads read the staged tiles through their tile
+    // layouts at the compute-phase coordinates.
+    let a_off = tile_layout(tc.a(), |i| compute_coord(plan, i, "rx", "ry"))?.offset();
     let mut rx_body = group_decomposition(plan, MapDim::RegX, Expr::sym("rx"), "rx");
     rx_body.push(Stmt::Line(vec![LineItem::Assign {
         target: LValue::Elem("r_A".into(), vec![Expr::sym("rx")]),
         op: AssignOp::Assign,
-        value: Expr::Index("s_A".into(), vec![a_off.unwrap_or(Expr::Int(0))]),
+        value: Expr::Index("s_A".into(), vec![a_off]),
     }]));
     ktile_body.push(Stmt::For {
         var: "rx".into(),
@@ -514,27 +491,12 @@ pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
         braced: true,
         body: rx_body,
     });
-    let mut b_off: Option<Expr> = None;
-    for idx in tc.b().indices().iter().rev() {
-        let c = compute_coord(plan, idx.as_str(), "rx", "ry")?;
-        b_off = Some(match b_off {
-            None => c,
-            Some(inner) => Expr::bin(
-                BinOp::Add,
-                c,
-                Expr::bin(
-                    BinOp::Mul,
-                    Expr::sym(format!("T_{idx}")),
-                    Expr::paren(inner),
-                ),
-            ),
-        });
-    }
+    let b_off = tile_layout(tc.b(), |i| compute_coord(plan, i, "rx", "ry"))?.offset();
     let mut ry_body = group_decomposition(plan, MapDim::RegY, Expr::sym("ry"), "ry");
     ry_body.push(Stmt::Line(vec![LineItem::Assign {
         target: LValue::Elem("r_B".into(), vec![Expr::sym("ry")]),
         op: AssignOp::Assign,
-        value: Expr::Index("s_B".into(), vec![b_off.unwrap_or(Expr::Int(0))]),
+        value: Expr::Index("s_B".into(), vec![b_off]),
     }]));
     ktile_body.push(Stmt::For {
         var: "ry".into(),
@@ -607,7 +569,7 @@ pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
         ));
     }
     let guard = guard_chain(tc.c(), |i| Expr::sym(format!("o_{i}")));
-    let offset = horner_offset(tc.c(), "N", |i| Expr::sym(format!("o_{i}")));
+    let offset = tensor_layout(tc.c(), "N", |i| Expr::sym(format!("o_{i}"))).offset();
     let op = match plan.store_mode() {
         StoreMode::Assign => AssignOp::Assign,
         StoreMode::Accumulate => AssignOp::AddAssign,
@@ -619,6 +581,8 @@ pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
             op,
             value: Expr::Index("r_C".into(), vec![Expr::sym("ry"), Expr::sym("rx")]),
         }])],
+        else_body: Vec::new(),
+        braced: false,
     });
     let mut store_ry = group_decomposition(plan, MapDim::RegY, Expr::sym("ry"), "ry");
     store_ry.push(Stmt::For {
@@ -681,6 +645,22 @@ pub fn lower_to_kir(plan: &KernelPlan) -> Result<KernelProgram, KirError> {
             c: tc.c().indices().to_vec(),
             a: tc.a().indices().to_vec(),
             b: tc.b().indices().to_vec(),
+        },
+        meta: KernelMeta {
+            passes: Vec::new(),
+            bindings: plan
+                .bindings()
+                .iter()
+                .map(|b| BindingMeta {
+                    name: b.name.clone(),
+                    extent: b.extent,
+                    tile: b.tile,
+                    dim: b.dim,
+                })
+                .collect(),
+            smem_pad: 0,
+            vec_width: 0,
+            double_buffered: false,
         },
     })
 }

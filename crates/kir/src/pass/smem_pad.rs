@@ -1,0 +1,130 @@
+//! Shared-memory bank-conflict padding.
+//!
+//! The staged tiles are stored packed: row pitch `T_first`. When the
+//! compute phase walks a tile column-wise (all threads of a warp sharing
+//! the same first-mode coordinate advance together along a later mode),
+//! a power-of-two pitch lands every access of the warp on the same bank.
+//! Re-striding the tile onto a pitched layout — first-mode stride 1, row
+//! pitch `T_first + pad` — shifts consecutive rows by `pad` banks and
+//! breaks the pattern.
+//!
+//! Because every shared-tile address is a layout application, the
+//! rewrite is a layout substitution, not text surgery:
+//!
+//! * the staging store's flat index `p` becomes the pitched Horner chain
+//!   over the digits `c_*` that the staging loop already extracts
+//!   (`c_first + (T_first + pad) * (c_1 + T_1 * (…))`), and
+//! * the compute-phase reads swap the row factor `T_first` for the pitch
+//!   inside their Horner chains.
+//!
+//! Rank-1 tiles have no second mode — no row pitch exists — and are left
+//! packed.
+
+use crate::ast::{BinOp, Expr, KernelProgram, PhaseTag};
+use crate::error::KirError;
+use crate::layout::{SymLayout, SymMode};
+
+use super::util::{for_each_phase_mut, rewrite_reads, rewrite_stores, subst_sym};
+use super::Pass;
+
+/// The padding pass: pitch = `T_first + pad` elements.
+pub struct SmemPad {
+    pad: usize,
+}
+
+impl SmemPad {
+    /// A pass padding each staged tile's row pitch by `pad` elements.
+    /// When the staging loads are vectorized at width `V`, choose a
+    /// multiple of `V` so the pitched rows keep vector-aligned starts.
+    pub fn new(pad: usize) -> Self {
+        SmemPad { pad }
+    }
+}
+
+impl Pass for SmemPad {
+    fn name(&self) -> &'static str {
+        "smem-pad"
+    }
+
+    fn applicability(&self, prog: &KernelProgram) -> Result<(), String> {
+        if self.pad == 0 {
+            return Err("zero padding requested".into());
+        }
+        if prog.meta.smem_pad != 0 {
+            return Err("shared tiles are already padded".into());
+        }
+        if prog.meta.double_buffered {
+            return Err("must run before double buffering".into());
+        }
+        if prog.meta.vec_width != 0 && !self.pad.is_multiple_of(prog.meta.vec_width) {
+            return Err(format!(
+                "pad {} would misalign the width-{} vector stores",
+                self.pad, prog.meta.vec_width
+            ));
+        }
+        if prog.shapes.a.len() < 2 && prog.shapes.b.len() < 2 {
+            return Err("both staged tiles are rank-1 (no row pitch to pad)".into());
+        }
+        Ok(())
+    }
+
+    fn run(&self, prog: &mut KernelProgram) -> Result<(), KirError> {
+        let shapes = prog.shapes.clone();
+        for (slot, tag, indices) in [
+            (0usize, PhaseTag::StageA, &shapes.a),
+            (1usize, PhaseTag::StageB, &shapes.b),
+        ] {
+            let Some(first) = indices.first() else {
+                return Err(KirError::TypeMismatch {
+                    detail: "smem-pad: staged tensor has no indices".into(),
+                });
+            };
+            if indices.len() < 2 {
+                continue;
+            }
+            let pitch = Expr::paren(Expr::bin(
+                BinOp::Add,
+                Expr::sym(format!("T_{first}")),
+                Expr::Int(self.pad as i64),
+            ));
+            // The pitched tile layout, used both for the declaration
+            // footprint and for the staging store's address.
+            let pitched = SymLayout::new(
+                indices
+                    .iter()
+                    .enumerate()
+                    .map(|(k, idx)| SymMode {
+                        coord: Expr::sym(format!("c_{idx}")),
+                        shape: if k == 0 {
+                            pitch.clone()
+                        } else {
+                            Expr::sym(format!("T_{idx}"))
+                        },
+                    })
+                    .collect(),
+            );
+            let Some(decl) = prog.smem.get_mut(slot) else {
+                return Err(KirError::TypeMismatch {
+                    detail: "smem-pad: missing shared tile declaration".into(),
+                });
+            };
+            decl.dims = vec![pitched.size()];
+            let smem_name = decl.name.clone();
+
+            // Staging stores: the flat `p` (and `p + v` vector lanes)
+            // become the pitched Horner chain over the same digits.
+            let horner = pitched.offset();
+            for_each_phase_mut(&mut prog.body, tag, &mut |body| {
+                rewrite_stores(body, &smem_name, &mut |sub| subst_sym(sub, "p", &horner));
+            });
+            // Compute reads: swap the row factor for the pitch.
+            let t_first = format!("T_{first}");
+            rewrite_reads(&mut prog.body, &smem_name, &mut |sub| {
+                subst_sym(sub, &t_first, &pitch);
+            });
+        }
+        prog.meta.smem_pad = self.pad;
+        prog.meta.passes.push(self.name().to_owned());
+        Ok(())
+    }
+}

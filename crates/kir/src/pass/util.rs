@@ -1,0 +1,191 @@
+//! Shared tree-walking helpers for the passes.
+
+use crate::ast::{Expr, LValue, LineItem, LoopStep, PhaseTag, Stmt};
+
+/// Visits every phase body carrying `tag`, anywhere in the tree.
+pub(super) fn for_each_phase_mut(
+    stmts: &mut Vec<Stmt>,
+    tag: PhaseTag,
+    f: &mut impl FnMut(&mut Vec<Stmt>),
+) {
+    for s in stmts {
+        match s {
+            Stmt::Phase { tag: t, body } => {
+                if *t == tag {
+                    f(body);
+                } else {
+                    for_each_phase_mut(body, tag, f);
+                }
+            }
+            Stmt::For { body, .. } => for_each_phase_mut(body, tag, f),
+            Stmt::If {
+                body, else_body, ..
+            } => {
+                for_each_phase_mut(body, tag, f);
+                for_each_phase_mut(else_body, tag, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A `const int <name> = <init>;` line.
+pub(super) fn decl_const(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Line(vec![LineItem::DeclInt {
+        name: name.into(),
+        init,
+        mutable: false,
+    }])
+}
+
+/// Replaces every occurrence of the symbol `name` inside `e` with a copy
+/// of `repl`.
+pub(super) fn subst_sym(e: &mut Expr, name: &str, repl: &Expr) {
+    match e {
+        Expr::Sym(n) if n == name => *e = repl.clone(),
+        Expr::Bin(_, l, r) | Expr::Min(l, r) => {
+            subst_sym(l, name, repl);
+            subst_sym(r, name, repl);
+        }
+        Expr::Paren(inner) => subst_sym(inner, name, repl),
+        Expr::Cond(c, t, f) => {
+            subst_sym(c, name, repl);
+            subst_sym(t, name, repl);
+            subst_sym(f, name, repl);
+        }
+        Expr::Index(_, subs) => {
+            for s in subs {
+                subst_sym(s, name, repl);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Wraps `e` in grouping parentheses unless it is already atomic or
+/// grouped, so a multiplicative prefix (`db_cur * (…)`) never changes
+/// the printed precedence.
+pub(super) fn grouped(e: Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Sym(_) | Expr::Paren(_) => e,
+        _ => Expr::paren(e),
+    }
+}
+
+/// Applies `f` to the subscript expressions of every *store* into
+/// `array`: scalar element assignments and vector-copy destinations.
+pub(super) fn rewrite_stores(stmts: &mut Vec<Stmt>, array: &str, f: &mut impl FnMut(&mut Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Line(items) => {
+                for item in items {
+                    if let LineItem::Assign {
+                        target: LValue::Elem(name, subs),
+                        ..
+                    } = item
+                    {
+                        if name == array {
+                            for sub in subs {
+                                f(sub);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::VecCopy { dst, dst_off, .. } if dst == array => {
+                f(dst_off);
+            }
+            Stmt::For { body, .. } | Stmt::Phase { body, .. } => rewrite_stores(body, array, f),
+            Stmt::If {
+                body, else_body, ..
+            } => {
+                rewrite_stores(body, array, f);
+                rewrite_stores(else_body, array, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn apply_to_reads(e: &mut Expr, array: &str, f: &mut impl FnMut(&mut Expr)) {
+    match e {
+        Expr::Index(name, subs) => {
+            if name == array {
+                for s in subs {
+                    f(s);
+                }
+            } else {
+                for s in subs {
+                    apply_to_reads(s, array, f);
+                }
+            }
+        }
+        Expr::Bin(_, l, r) | Expr::Min(l, r) => {
+            apply_to_reads(l, array, f);
+            apply_to_reads(r, array, f);
+        }
+        Expr::Paren(inner) => apply_to_reads(inner, array, f),
+        Expr::Cond(c, t, els) => {
+            apply_to_reads(c, array, f);
+            apply_to_reads(t, array, f);
+            apply_to_reads(els, array, f);
+        }
+        _ => {}
+    }
+}
+
+/// Applies `f` to the subscript expressions of every *read* of `array`
+/// ([`Expr::Index`] nodes), anywhere below `stmts`.
+pub(super) fn rewrite_reads(stmts: &mut Vec<Stmt>, array: &str, f: &mut impl FnMut(&mut Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Line(items) => {
+                for item in items {
+                    match item {
+                        LineItem::DeclInt { init, .. } => apply_to_reads(init, array, f),
+                        LineItem::Assign { target, value, .. } => {
+                            if let LValue::Elem(_, subs) = target {
+                                for sub in subs {
+                                    apply_to_reads(sub, array, f);
+                                }
+                            }
+                            apply_to_reads(value, array, f);
+                        }
+                    }
+                }
+            }
+            Stmt::VecCopy {
+                dst_off, src_off, ..
+            } => {
+                apply_to_reads(dst_off, array, f);
+                apply_to_reads(src_off, array, f);
+            }
+            Stmt::For {
+                init,
+                limit,
+                step,
+                body,
+                ..
+            } => {
+                apply_to_reads(init, array, f);
+                apply_to_reads(limit, array, f);
+                if let LoopStep::AddAssign(e) = step {
+                    apply_to_reads(e, array, f);
+                }
+                rewrite_reads(body, array, f);
+            }
+            Stmt::If {
+                cond,
+                body,
+                else_body,
+                ..
+            } => {
+                apply_to_reads(cond, array, f);
+                rewrite_reads(body, array, f);
+                rewrite_reads(else_body, array, f);
+            }
+            Stmt::Phase { body, .. } => rewrite_reads(body, array, f),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Vectorized global-load staging (`double2` / `float4` style).
+//!
+//! The cooperative staging loop loads one element per thread per
+//! iteration. When the staged tile's first (fastest-varying) extent is a
+//! multiple of the vector width, each thread can instead move `V`
+//! consecutive elements with a single vector load — the first-mode
+//! coordinate of both the tile layout and the global layout has stride
+//! 1, so `V` consecutive flat indices are `V` consecutive addresses in
+//! both memories.
+//!
+//! Alignment is guaranteed, not hoped for: the loop index starts at
+//! `tid * V` and advances by `THREADS * V`, so the in-tile row offset is
+//! always a multiple of `V`; the tile base (`base_first`) is a multiple
+//! of `T_first`, itself a multiple of `V`. The only runtime hazard is
+//! the *global* row pitch `N_first` — when it is not a multiple of `V` a
+//! row-crossing vector load would be misaligned, so the whole phase is
+//! guarded by `if (N_first % V == 0)` with the original scalar loop as
+//! the else branch. Inside the aligned branch, tail rows fall back to a
+//! per-lane guarded scalar copy that zero-fills out-of-bounds lanes
+//! exactly like the scalar loop does.
+
+use cogent_ir::IndexName;
+
+use crate::ast::{
+    AssignOp, BinOp, Expr, KernelProgram, LValue, LineItem, LoopStep, PhaseTag, Stmt,
+};
+use crate::error::KirError;
+
+use super::util::{decl_const, for_each_phase_mut};
+use super::Pass;
+
+/// The vectorized-staging pass. `width` is the number of vector lanes:
+/// 2 (`double2`) for f64 kernels, 4 (`float4`) for f32.
+pub struct VectorizeLoads {
+    width: usize,
+}
+
+impl VectorizeLoads {
+    /// A pass widening the staging loads to `width` lanes.
+    pub fn new(width: usize) -> Self {
+        VectorizeLoads { width }
+    }
+}
+
+impl Pass for VectorizeLoads {
+    fn name(&self) -> &'static str {
+        "vectorize-loads"
+    }
+
+    fn applicability(&self, prog: &KernelProgram) -> Result<(), String> {
+        if !matches!(self.width, 2 | 4) {
+            return Err(format!("unsupported vector width {}", self.width));
+        }
+        if prog.meta.vec_width != 0 {
+            return Err("staging is already vectorized".into());
+        }
+        if prog.meta.double_buffered {
+            return Err("must run before double buffering".into());
+        }
+        if prog.meta.smem_pad != 0 {
+            return Err("must run before shared-memory padding".into());
+        }
+        for (tensor, indices) in [("A", &prog.shapes.a), ("B", &prog.shapes.b)] {
+            let Some(first) = indices.first() else {
+                return Err(format!("tensor {tensor} has no indices to vectorize over"));
+            };
+            let Some(tile) = prog
+                .meta
+                .bindings
+                .iter()
+                .find(|b| b.name == *first)
+                .map(|b| b.tile)
+            else {
+                return Err(format!("no binding recorded for index {first}"));
+            };
+            if tile % self.width != 0 {
+                return Err(format!(
+                    "tensor {tensor}: tile T_{first} = {tile} is not a multiple of {}",
+                    self.width
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, prog: &mut KernelProgram) -> Result<(), KirError> {
+        let width = self.width;
+        let shapes = prog.shapes.clone();
+        for (tag, indices, smem, gmem) in [
+            (PhaseTag::StageA, shapes.a, "s_A", "g_A"),
+            (PhaseTag::StageB, shapes.b, "s_B", "g_B"),
+        ] {
+            let mut result = Ok(());
+            for_each_phase_mut(&mut prog.body, tag, &mut |body| {
+                if result.is_ok() {
+                    result = vectorize_phase(body, &indices, smem, gmem, width);
+                }
+            });
+            result?;
+        }
+        prog.meta.vec_width = width;
+        prog.meta.passes.push(self.name().to_owned());
+        Ok(())
+    }
+}
+
+fn malformed(detail: &str) -> KirError {
+    KirError::TypeMismatch {
+        detail: format!("vectorize-loads: {detail}"),
+    }
+}
+
+/// The guard conjunction over `indices` with the first-index coordinate
+/// shifted by `first_shift`: `u_first + shift < N_first && u_i < N_i…`.
+fn shifted_guard(indices: &[IndexName], first_shift: Expr) -> Expr {
+    let mut expr: Option<Expr> = None;
+    for (k, idx) in indices.iter().enumerate() {
+        let coord = if k == 0 {
+            Expr::bin(
+                BinOp::Add,
+                Expr::sym(format!("u_{idx}")),
+                first_shift.clone(),
+            )
+        } else {
+            Expr::sym(format!("u_{idx}"))
+        };
+        let cmp = Expr::bin(BinOp::Lt, coord, Expr::sym(format!("N_{idx}")));
+        expr = Some(match expr {
+            None => cmp,
+            Some(acc) => Expr::bin(BinOp::And, acc, cmp),
+        });
+    }
+    expr.unwrap_or(Expr::Int(1))
+}
+
+fn vectorize_phase(
+    body: &mut Vec<Stmt>,
+    indices: &[IndexName],
+    smem: &str,
+    gmem: &str,
+    width: usize,
+) -> Result<(), KirError> {
+    let Some(first) = indices.first() else {
+        return Err(malformed("staged tensor has no indices"));
+    };
+    let Some(for_pos) = body.iter().position(|s| matches!(s, Stmt::For { .. })) else {
+        return Err(malformed("staging phase has no cooperative loop"));
+    };
+    let Stmt::For {
+        var,
+        init,
+        limit,
+        step,
+        unroll,
+        braced,
+        body: loop_body,
+    } = body.remove(for_pos)
+    else {
+        return Err(malformed("staging loop vanished mid-rewrite"));
+    };
+
+    // The guarded store is the loop's last statement; its global offset
+    // seeds the vector path's `goff`.
+    let goff = match loop_body.last() {
+        Some(Stmt::Line(items)) => match items.first() {
+            Some(LineItem::Assign {
+                value: Expr::Cond(_, then, _),
+                ..
+            }) => match then.as_ref() {
+                Expr::Index(_, subs) => subs.first().cloned(),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    };
+    let Some(goff) = goff else {
+        return Err(malformed("staging loop does not end in a guarded store"));
+    };
+
+    // Everything before the store — digit decomposition and the shifted
+    // coordinates — is shared by the vector path.
+    let mut vbody: Vec<Stmt> = loop_body[..loop_body.len() - 1].to_vec();
+    vbody.push(decl_const("goff", goff));
+    vbody.push(Stmt::If {
+        cond: shifted_guard(indices, Expr::Int(width as i64 - 1)),
+        body: vec![Stmt::VecCopy {
+            width,
+            dst: smem.to_owned(),
+            dst_off: Expr::sym("p"),
+            src: gmem.to_owned(),
+            src_off: Expr::sym("goff"),
+        }],
+        else_body: vec![Stmt::For {
+            var: "v".into(),
+            init: Expr::Int(0),
+            limit: Expr::Int(width as i64),
+            step: LoopStep::Inc,
+            unroll: true,
+            braced: false,
+            body: vec![Stmt::Line(vec![LineItem::Assign {
+                target: LValue::Elem(
+                    smem.to_owned(),
+                    vec![Expr::bin(BinOp::Add, Expr::sym("p"), Expr::sym("v"))],
+                ),
+                op: AssignOp::Assign,
+                value: Expr::Cond(
+                    Box::new(Expr::paren(shifted_guard(indices, Expr::sym("v")))),
+                    Box::new(Expr::Index(
+                        gmem.to_owned(),
+                        vec![Expr::bin(BinOp::Add, Expr::sym("goff"), Expr::sym("v"))],
+                    )),
+                    Box::new(Expr::Int(0)),
+                ),
+            }])],
+        }],
+        braced: true,
+    });
+
+    let vector_for = Stmt::For {
+        var: var.clone(),
+        init: Expr::bin(BinOp::Mul, Expr::sym("tid"), Expr::Int(width as i64)),
+        limit: limit.clone(),
+        step: LoopStep::AddAssign(Expr::bin(
+            BinOp::Mul,
+            Expr::sym("THREADS"),
+            Expr::Int(width as i64),
+        )),
+        unroll: false,
+        braced: true,
+        body: vbody,
+    };
+    let scalar_for = Stmt::For {
+        var,
+        init,
+        limit,
+        step,
+        unroll,
+        braced,
+        body: loop_body,
+    };
+    body.insert(
+        for_pos,
+        Stmt::If {
+            cond: Expr::bin(
+                BinOp::Eq,
+                Expr::bin(
+                    BinOp::Mod,
+                    Expr::sym(format!("N_{first}")),
+                    Expr::Int(width as i64),
+                ),
+                Expr::Int(0),
+            ),
+            body: vec![vector_for],
+            else_body: vec![scalar_for],
+            braced: true,
+        },
+    );
+    Ok(())
+}

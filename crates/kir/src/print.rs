@@ -33,6 +33,12 @@ pub struct Dialect {
     pub tid_y: &'static str,
     /// Block-wide barrier statement.
     pub barrier: &'static str,
+    /// Address-space qualifier prefix for a pointer cast into the shared
+    /// tile (`__local ` in OpenCL, empty elsewhere).
+    pub smem_cast_qualifier: &'static str,
+    /// Qualifier prefix for a pointer cast into a const global tensor
+    /// (`__global const ` in OpenCL, `const ` elsewhere).
+    pub global_cast_qualifier: &'static str,
 }
 
 fn cuda_global_param(ty: &str, name: &str, is_const: bool) -> String {
@@ -61,6 +67,8 @@ pub const CUDA: Dialect = Dialect {
     tid_x: "threadIdx.x",
     tid_y: "threadIdx.y",
     barrier: "__syncthreads();",
+    smem_cast_qualifier: "",
+    global_cast_qualifier: "const ",
 };
 
 /// The HIP dialect: CUDA's builtin surface plus the runtime header AMD's
@@ -74,6 +82,8 @@ pub const HIP: Dialect = Dialect {
     tid_x: "threadIdx.x",
     tid_y: "threadIdx.y",
     barrier: "__syncthreads();",
+    smem_cast_qualifier: "",
+    global_cast_qualifier: "const ",
 };
 
 /// The OpenCL dialect (without the precision-dependent preamble; see
@@ -87,6 +97,8 @@ pub const OPENCL: Dialect = Dialect {
     tid_x: "(int)get_local_id(0)",
     tid_y: "(int)get_local_id(1)",
     barrier: "barrier(CLK_LOCAL_MEM_FENCE);",
+    smem_cast_qualifier: "__local ",
+    global_cast_qualifier: "__global const ",
 };
 
 /// OpenCL's double-precision extension pragma.
@@ -100,7 +112,7 @@ pub fn ctype(precision: Precision) -> &'static str {
     }
 }
 
-fn write_expr(out: &mut String, expr: &Expr, dialect: &Dialect) {
+pub(crate) fn write_expr(out: &mut String, expr: &Expr, dialect: &Dialect) {
     match expr {
         Expr::Int(v) => {
             let _ = write!(out, "{v}");
@@ -193,7 +205,7 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize, dialect: &Dialect) {
+fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize, dialect: &Dialect, ty: &str) {
     match stmt {
         Stmt::Comment(text) => {
             indent(out, depth);
@@ -245,21 +257,71 @@ fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize, dialect: &Dialect) {
                 out.push('\n');
             }
             for s in body {
-                write_stmt(out, s, depth + 1, dialect);
+                write_stmt(out, s, depth + 1, dialect, ty);
             }
             if *braced {
                 indent(out, depth);
                 out.push_str("}\n");
             }
         }
-        Stmt::If { cond, body } => {
+        Stmt::If {
+            cond,
+            body,
+            else_body,
+            braced,
+        } => {
             indent(out, depth);
             out.push_str("if (");
             write_expr(out, cond, dialect);
-            out.push_str(")\n");
-            for s in body {
-                write_stmt(out, s, depth + 1, dialect);
+            out.push(')');
+            if *braced {
+                out.push_str(" {\n");
+            } else {
+                out.push('\n');
             }
+            for s in body {
+                write_stmt(out, s, depth + 1, dialect, ty);
+            }
+            if *braced {
+                indent(out, depth);
+                out.push('}');
+                if else_body.is_empty() {
+                    out.push('\n');
+                }
+            }
+            if !else_body.is_empty() {
+                if *braced {
+                    out.push_str(" else {\n");
+                } else {
+                    indent(out, depth);
+                    out.push_str("else\n");
+                }
+                for s in else_body {
+                    write_stmt(out, s, depth + 1, dialect, ty);
+                }
+                if *braced {
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+            }
+        }
+        Stmt::VecCopy {
+            width,
+            dst,
+            dst_off,
+            src,
+            src_off,
+        } => {
+            indent(out, depth);
+            let _ = write!(out, "*({}{ty}{width}*)&{dst}[", dialect.smem_cast_qualifier);
+            write_expr(out, dst_off, dialect);
+            let _ = write!(
+                out,
+                "] = *({}{ty}{width}*)&{src}[",
+                dialect.global_cast_qualifier
+            );
+            write_expr(out, src_off, dialect);
+            out.push_str("];\n");
         }
         Stmt::Barrier => {
             indent(out, depth);
@@ -267,7 +329,7 @@ fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize, dialect: &Dialect) {
         }
         Stmt::Phase { body, .. } => {
             for s in body {
-                write_stmt(out, s, depth, dialect);
+                write_stmt(out, s, depth, dialect, ty);
             }
         }
     }
@@ -329,7 +391,7 @@ pub fn print_kernel(prog: &KernelProgram, precision: Precision, dialect: &Dialec
     }
 
     for stmt in &prog.body {
-        write_stmt(&mut out, stmt, 1, dialect);
+        write_stmt(&mut out, stmt, 1, dialect, ty);
     }
     out.push_str("}\n");
     out

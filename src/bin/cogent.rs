@@ -27,7 +27,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cogent::baselines::{measure_cogent, NwchemLikeGenerator, TtgtEngine};
-use cogent::generator::codegen::{emit_hip_kernel, Backend};
+use cogent::generator::codegen::{emit_backend_kernel_with_passes, Backend, PassConfig};
 use cogent::generator::select::{search, SearchOptions};
 use cogent::prelude::*;
 use cogent::sim::plan::StoreMode;
@@ -121,13 +121,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cogent generate <contraction> [--size N | --sizes i=N,j=M,...]
                   [--device v100|p100] [--f32] [--accumulate]
-                  [--backend cuda|opencl|hip] [-o FILE]
+                  [--backend cuda|opencl|hip] [--passes none|default|LIST]
+                  [-o FILE]
   cogent search   <contraction> [--size N | --sizes ...] [--device ...] [--top K]
   cogent batch    [<contraction>...] [--suite] [--group ml|aomo|ccsd|ccsdt]
                   [--size N | --sizes ...] [--device ...] [--f32] [--threads N] [-o DIR]
   cogent bench    <contraction> [--size N | --sizes ...] [--device ...]
   cogent explain  <contraction> [--size N | --sizes ...] [--device ...] [--f32]
-                  [--backend cuda|opencl|hip] [--json] [--chrome-trace FILE]
+                  [--backend cuda|opencl|hip] [--passes none|default|LIST]
+                  [--json] [--chrome-trace FILE]
   cogent profile  <contraction> [--size N | --sizes ...] [--device ...] [--f32]
                   [--runs N] [--json] [--folded FILE]
   cogent stats    [<contraction>...] [--suite] [--group ml|aomo|ccsd|ccsdt]
@@ -145,6 +147,10 @@ const USAGE: &str = "usage:
 
 every command also accepts --trace-out FILE to write its pipeline trace
 as cogent.trace.v3 JSON (\"-\" prints the stderr tree instead)
+
+--passes selects the KIR optimization pipeline: none (baseline, the
+default), default (vectorize-loads, smem-pad, double-buffer), or a
+comma-separated list of those pass names in application order
 
 contractions use TCCG notation (\"abcd-aebf-dfce\") or the explicit form
 (\"C[i,j] = A[i,k] * B[k,j]\"); set COGENT_TRACE=1 to print any command's
@@ -279,6 +285,16 @@ fn parse_precision(args: &[String]) -> Precision {
     }
 }
 
+/// Resolves the KIR pass pipeline from `--passes`. Pass names are
+/// validated at pipeline build time, inside generation, so a typo is a
+/// runtime error carrying the offending name.
+fn parse_passes(args: &[String]) -> PassConfig {
+    match flag_value(args, "--passes") {
+        Some(spec) => PassConfig::parse(spec),
+        None => PassConfig::None,
+    }
+}
+
 /// Resolves the code-generation backend from `--backend`, honoring the
 /// deprecated `--opencl` spelling (with a one-line warning).
 fn parse_backend(args: &[String]) -> Result<Backend, CliError> {
@@ -300,7 +316,11 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let device = parse_device(args)?;
     let precision = parse_precision(args);
     let backend = parse_backend(args)?;
-    let mut generator = Cogent::new().device(device).precision(precision);
+    let passes = parse_passes(args);
+    let mut generator = Cogent::new()
+        .device(device)
+        .precision(precision)
+        .passes(passes.clone());
     if has_flag(args, "--accumulate") {
         generator = generator.store_mode(StoreMode::Accumulate);
     }
@@ -311,6 +331,9 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     eprintln!("contraction:   {tc}");
     eprintln!("configuration: {}", generated.config);
     eprintln!("provenance:    {}", generated.provenance);
+    if !generated.provenance.passes.is_empty() {
+        eprintln!("passes:        {}", generated.provenance.passes.join(", "));
+    }
     eprintln!(
         "predicted:     {:.1} GFLOPS at {sizes} ({} candidates enumerated, {:.1}% pruned)",
         generated.report.gflops,
@@ -323,7 +346,12 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
         Backend::Cuda => &generated.cuda_source,
         Backend::OpenCl => &generated.opencl_source,
         Backend::Hip => {
-            hip_source = emit_hip_kernel(&generated.plan, precision);
+            // HIP sources are not carried on GeneratedKernel, so the HIP
+            // print re-runs the same lower-then-pass pipeline here.
+            hip_source =
+                emit_backend_kernel_with_passes(&generated.plan, precision, Backend::Hip, &passes)
+                    .map_err(|e| format!("{e}"))?
+                    .0;
             &hip_source
         }
     };
@@ -396,6 +424,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--top",
     "--runs",
     "--folded",
+    "--passes",
     "--trace-out",
     "--chrome-trace",
     "-o",
@@ -603,6 +632,7 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
     let generator = Cogent::new()
         .device(device)
         .precision(precision)
+        .passes(parse_passes(args))
         .with_default_cache();
     let result = generator.generate(&tc, &sizes);
     cogent::obs::set_enabled(was_enabled);
@@ -635,8 +665,16 @@ fn explain_report(args: &[String]) -> Result<String, CliError> {
             }
             None => String::new(),
         };
+        let passes_line = if generated.provenance.passes.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "passes:        {}\n",
+                generated.provenance.passes.join(", ")
+            )
+        };
         Ok(format!(
-            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\nbackend:       {backend}\npredicted:     {:.1} GFLOPS at {sizes}\n{cache_line}\n{}",
+            "contraction:   {tc}\nconfiguration: {}\nprovenance:    {}\n{passes_line}backend:       {backend}\npredicted:     {:.1} GFLOPS at {sizes}\n{cache_line}\n{}",
             generated.config,
             generated.provenance,
             generated.report.gflops,

@@ -16,15 +16,25 @@
 //! `--out DIR` the emitted sources are also written to `DIR` (one file
 //! per pair, named `{entry}.{backend extension}`) for inspection.
 //!
+//! A second leg covers the **default KIR pass pipeline**: for every
+//! entry, the lowered tree transformed by `vectorize-loads`, `smem-pad`,
+//! `double-buffer` must pass the pass-aware structural lint
+//! (`lint_kernel_program`), print clean through every dialect, and still
+//! interpret to the sequential reference result on a small-extent
+//! instance (real benchmark tensors would dwarf the gate's budget).
+//!
 //! Usage: `emit_gate [--out DIR]`
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cogent::generator::codegen::{
-    emit_backend_kernel, lint_kernel_plan, lint_kernel_source, Backend,
+    emit_backend_kernel, emit_backend_kernel_with_passes, lint_kernel_plan, lint_kernel_source,
+    Backend, PassConfig,
 };
+use cogent::kir::{interpret, lint_kernel_program};
 use cogent::prelude::*;
+use cogent::tensor::reference::{contract_reference, random_inputs};
 
 fn parse_out_dir(args: &[String]) -> Result<Option<PathBuf>, String> {
     let mut out = None;
@@ -81,11 +91,77 @@ fn run(out_dir: Option<&PathBuf>) -> Result<usize, String> {
             emitted += 1;
         }
     }
+    for (i, entry) in cogent::tccg::suite().into_iter().enumerate() {
+        findings += pass_pipeline_leg(&entry, i)?;
+    }
     eprintln!(
-        "emit gate: {emitted} kernels emitted ({} entries x {} backends), {findings} finding(s)",
+        "emit gate: {emitted} kernels emitted ({} entries x {} backends) + default-pass leg, {findings} finding(s)",
         cogent::tccg::suite().len(),
         Backend::ALL.len()
     );
+    Ok(findings)
+}
+
+/// The default-pass-pipeline leg for one suite entry: transform at a
+/// small uniform extent, hold the tree to the pass-aware structural
+/// lint, print it through every dialect under the text lint, and
+/// differential-test the transformed semantics against the sequential
+/// reference. Returns the finding count.
+fn pass_pipeline_leg(entry: &cogent::tccg::TccgEntry, i: usize) -> Result<usize, String> {
+    let tc = entry.contraction();
+    let sizes = SizeMap::uniform(&tc, 4 + (i % 3));
+    let g = Cogent::new()
+        .generate(&tc, &sizes)
+        .map_err(|e| format!("{}: generation failed: {e}", entry.name))?;
+    let (prog, applied) = cogent::generator::codegen::lower_with_passes(
+        &g.plan,
+        Precision::F64,
+        &PassConfig::Default,
+    )
+    .map_err(|e| format!("{}: default pipeline failed: {e}", entry.name))?;
+
+    let mut findings = 0usize;
+    for f in &lint_kernel_program(&prog).findings {
+        eprintln!("emit gate: {} [passes ir]: {f}", entry.name);
+        findings += 1;
+    }
+    for backend in Backend::ALL {
+        let (source, _) =
+            emit_backend_kernel_with_passes(&g.plan, Precision::F64, backend, &PassConfig::Default)
+                .map_err(|e| format!("{}: default pipeline failed: {e}", entry.name))?;
+        for f in lint_kernel_source(&source) {
+            eprintln!("emit gate: {} [passes {backend}]: {f}", entry.name);
+            findings += 1;
+        }
+    }
+
+    let plan_sizes = SizeMap::from_pairs(
+        g.plan
+            .bindings()
+            .iter()
+            .map(|b| (b.name.as_str(), b.extent)),
+    );
+    let (a, b) = random_inputs::<f64>(g.plan.contraction(), &plan_sizes, 191 + i as u64);
+    let want = contract_reference(g.plan.contraction(), &plan_sizes, &a, &b);
+    match interpret(&prog, &plan_sizes, &a, &b) {
+        Err(e) => {
+            eprintln!(
+                "emit gate: {} [passes diff]: interpreter failed: {e}",
+                entry.name
+            );
+            findings += 1;
+        }
+        Ok(got) if !got.approx_eq(&want, 1e-10) => {
+            eprintln!(
+                "emit gate: {} [passes diff]: passes {:?} diverge from reference by {:e}",
+                entry.name,
+                applied,
+                got.max_abs_diff(&want)
+            );
+            findings += 1;
+        }
+        Ok(_) => {}
+    }
     Ok(findings)
 }
 
